@@ -1,0 +1,70 @@
+// Ablation of the estimator design choices documented in DESIGN.md:
+//   - WLS (1/rho) weighting of the linear elliptical seed,
+//   - dB-domain Gauss-Newton refinement,
+//   - model averaging across near-optimal exponents,
+//   - the Gamma prior from the beacon frame.
+// Each row disables one choice on the full simulated pipeline in three
+// representative environments.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "locble/common/cdf.hpp"
+#include "locble/common/table.hpp"
+
+using namespace locble;
+
+namespace {
+
+struct Variant {
+    const char* name;
+    bool wls;
+    bool gn;
+    bool averaging;
+    bool gamma_prior;
+};
+
+double variant_error(const Variant& v, int runs_per_env) {
+    std::vector<double> errors;
+    for (int idx : {1, 4, 9}) {
+        const sim::Scenario sc = sim::scenario(idx);
+        sim::BeaconPlacement beacon;
+        beacon.position = sc.default_beacon;
+        sim::MeasurementConfig cfg;
+        cfg.pipeline.solver.use_wls = v.wls;
+        cfg.pipeline.solver.use_gn_refinement = v.gn;
+        cfg.pipeline.solver.use_model_averaging = v.averaging;
+        if (!v.gamma_prior) {
+            // Suppress the harness's default prior injection.
+            cfg.pipeline.gamma_prior_dbm = -60.0;
+            cfg.pipeline.gamma_prior_below_db = 30.0;
+            cfg.pipeline.gamma_prior_above_db = 30.0;
+        }
+        const auto errs =
+            bench::stationary_errors(sc, beacon, cfg, runs_per_env, 31000 + idx * 211);
+        errors.insert(errors.end(), errs.begin(), errs.end());
+    }
+    return EmpiricalCdf(errors).mean();
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Ablation — estimator design choices",
+                        "each row disables one DESIGN.md decision; the full "
+                        "configuration should be best or tied");
+
+    const Variant variants[] = {
+        {"full estimator (defaults)", true, true, false, true},
+        {"- WLS (plain Eq. 3 least squares)", false, true, false, true},
+        {"- Gauss-Newton refinement", true, false, false, true},
+        {"+ model averaging", true, true, true, true},
+        {"- Gamma prior (free Gamma)", true, true, false, false},
+    };
+
+    TextTable table({"variant", "mean error over envs 1/4/9 (m)"});
+    const int runs = 20;
+    for (const auto& v : variants) table.add_row(v.name, {variant_error(v, runs)}, 2);
+    std::printf("%s\n", table.str().c_str());
+    return 0;
+}

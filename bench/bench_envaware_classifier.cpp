@@ -1,0 +1,62 @@
+// Sec. 4.1 reproduction: EnvAware's 3-class environment classification.
+// The paper reports 94.7% precision / 94.5% recall with a linear SVM that
+// "outperforms other algorithms in the ensemble" (decision trees, forests).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "locble/common/table.hpp"
+#include "locble/core/envaware.hpp"
+#include "locble/ml/decision_tree.hpp"
+
+using namespace locble;
+
+int main() {
+    bench::print_header("Sec. 4.1 — EnvAware classifier",
+                        "94.7% precision / 94.5% recall; SVM beats the other "
+                        "ensemble members");
+
+    locble::Rng rng(20170404);
+    core::EnvDatasetConfig dcfg;
+    dcfg.traces_per_class = 120;
+    const ml::Dataset data = core::generate_env_dataset(dcfg, rng);
+
+    locble::Rng split_rng(7);
+    auto [train, test] = ml::train_test_split(data, 0.3, split_rng);
+
+    TextTable table({"classifier", "accuracy", "macro precision", "macro recall"});
+
+    // Linear SVM (the shipped EnvAware configuration).
+    core::EnvAware env;
+    env.train(train);
+    std::vector<int> svm_pred;
+    for (const auto& row : test.x)
+        svm_pred.push_back(env.svm().predict(env.scaler().transform(row)));
+    const auto svm_rep = ml::evaluate_classification(test.y, svm_pred);
+    table.add_row("linear SVM (EnvAware)",
+                  {svm_rep.accuracy, svm_rep.macro_precision, svm_rep.macro_recall}, 3);
+
+    // Decision tree.
+    ml::DecisionTree tree;
+    tree.fit(train);
+    const auto tree_rep = ml::evaluate_classification(test.y, tree.predict(test));
+    table.add_row("decision tree",
+                  {tree_rep.accuracy, tree_rep.macro_precision, tree_rep.macro_recall},
+                  3);
+
+    // Random forest.
+    ml::RandomForest forest;
+    forest.fit(train);
+    const auto forest_rep =
+        ml::evaluate_classification(test.y, forest.predict(test));
+    table.add_row("random forest",
+                  {forest_rep.accuracy, forest_rep.macro_precision,
+                   forest_rep.macro_recall},
+                  3);
+
+    std::printf("%s\n", table.str().c_str());
+    std::printf("per-class report (SVM):\n%s\n",
+                svm_rep.str({"LOS", "p-LOS", "NLOS"}).c_str());
+    std::printf("paper reference: precision 0.947, recall 0.945\n");
+    return 0;
+}

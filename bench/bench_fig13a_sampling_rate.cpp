@@ -1,0 +1,68 @@
+// Fig. 13(a) reproduction: estimation error CDF when the BLE sampling
+// frequency drops from ~9 Hz to 8 / 6.5 / 5.5 Hz (idle delay between scans).
+// Paper: medians remain stable, the tail worsens at lower rates.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "locble/common/cdf.hpp"
+#include "locble/common/table.hpp"
+
+using namespace locble;
+
+namespace {
+
+std::vector<double> errors_at_rate(double rate_hz, int runs_per_env) {
+    std::vector<double> errors;
+    for (int idx = 2; idx <= 4; ++idx) {
+        const sim::Scenario sc = sim::scenario(idx);
+        sim::BeaconPlacement beacon;
+        beacon.position = sc.default_beacon;
+        sim::MeasurementConfig cfg;
+        for (int r = 0; r < runs_per_env; ++r) {
+            locble::Rng rng(17000 + idx * 101 + r * 11);
+            // Capture at the native ~9 Hz, then decimate to the target rate
+            // exactly as the paper does ("inserting an idle delay between
+            // two consecutive scans").
+            const auto walk = sim::default_l_walk(sc);
+            const auto cap =
+                sim::CaptureRunner(cfg.capture).run(sc.site, {beacon}, walk, rng);
+            auto rss = cap.rss.at(beacon.id);
+            if (rate_hz < 8.9) rss = decimate(rss, rate_hz);
+
+            const auto motion =
+                motion::DeadReckoner(cfg.reckoner).track(cap.observer_imu);
+            core::LocBle::Config pcfg = cfg.pipeline;
+            pcfg.gamma_prior_dbm = beacon.profile.measured_power_dbm;
+            const core::LocBle pipeline(pcfg, sim::shared_envaware());
+            const auto result = pipeline.locate(rss, motion);
+            if (result.fit) {
+                const auto est = sim::observer_to_site(
+                    result.fit->location, sc.observer_start, sc.observer_heading);
+                errors.push_back(locble::Vec2::distance(est, beacon.position));
+            } else {
+                errors.push_back(8.0);
+            }
+        }
+    }
+    return errors;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Fig. 13(a) — sampling frequency sweep",
+                        "medians stable from 9 to 5.5 Hz; worst case degrades "
+                        "at lower rates");
+
+    const int runs = 15;
+    std::vector<std::pair<std::string, EmpiricalCdf>> curves;
+    for (double rate : {9.0, 8.0, 6.5, 5.5})
+        curves.emplace_back(fmt(rate, 1) + " Hz",
+                            EmpiricalCdf(errors_at_rate(rate, runs)));
+
+    std::printf("%s\n", format_cdf_table(curves, {{0.5, 0.75, 0.9}}).c_str());
+    std::printf("shape check: p50 varies little across rates; p90 grows as "
+                "the rate falls\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "locble/common/cdf.hpp"
+#include "locble/sim/harness.hpp"
+
+namespace locble::bench {
+
+/// Collect stationary-measurement errors over `runs` seeded repetitions of
+/// one scenario (NaN-free: failed fits count as the site diagonal).
+inline std::vector<double> stationary_errors(const sim::Scenario& sc,
+                                             const sim::BeaconPlacement& beacon,
+                                             const sim::MeasurementConfig& cfg,
+                                             int runs, std::uint64_t seed_base) {
+    std::vector<double> errors;
+    errors.reserve(runs);
+    for (int r = 0; r < runs; ++r) {
+        locble::Rng rng(seed_base + static_cast<std::uint64_t>(r) * 7919);
+        const auto out = sim::measure_stationary(sc, beacon, cfg, rng);
+        errors.push_back(out.ok ? out.error_m
+                                : std::hypot(sc.site.width_m, sc.site.height_m));
+    }
+    return errors;
+}
+
+/// Print a header naming the experiment and the paper's reference result.
+inline void print_header(const std::string& id, const std::string& claim) {
+    std::printf("== %s ==\n", id.c_str());
+    std::printf("paper: %s\n\n", claim.c_str());
+}
+
+}  // namespace locble::bench

@@ -1,0 +1,68 @@
+// AR shelf tagging (Fig. 1(b)): a retail shelf carries a cluster of tagged
+// items. One measurement walk locates every tag; the multi-beacon
+// clustering calibration (Sec. 6) then recognizes which tags sit together
+// and refines the highlighted item's position with their combined evidence.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "locble/core/clustering.hpp"
+#include "locble/sim/harness.hpp"
+
+using namespace locble;
+
+int main() {
+    // A store aisle: the item of interest plus four same-shelf tags and one
+    // unrelated tag across the room.
+    const sim::Scenario store = sim::scenario(6);
+
+    sim::BeaconPlacement item;
+    item.id = 1;
+    item.position = store.default_beacon;
+
+    std::vector<sim::BeaconPlacement> others;
+    for (int k = 0; k < 4; ++k) {
+        sim::BeaconPlacement tag;
+        tag.id = static_cast<std::uint64_t>(10 + k);
+        const double ang = 1.7 * k;
+        tag.position = item.position + unit_from_angle(ang) * 0.3;
+        others.push_back(tag);
+    }
+    sim::BeaconPlacement unrelated;
+    unrelated.id = 50;
+    unrelated.position = {1.2, 8.8};  // different shelf entirely
+    others.push_back(unrelated);
+
+    std::printf("item of interest at (%.1f, %.1f); %zu neighbor tags on the "
+                "shelf + 1 unrelated tag at (%.1f, %.1f)\n\n",
+                item.position.x, item.position.y, others.size() - 1,
+                unrelated.position.x, unrelated.position.y);
+
+    sim::MeasurementConfig cfg;
+    locble::Rng rng(31);
+    const sim::ClusteredOutcome out =
+        sim::measure_with_cluster(store, item, others, cfg, rng);
+
+    if (!out.single.ok) {
+        std::printf("no fix for the target tag\n");
+        return 1;
+    }
+    std::printf("single-tag estimate:   (%.2f, %.2f), error %.2f m\n",
+                out.single.estimate_site.x, out.single.estimate_site.y,
+                out.single.error_m);
+    std::printf("cluster members (DTW-matched RSS trends):");
+    for (auto id : out.cluster.members) std::printf(" #%llu", (unsigned long long)id);
+    std::printf("  (rejected %zu)\n", out.cluster.rejected);
+    std::printf("calibrated estimate:   (%.2f, %.2f), error %.2f m\n",
+                out.calibrated.estimate_site.x, out.calibrated.estimate_site.y,
+                out.calibrated.error_m);
+
+    const bool unrelated_excluded =
+        std::find(out.cluster.members.begin(), out.cluster.members.end(), std::uint64_t{50}) ==
+        out.cluster.members.end();
+    std::printf("\nunrelated tag #50 excluded from the cluster: %s\n",
+                unrelated_excluded ? "yes" : "no");
+    std::printf("paper reference: Fig. 15 — clustering halves the error in "
+                "heavy-blockage environments\n");
+    return 0;
+}

@@ -1,0 +1,253 @@
+// locble_cli — run LocBLE experiments from the command line.
+//
+//   locble_cli measure   [--env N] [--seed S] [--runs R]   stationary target
+//   locble_cli moving    [--env N] [--seed S] [--runs R]   moving target
+//   locble_cli navigate  [--env N] [--seed S] [--runs R]   measure-and-walk
+//   locble_cli cluster   [--env N] [--seed S] [--beacons B] multi-beacon
+//   locble_cli record    [--env N] [--seed S] --out PREFIX  save a capture
+//   locble_cli replay    --in PREFIX [--env N]              locate from CSVs
+//   locble_cli heatmap   [--env N] [--seed S]                ASCII coverage map
+//
+// Every mode prints per-run results and a summary against the scenario's
+// Table-1 reference accuracy.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "locble/common/cdf.hpp"
+#include "locble/sim/harness.hpp"
+#include "locble/sim/heatmap.hpp"
+#include "locble/sim/navigation_sim.hpp"
+#include "locble/sim/trace_io.hpp"
+
+using namespace locble;
+
+namespace {
+
+struct Args {
+    std::string mode;
+    int env{1};
+    std::uint64_t seed{1};
+    int runs{5};
+    int beacons{4};
+    std::string out;
+    std::string in;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+    if (argc < 2) return false;
+    args.mode = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (i + 1 >= argc) return false;
+        const std::string value = argv[++i];
+        if (flag == "--env")
+            args.env = std::stoi(value);
+        else if (flag == "--seed")
+            args.seed = std::stoull(value);
+        else if (flag == "--runs")
+            args.runs = std::stoi(value);
+        else if (flag == "--beacons")
+            args.beacons = std::stoi(value);
+        else if (flag == "--out")
+            args.out = value;
+        else if (flag == "--in")
+            args.in = value;
+        else
+            return false;
+    }
+    return args.env >= 1 && args.env <= 9 && args.runs >= 1;
+}
+
+void usage() {
+    std::printf(
+        "usage: locble_cli <measure|moving|navigate|cluster|record|replay|heatmap>\n"
+        "       [--env 1..9] [--seed S] [--runs R] [--beacons B]\n"
+        "       [--out PREFIX] [--in PREFIX]\n");
+}
+
+int run_measure(const Args& args) {
+    const sim::Scenario sc = sim::scenario(args.env);
+    sim::BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    std::vector<double> errors;
+    for (int r = 0; r < args.runs; ++r) {
+        locble::Rng rng(args.seed + static_cast<std::uint64_t>(r) * 101);
+        const sim::MeasurementConfig cfg;
+        const auto out = sim::measure_stationary(sc, beacon, cfg, rng);
+        if (out.ok) {
+            std::printf("run %d: estimate (%.2f, %.2f), error %.2f m\n", r + 1,
+                        out.estimate_site.x, out.estimate_site.y, out.error_m);
+            errors.push_back(out.error_m);
+        } else {
+            std::printf("run %d: no fix\n", r + 1);
+        }
+    }
+    if (errors.empty()) return 1;
+    const EmpiricalCdf cdf(errors);
+    std::printf("\n%s: mean %.2f m over %zu fixes (paper: %.1f +- %.1f m)\n",
+                sc.name.c_str(), cdf.mean(), cdf.count(), sc.paper_accuracy_m,
+                sc.paper_ci_m);
+    return 0;
+}
+
+int run_moving(const Args& args) {
+    const sim::Scenario sc = sim::scenario(args.env);
+    std::vector<double> errors;
+    for (int r = 0; r < args.runs; ++r) {
+        locble::Rng place(args.seed + static_cast<std::uint64_t>(r) * 7 + 3);
+        sim::BeaconPlacement target;
+        target.id = 2;
+        target.motion = imu::make_l_shape(
+            {place.uniform(0.3 * sc.site.width_m, 0.7 * sc.site.width_m),
+             place.uniform(0.3 * sc.site.height_m, 0.7 * sc.site.height_m)},
+            place.uniform(-3.0, 3.0), 2.0, 1.5, place.chance(0.5) ? 1.3 : -1.3);
+        locble::Rng rng(args.seed + static_cast<std::uint64_t>(r) * 131);
+        const sim::MeasurementConfig cfg;
+        const auto walk = sim::default_l_walk(sc);
+        const auto out = sim::measure_moving(sc, target, walk, cfg, rng);
+        if (out.ok) {
+            std::printf("run %d: initial position error %.2f m\n", r + 1, out.error_m);
+            errors.push_back(out.error_m);
+        } else {
+            std::printf("run %d: no fix\n", r + 1);
+        }
+    }
+    if (errors.empty()) return 1;
+    std::printf("\nmedian %.2f m (paper: < 2.5 m for > 50%% of runs)\n",
+                EmpiricalCdf(errors).median());
+    return 0;
+}
+
+int run_navigate(const Args& args) {
+    const sim::Scenario sc = sim::scenario(args.env);
+    sim::BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    const sim::NavigationSimulator nav;
+    std::vector<double> finals;
+    for (int r = 0; r < args.runs; ++r) {
+        locble::Rng rng(args.seed + static_cast<std::uint64_t>(r) * 211);
+        const auto run =
+            nav.run(sc, beacon, sc.observer_start, sc.observer_heading, rng);
+        std::printf("run %d: %zu rounds, final distance %.2f m\n", r + 1,
+                    run.rounds.size(), run.final_distance_m);
+        finals.push_back(run.final_distance_m);
+    }
+    std::printf("\nmedian final distance %.2f m (paper Fig. 10(b): 1.5 m)\n",
+                EmpiricalCdf(finals).median());
+    return 0;
+}
+
+int run_cluster(const Args& args) {
+    const sim::Scenario sc = sim::scenario(args.env);
+    sim::BeaconPlacement target;
+    target.id = 1;
+    target.position = sc.default_beacon;
+    std::vector<sim::BeaconPlacement> neighbors;
+    for (int k = 1; k < args.beacons; ++k) {
+        sim::BeaconPlacement nb;
+        nb.id = static_cast<std::uint64_t>(10 + k);
+        nb.position = sc.default_beacon + unit_from_angle(1.1 * k) * 0.35;
+        neighbors.push_back(nb);
+    }
+    double single = 0.0, calibrated = 0.0;
+    int n = 0;
+    for (int r = 0; r < args.runs; ++r) {
+        locble::Rng rng(args.seed + static_cast<std::uint64_t>(r) * 307);
+        const sim::MeasurementConfig cfg;
+        const auto out = sim::measure_with_cluster(sc, target, neighbors, cfg, rng);
+        if (!out.single.ok || !out.calibrated.ok) continue;
+        std::printf("run %d: single %.2f m -> calibrated %.2f m (%zu members)\n",
+                    r + 1, out.single.error_m, out.calibrated.error_m,
+                    out.cluster.members.size());
+        single += out.single.error_m;
+        calibrated += out.calibrated.error_m;
+        ++n;
+    }
+    if (!n) return 1;
+    std::printf("\nmean: single %.2f m, calibrated %.2f m with %d beacons\n",
+                single / n, calibrated / n, args.beacons);
+    return 0;
+}
+
+int run_record(const Args& args) {
+    if (args.out.empty()) {
+        usage();
+        return 2;
+    }
+    const sim::Scenario sc = sim::scenario(args.env);
+    sim::BeaconPlacement beacon;
+    beacon.id = 1;
+    beacon.position = sc.default_beacon;
+    locble::Rng rng(args.seed);
+    const auto cap = sim::CaptureRunner().run(sc.site, {beacon},
+                                              sim::default_l_walk(sc), rng);
+    sim::save_capture(args.out, cap);
+    std::printf("saved %zu RSS reports + IMU streams to %s_*.csv\n",
+                cap.rss.at(1).size(), args.out.c_str());
+    return 0;
+}
+
+int run_heatmap(const Args& args) {
+    const sim::Scenario sc = sim::scenario(args.env);
+    locble::Rng rng(args.seed);
+    const auto map = sim::rssi_heatmap(sc.site, sc.default_beacon, -59.0, 0.5, rng);
+    std::printf("%s — expected RSSI around the default beacon (denser = "
+                "stronger)\n\n%s\n",
+                sc.name.c_str(), map.ascii().c_str());
+    std::printf("coverage at -85 dBm sensitivity: %.0f%% of the site\n",
+                100.0 * map.coverage(-85.0));
+    return 0;
+}
+
+int run_replay(const Args& args) {
+    if (args.in.empty()) {
+        usage();
+        return 2;
+    }
+    const sim::Scenario sc = sim::scenario(args.env);
+    const auto cap = sim::load_capture(args.in);
+    if (cap.rss.empty()) {
+        std::printf("no RSS streams in %s\n", args.in.c_str());
+        return 1;
+    }
+    const auto& [id, rss] = *cap.rss.begin();
+    motion::DeadReckoner::Config dr;
+    dr.snap_right_angles = true;
+    const auto motion = motion::DeadReckoner(dr).track(cap.observer_imu);
+    core::LocBle::Config cfg;
+    cfg.gamma_prior_dbm = -59.0;
+    const core::LocBle pipeline(cfg, sim::shared_envaware());
+    const auto result = pipeline.locate(rss, motion);
+    if (!result.fit) {
+        std::printf("replay of beacon %llu: no fix\n", (unsigned long long)id);
+        return 1;
+    }
+    const Vec2 est = sim::observer_to_site(result.fit->location, sc.observer_start,
+                                           sc.observer_heading);
+    std::printf("replay of beacon %llu: estimate (%.2f, %.2f) in %s coordinates, "
+                "confidence %.2f\n",
+                (unsigned long long)id, est.x, est.y, sc.name.c_str(),
+                result.fit->confidence);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, args)) {
+        usage();
+        return 2;
+    }
+    if (args.mode == "measure") return run_measure(args);
+    if (args.mode == "moving") return run_moving(args);
+    if (args.mode == "navigate") return run_navigate(args);
+    if (args.mode == "cluster") return run_cluster(args);
+    if (args.mode == "record") return run_record(args);
+    if (args.mode == "replay") return run_replay(args);
+    if (args.mode == "heatmap") return run_heatmap(args);
+    usage();
+    return 2;
+}

@@ -1,0 +1,78 @@
+// Quickstart: locate one stationary BLE beacon with LocBLE.
+//
+// This walks the whole public API once:
+//   1. describe a site and drop a beacon into it,
+//   2. record one L-shaped measurement walk (BLE scan + IMU capture),
+//   3. dead-reckon the walk from the IMU streams,
+//   4. run the LocBLE pipeline (ANF -> EnvAware -> elliptical regression),
+//   5. print the estimate next to the ground truth.
+//
+// On a phone, steps 1-2 are replaced by CoreBluetooth/BluetoothLeScanner and
+// CoreMotion callbacks; everything from step 3 on is identical.
+
+#include <cstdio>
+
+#include "locble/core/pipeline.hpp"
+#include "locble/motion/dead_reckoning.hpp"
+#include "locble/sim/capture.hpp"
+#include "locble/sim/harness.hpp"
+#include "locble/sim/scenarios.hpp"
+
+using namespace locble;
+
+int main() {
+    // 1. A 5x5 m meeting room with a beacon on the far shelf.
+    const sim::Scenario room = sim::scenario(1);
+    sim::BeaconPlacement beacon;
+    beacon.id = 1;
+    beacon.position = room.default_beacon;
+    beacon.profile = ble::estimote_profile();
+
+    std::printf("site: %s (%.0fx%.0f m)\n", room.name.c_str(), room.site.width_m,
+                room.site.height_m);
+    std::printf("beacon truth: (%.2f, %.2f), %.1f m from the start\n\n",
+                beacon.position.x, beacon.position.y,
+                Vec2::distance(beacon.position, room.observer_start));
+
+    // 2. Walk the app's L-shape (a few metres, one right-angle turn) while
+    //    scanning. The capture runner plays the role of the phone hardware.
+    const imu::Trajectory walk = sim::default_l_walk(room);
+    locble::Rng rng(7);
+    const sim::WalkCapture capture =
+        sim::CaptureRunner().run(room.site, {beacon}, walk, rng);
+    std::printf("captured %zu RSS reports over %.1f s\n",
+                capture.rss.at(beacon.id).size(), capture.duration_s);
+
+    // 3. Reconstruct the walk from the IMU (steps + right-angle turn).
+    motion::DeadReckoner::Config dr_cfg;
+    dr_cfg.snap_right_angles = true;  // the app told the user: turn 90 degrees
+    const motion::MotionEstimate motion =
+        motion::DeadReckoner(dr_cfg).track(capture.observer_imu);
+    std::printf("dead reckoning: %zu steps, %.2f m walked, %zu turn(s)\n",
+                motion.steps.steps.size(), motion.total_distance(),
+                motion.turns.size());
+
+    // 4. LocBLE pipeline. The gamma prior is the calibrated 1 m power the
+    //    beacon advertises in its own frame.
+    core::LocBle::Config cfg;
+    cfg.gamma_prior_dbm = beacon.profile.measured_power_dbm;
+    const core::LocBle locble(cfg, sim::shared_envaware());
+    const core::LocateResult result =
+        locble.locate(capture.rss.at(beacon.id), motion);
+
+    // 5. Report.
+    if (!result.fit) {
+        std::printf("no fix - walk longer or closer to the beacon\n");
+        return 1;
+    }
+    const Vec2 est_site = sim::observer_to_site(
+        result.fit->location, room.observer_start, room.observer_heading);
+    std::printf("\nestimate (observer frame): (%.2f, %.2f)\n",
+                result.fit->location.x, result.fit->location.y);
+    std::printf("estimate (site frame):     (%.2f, %.2f)\n", est_site.x, est_site.y);
+    std::printf("error: %.2f m | path-loss exponent %.2f | Gamma %.1f dBm | "
+                "confidence %.2f\n",
+                Vec2::distance(est_site, beacon.position), result.fit->exponent,
+                result.fit->gamma_dbm, result.fit->confidence);
+    return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+
+#include "locble/core/dtw.hpp"
+
+namespace locble::baseline {
+
+/// Whole-sequence DTW matching with no lower-bound gate and no
+/// segmentation — the "applying DTW directly to the original sequence"
+/// reference LocBLE's segmented matcher is compared against (Sec. 6.1,
+/// "at least 2x faster"). Same decision semantics: matched iff the
+/// normalized alignment cost passes the threshold.
+class NaiveDtwMatcher {
+public:
+    struct Config {
+        double threshold_per_point{0.61};  ///< 6.1 per 10-point segment
+    };
+
+    NaiveDtwMatcher() : NaiveDtwMatcher(Config{}) {}
+    explicit NaiveDtwMatcher(const Config& cfg) : cfg_(cfg) {}
+
+    bool match(std::span<const double> target, std::span<const double> candidate) const {
+        const std::size_t n = std::min(target.size(), candidate.size());
+        if (n == 0) return false;
+        const double cost = core::dtw_distance(target.subspan(0, n),
+                                               candidate.subspan(0, n), 0);
+        return cost <= cfg_.threshold_per_point * static_cast<double>(n);
+    }
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+}  // namespace locble::baseline

@@ -1,0 +1,49 @@
+#include "locble/baseline/ranging.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locble::baseline {
+
+const char* to_string(ProximityZone z) {
+    switch (z) {
+        case ProximityZone::unknown: return "unknown";
+        case ProximityZone::immediate: return "immediate";
+        case ProximityZone::near: return "near";
+        case ProximityZone::far: return "far";
+    }
+    return "?";
+}
+
+double FixedModelRanger::mean_recent(const locble::TimeSeries& rss) const {
+    if (rss.empty()) throw std::invalid_argument("FixedModelRanger: empty series");
+    const std::size_t n = std::min(cfg_.average_window, rss.size());
+    double s = 0.0;
+    for (std::size_t i = rss.size() - n; i < rss.size(); ++i) s += rss[i].value;
+    return s / static_cast<double>(n);
+}
+
+double FixedModelRanger::estimate_distance(const locble::TimeSeries& rss) const {
+    const double mean = mean_recent(rss);
+    const double d =
+        std::pow(10.0, (cfg_.measured_power_dbm - mean) / (10.0 * cfg_.exponent));
+    return std::min(d, cfg_.max_range_m);
+}
+
+double FixedModelRanger::estimate_distance_curvefit(const locble::TimeSeries& rss) const {
+    const double mean = mean_recent(rss);
+    const double ratio = mean / cfg_.measured_power_dbm;
+    // Android Beacon Library empirical model (Nexus 4 calibration).
+    if (ratio < 1.0) return std::pow(ratio, 10.0);
+    return 0.89976 * std::pow(ratio, 7.7095) + 0.111;
+}
+
+ProximityZone FixedModelRanger::zone_for(double distance_m) {
+    if (!(distance_m >= 0.0) || !std::isfinite(distance_m)) return ProximityZone::unknown;
+    if (distance_m < 0.5) return ProximityZone::immediate;
+    if (distance_m < 4.0) return ProximityZone::near;
+    return ProximityZone::far;
+}
+
+}  // namespace locble::baseline

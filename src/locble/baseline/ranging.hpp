@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "locble/common/timeseries.hpp"
+
+namespace locble::baseline {
+
+/// iBeacon-style proximity zones — the 1-D, four-zone output that existing
+/// beacon apps expose and that LocBLE's fine-grained estimation replaces
+/// (Sec. 1, footnote 1).
+enum class ProximityZone { unknown, immediate, near, far };
+
+const char* to_string(ProximityZone z);
+
+/// Fixed-model RSS ranging — our stand-in for the Dartle ranging app
+/// (Sec. 7.4.1), the strongest available baseline: average the recent RSS
+/// and invert a *fixed* calibrated path-loss curve. It neither estimates
+/// the environment's exponent nor fuses motion, which is exactly what
+/// LocBLE's comparison exercises.
+class FixedModelRanger {
+public:
+    struct Config {
+        double measured_power_dbm{-59.0};  ///< advertised 1 m RSSI
+        double exponent{2.2};              ///< fixed assumed path loss
+        std::size_t average_window{10};    ///< samples averaged per estimate
+        /// Estimates are clamped here: BLE is receivable to ~15 m indoors
+        /// (Sec. 2.2), so a ranging app never reports beyond its radio range.
+        double max_range_m{20.0};
+    };
+
+    FixedModelRanger() : FixedModelRanger(Config{}) {}
+    explicit FixedModelRanger(const Config& cfg) : cfg_(cfg) {}
+
+    /// Distance estimate from the most recent samples of `rss`.
+    /// Throws std::invalid_argument when `rss` is empty.
+    double estimate_distance(const locble::TimeSeries& rss) const;
+
+    /// The Android-Beacon-Library style curve-fit ranging ("accuracy"),
+    /// kept as the second industry-standard reference curve.
+    double estimate_distance_curvefit(const locble::TimeSeries& rss) const;
+
+    /// Zone from a distance estimate (iBeacon convention: immediate < 0.5 m,
+    /// near < 4 m, far beyond).
+    static ProximityZone zone_for(double distance_m);
+
+    const Config& config() const { return cfg_; }
+
+private:
+    double mean_recent(const locble::TimeSeries& rss) const;
+    Config cfg_;
+};
+
+}  // namespace locble::baseline

@@ -1,0 +1,61 @@
+#include "locble/ble/advertiser.hpp"
+
+namespace locble::ble {
+
+Advertiser::Advertiser(std::uint64_t id, const AdvertiserProfile& profile)
+    : id_(id), profile_(profile),
+      pdu_(make_beacon_pdu(id, profile.format, profile.measured_power_dbm)) {}
+
+std::vector<Transmission> Advertiser::transmissions(double t0, double t1,
+                                                    locble::Rng& rng) const {
+    std::vector<Transmission> out;
+    constexpr double kInterChannelGap = 0.0004;  // ~400 us between channels
+    double t = t0 + rng.uniform(0.0, profile_.interval_s);  // unsynchronized start
+    while (t < t1) {
+        for (std::size_t c = 0; c < kAdvChannels.size(); ++c) {
+            const double tx_time = t + static_cast<double>(c) * kInterChannelGap;
+            if (tx_time >= t1) break;
+            out.push_back({tx_time, kAdvChannels[c], id_, pdu_});
+        }
+        // advDelay: 0-10 ms pseudo-random per spec.
+        t += profile_.interval_s + rng.uniform(0.0, 0.010);
+    }
+    return out;
+}
+
+AdvertiserProfile estimote_profile() {
+    AdvertiserProfile p;
+    p.name = "Estimote";
+    p.interval_s = 0.1;
+    p.tx_power_dbm = -4.0;
+    p.measured_power_dbm = -62;
+    p.tx_power_jitter_db = 0.25;
+    p.format = BeaconFormat::ibeacon;
+    return p;
+}
+
+AdvertiserProfile radbeacon_profile() {
+    AdvertiserProfile p;
+    p.name = "RadBeacon";
+    p.interval_s = 0.1;
+    p.tx_power_dbm = -3.0;
+    p.measured_power_dbm = -61;
+    p.tx_power_jitter_db = 0.3;
+    p.format = BeaconFormat::altbeacon;
+    return p;
+}
+
+AdvertiserProfile ios_device_profile() {
+    AdvertiserProfile p;
+    p.name = "iOS device";
+    // Smart devices pack the antenna tighter (Sec. 7.6.3): slightly noisier
+    // transmit chain.
+    p.interval_s = 0.1;
+    p.tx_power_dbm = -6.0;
+    p.measured_power_dbm = -65;
+    p.tx_power_jitter_db = 0.8;
+    p.format = BeaconFormat::ibeacon;
+    return p;
+}
+
+}  // namespace locble::ble

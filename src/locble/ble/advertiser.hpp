@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locble/ble/frames.hpp"
+#include "locble/ble/pdu.hpp"
+#include "locble/common/rng.hpp"
+
+namespace locble::ble {
+
+/// One on-air transmission of an advertising PDU on one channel.
+struct Transmission {
+    double t{0.0};  ///< seconds
+    AdvChannel channel{AdvChannel::ch37};
+    std::uint64_t advertiser_id{0};
+    AdvertisingPdu pdu;
+};
+
+/// Hardware profile of a beacon — captures the chipset differences Fig. 14
+/// measures (dedicated beacons vs smart-device-integrated beacons).
+struct AdvertiserProfile {
+    std::string name{"generic"};
+    double interval_s{0.1};       ///< advertising interval (10 Hz, Sec. 7.2)
+    double tx_power_dbm{0.0};     ///< radiated power
+    int measured_power_dbm{-59};  ///< calibrated 1 m RSSI carried in the frame
+    double tx_power_jitter_db{0.3};  ///< per-packet transmit power wobble
+    BeaconFormat format{BeaconFormat::ibeacon};
+};
+
+/// Simulated BLE beacon advertiser.
+///
+/// Each advertising event transmits the same PDU on channels 37, 38, 39 in
+/// the fixed hop sequence with ~0.4 ms spacing; events are separated by the
+/// advertising interval plus the spec's 0-10 ms pseudo-random advDelay.
+class Advertiser {
+public:
+    Advertiser(std::uint64_t id, const AdvertiserProfile& profile);
+
+    /// All transmissions in [t0, t1). Deterministic for a given Rng state.
+    std::vector<Transmission> transmissions(double t0, double t1, locble::Rng& rng) const;
+
+    std::uint64_t id() const { return id_; }
+    const AdvertiserProfile& profile() const { return profile_; }
+    const AdvertisingPdu& pdu() const { return pdu_; }
+
+private:
+    std::uint64_t id_;
+    AdvertiserProfile profile_;
+    AdvertisingPdu pdu_;
+};
+
+/// Ready-made profiles mirroring the paper's targets (Sec. 7.2, Fig. 14).
+AdvertiserProfile estimote_profile();
+AdvertiserProfile radbeacon_profile();
+AdvertiserProfile ios_device_profile();
+
+}  // namespace locble::ble

@@ -1,0 +1,210 @@
+#include "locble/ble/frames.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace locble::ble {
+
+namespace {
+
+constexpr std::uint16_t kAppleCompanyId = 0x004C;
+constexpr std::uint8_t kIBeaconType = 0x02;
+constexpr std::uint8_t kIBeaconLength = 0x15;  // 21 bytes follow
+constexpr std::uint16_t kEddystoneServiceUuid = 0xFEAA;
+constexpr std::uint8_t kEddystoneUidFrameType = 0x00;
+constexpr std::uint16_t kAltBeaconCode = 0xBEAC;
+
+AdStructure flags_ad() {
+    // LE General Discoverable, BR/EDR not supported.
+    return {kAdTypeFlags, {0x06}};
+}
+
+}  // namespace
+
+std::string Uuid128::str() const {
+    char buf[37];
+    std::snprintf(buf, sizeof buf,
+                  "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-"
+                  "%02x%02x%02x%02x%02x%02x",
+                  bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6],
+                  bytes[7], bytes[8], bytes[9], bytes[10], bytes[11], bytes[12],
+                  bytes[13], bytes[14], bytes[15]);
+    return buf;
+}
+
+Uuid128 Uuid128::from_string(const std::string& s) {
+    Uuid128 u;
+    if (s.size() != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-')
+        throw std::runtime_error("Uuid128: bad format '" + s + "'");
+    std::size_t byte = 0;
+    for (std::size_t i = 0; i < s.size() && byte < 16;) {
+        if (s[i] == '-') {
+            ++i;
+            continue;
+        }
+        const auto hex = [&](char c) -> int {
+            if (c >= '0' && c <= '9') return c - '0';
+            if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+            if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+            throw std::runtime_error("Uuid128: bad hex digit");
+        };
+        u.bytes[byte++] = static_cast<std::uint8_t>(hex(s[i]) * 16 + hex(s[i + 1]));
+        i += 2;
+    }
+    return u;
+}
+
+Uuid128 Uuid128::from_id(std::uint64_t id) {
+    Uuid128 u;
+    std::uint64_t h = id;
+    for (int word = 0; word < 2; ++word) {
+        h = h * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull;
+        std::uint64_t v = h ^ (h >> 29);
+        for (int i = 0; i < 8; ++i)
+            u.bytes[word * 8 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    return u;
+}
+
+std::vector<std::uint8_t> encode_ibeacon(const IBeaconFrame& frame) {
+    AdStructure mfg;
+    mfg.type = kAdTypeManufacturerData;
+    mfg.data = {static_cast<std::uint8_t>(kAppleCompanyId & 0xFF),
+                static_cast<std::uint8_t>(kAppleCompanyId >> 8), kIBeaconType,
+                kIBeaconLength};
+    mfg.data.insert(mfg.data.end(), frame.uuid.bytes.begin(), frame.uuid.bytes.end());
+    mfg.data.push_back(static_cast<std::uint8_t>(frame.major >> 8));
+    mfg.data.push_back(static_cast<std::uint8_t>(frame.major & 0xFF));
+    mfg.data.push_back(static_cast<std::uint8_t>(frame.minor >> 8));
+    mfg.data.push_back(static_cast<std::uint8_t>(frame.minor & 0xFF));
+    mfg.data.push_back(static_cast<std::uint8_t>(frame.measured_power));
+    return build_ad_payload({flags_ad(), mfg});
+}
+
+std::optional<IBeaconFrame> decode_ibeacon(const std::vector<std::uint8_t>& payload) {
+    for (const auto& ad : parse_ad_structures(payload)) {
+        if (ad.type != kAdTypeManufacturerData || ad.data.size() != 25) continue;
+        const std::uint16_t company =
+            static_cast<std::uint16_t>(ad.data[0] | (ad.data[1] << 8));
+        if (company != kAppleCompanyId || ad.data[2] != kIBeaconType ||
+            ad.data[3] != kIBeaconLength)
+            continue;
+        IBeaconFrame f;
+        std::copy(ad.data.begin() + 4, ad.data.begin() + 20, f.uuid.bytes.begin());
+        f.major = static_cast<std::uint16_t>((ad.data[20] << 8) | ad.data[21]);
+        f.minor = static_cast<std::uint16_t>((ad.data[22] << 8) | ad.data[23]);
+        f.measured_power = static_cast<std::int8_t>(ad.data[24]);
+        return f;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::uint8_t> encode_eddystone_uid(const EddystoneUidFrame& frame) {
+    AdStructure svc;
+    svc.type = kAdTypeServiceData16;
+    svc.data = {static_cast<std::uint8_t>(kEddystoneServiceUuid & 0xFF),
+                static_cast<std::uint8_t>(kEddystoneServiceUuid >> 8),
+                kEddystoneUidFrameType, static_cast<std::uint8_t>(frame.tx_power)};
+    svc.data.insert(svc.data.end(), frame.namespace_id.begin(),
+                    frame.namespace_id.end());
+    svc.data.insert(svc.data.end(), frame.instance_id.begin(), frame.instance_id.end());
+    svc.data.push_back(0x00);  // RFU
+    svc.data.push_back(0x00);  // RFU
+    return build_ad_payload({flags_ad(), svc});
+}
+
+std::optional<EddystoneUidFrame> decode_eddystone_uid(
+    const std::vector<std::uint8_t>& payload) {
+    for (const auto& ad : parse_ad_structures(payload)) {
+        if (ad.type != kAdTypeServiceData16 || ad.data.size() < 20) continue;
+        const std::uint16_t uuid =
+            static_cast<std::uint16_t>(ad.data[0] | (ad.data[1] << 8));
+        if (uuid != kEddystoneServiceUuid || ad.data[2] != kEddystoneUidFrameType)
+            continue;
+        EddystoneUidFrame f;
+        f.tx_power = static_cast<std::int8_t>(ad.data[3]);
+        std::copy(ad.data.begin() + 4, ad.data.begin() + 14, f.namespace_id.begin());
+        std::copy(ad.data.begin() + 14, ad.data.begin() + 20, f.instance_id.begin());
+        return f;
+    }
+    return std::nullopt;
+}
+
+std::vector<std::uint8_t> encode_altbeacon(const AltBeaconFrame& frame) {
+    AdStructure mfg;
+    mfg.type = kAdTypeManufacturerData;
+    mfg.data = {static_cast<std::uint8_t>(frame.manufacturer_id & 0xFF),
+                static_cast<std::uint8_t>(frame.manufacturer_id >> 8),
+                static_cast<std::uint8_t>(kAltBeaconCode >> 8),
+                static_cast<std::uint8_t>(kAltBeaconCode & 0xFF)};
+    mfg.data.insert(mfg.data.end(), frame.beacon_id.begin(), frame.beacon_id.end());
+    mfg.data.push_back(static_cast<std::uint8_t>(frame.reference_rssi));
+    mfg.data.push_back(frame.mfg_reserved);
+    return build_ad_payload({mfg});
+}
+
+std::optional<AltBeaconFrame> decode_altbeacon(const std::vector<std::uint8_t>& payload) {
+    for (const auto& ad : parse_ad_structures(payload)) {
+        if (ad.type != kAdTypeManufacturerData || ad.data.size() != 26) continue;
+        const std::uint16_t code =
+            static_cast<std::uint16_t>((ad.data[2] << 8) | ad.data[3]);
+        if (code != kAltBeaconCode) continue;
+        AltBeaconFrame f;
+        f.manufacturer_id = static_cast<std::uint16_t>(ad.data[0] | (ad.data[1] << 8));
+        std::copy(ad.data.begin() + 4, ad.data.begin() + 24, f.beacon_id.begin());
+        f.reference_rssi = static_cast<std::int8_t>(ad.data[24]);
+        f.mfg_reserved = ad.data[25];
+        return f;
+    }
+    return std::nullopt;
+}
+
+AdvertisingPdu make_beacon_pdu(std::uint64_t id, BeaconFormat format,
+                               int measured_power_dbm) {
+    AdvertisingPdu pdu;
+    pdu.type = PduType::adv_nonconn_ind;
+    pdu.address = DeviceAddress::from_id(id);
+    const auto power = static_cast<std::int8_t>(measured_power_dbm);
+    switch (format) {
+        case BeaconFormat::ibeacon: {
+            IBeaconFrame f;
+            f.uuid = Uuid128::from_id(id);
+            f.major = static_cast<std::uint16_t>(id >> 16);
+            f.minor = static_cast<std::uint16_t>(id & 0xFFFF);
+            f.measured_power = power;
+            pdu.payload = encode_ibeacon(f);
+            break;
+        }
+        case BeaconFormat::eddystone_uid: {
+            EddystoneUidFrame f;
+            f.tx_power = power;
+            const Uuid128 u = Uuid128::from_id(id);
+            std::copy(u.bytes.begin(), u.bytes.begin() + 10, f.namespace_id.begin());
+            std::copy(u.bytes.begin() + 10, u.bytes.begin() + 16, f.instance_id.begin());
+            pdu.payload = encode_eddystone_uid(f);
+            break;
+        }
+        case BeaconFormat::altbeacon: {
+            AltBeaconFrame f;
+            const Uuid128 u = Uuid128::from_id(id);
+            std::copy(u.bytes.begin(), u.bytes.end(), f.beacon_id.begin());
+            f.beacon_id[16] = static_cast<std::uint8_t>(id >> 24);
+            f.beacon_id[17] = static_cast<std::uint8_t>(id >> 16);
+            f.beacon_id[18] = static_cast<std::uint8_t>(id >> 8);
+            f.beacon_id[19] = static_cast<std::uint8_t>(id);
+            f.reference_rssi = power;
+            pdu.payload = encode_altbeacon(f);
+            break;
+        }
+    }
+    return pdu;
+}
+
+std::optional<int> beacon_measured_power(const std::vector<std::uint8_t>& payload) {
+    if (auto ib = decode_ibeacon(payload)) return ib->measured_power;
+    if (auto ab = decode_altbeacon(payload)) return ab->reference_rssi;
+    if (auto ed = decode_eddystone_uid(payload)) return ed->tx_power;
+    return std::nullopt;
+}
+
+}  // namespace locble::ble

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "locble/ble/pdu.hpp"
+
+namespace locble::ble {
+
+/// 128-bit proximity UUID.
+struct Uuid128 {
+    std::array<std::uint8_t, 16> bytes{};
+
+    bool operator==(const Uuid128&) const = default;
+    auto operator<=>(const Uuid128&) const = default;
+
+    std::string str() const;  ///< canonical 8-4-4-4-12 form
+    static Uuid128 from_string(const std::string& s);  ///< throws on bad format
+    static Uuid128 from_id(std::uint64_t id);          ///< deterministic sim UUID
+};
+
+/// Apple iBeacon advertisement content.
+struct IBeaconFrame {
+    Uuid128 uuid{};
+    std::uint16_t major{0};
+    std::uint16_t minor{0};
+    /// Calibrated RSSI at 1 m, dBm (two's complement on air).
+    std::int8_t measured_power{-59};
+};
+
+/// Google Eddystone-UID advertisement content.
+struct EddystoneUidFrame {
+    /// Calibrated TX power at 0 m, dBm.
+    std::int8_t tx_power{-20};
+    std::array<std::uint8_t, 10> namespace_id{};
+    std::array<std::uint8_t, 6> instance_id{};
+};
+
+/// AltBeacon (open spec) advertisement content.
+struct AltBeaconFrame {
+    std::uint16_t manufacturer_id{0x0118};  ///< Radius Networks
+    std::array<std::uint8_t, 20> beacon_id{};
+    std::int8_t reference_rssi{-59};  ///< calibrated RSSI at 1 m
+    std::uint8_t mfg_reserved{0};
+};
+
+/// Encode each frame as a complete AdvData payload (flags + vendor AD),
+/// ready to drop into an AdvertisingPdu.
+std::vector<std::uint8_t> encode_ibeacon(const IBeaconFrame& frame);
+std::vector<std::uint8_t> encode_eddystone_uid(const EddystoneUidFrame& frame);
+std::vector<std::uint8_t> encode_altbeacon(const AltBeaconFrame& frame);
+
+/// Decode an AdvData payload; nullopt when the payload is well-formed BLE
+/// but not this beacon format. Throws std::runtime_error on malformed AD
+/// structures.
+std::optional<IBeaconFrame> decode_ibeacon(const std::vector<std::uint8_t>& payload);
+std::optional<EddystoneUidFrame> decode_eddystone_uid(
+    const std::vector<std::uint8_t>& payload);
+std::optional<AltBeaconFrame> decode_altbeacon(const std::vector<std::uint8_t>& payload);
+
+/// The beacon frame families the simulator can emit.
+enum class BeaconFormat { ibeacon, eddystone_uid, altbeacon };
+
+/// Build a full non-connectable advertising PDU for beacon `id` in the given
+/// format, with the calibrated 1 m power field set to `measured_power_dbm`.
+AdvertisingPdu make_beacon_pdu(std::uint64_t id, BeaconFormat format,
+                               int measured_power_dbm);
+
+/// Extract the calibrated power field from any supported beacon payload;
+/// nullopt if the payload is not a recognized beacon frame.
+std::optional<int> beacon_measured_power(const std::vector<std::uint8_t>& payload);
+
+}  // namespace locble::ble

@@ -1,0 +1,106 @@
+#include "locble/ble/pdu.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace locble::ble {
+
+bool is_connectable(PduType type) {
+    switch (type) {
+        case PduType::adv_ind:
+        case PduType::adv_direct_ind:
+            return true;
+        default:
+            return false;
+    }
+}
+
+std::string DeviceAddress::str() const {
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1],
+                  bytes[2], bytes[3], bytes[4], bytes[5]);
+    return buf;
+}
+
+DeviceAddress DeviceAddress::from_string(const std::string& s) {
+    DeviceAddress a;
+    unsigned v[6];
+    if (std::sscanf(s.c_str(), "%2x:%2x:%2x:%2x:%2x:%2x", &v[0], &v[1], &v[2], &v[3],
+                    &v[4], &v[5]) != 6)
+        throw std::runtime_error("DeviceAddress: bad format '" + s + "'");
+    for (int i = 0; i < 6; ++i) a.bytes[i] = static_cast<std::uint8_t>(v[i]);
+    return a;
+}
+
+DeviceAddress DeviceAddress::from_id(std::uint64_t id) {
+    // Mix so small consecutive ids do not produce near-identical addresses.
+    std::uint64_t h = id * 0x9e3779b97f4a7c15ull + 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 31;
+    DeviceAddress a;
+    for (int i = 0; i < 6; ++i) a.bytes[i] = static_cast<std::uint8_t>(h >> (8 * i));
+    a.bytes[0] |= 0xC0;  // static random address prefix
+    return a;
+}
+
+std::vector<std::uint8_t> AdvertisingPdu::serialize() const {
+    if (payload.size() > 31)
+        throw std::runtime_error("AdvertisingPdu: payload exceeds 31 bytes");
+    std::vector<std::uint8_t> out;
+    out.reserve(2 + 6 + payload.size());
+    std::uint8_t header = static_cast<std::uint8_t>(type) & 0x0F;
+    if (tx_addr_random) header |= 0x40;  // TxAdd bit
+    out.push_back(header);
+    out.push_back(static_cast<std::uint8_t>(6 + payload.size()));
+    out.insert(out.end(), address.bytes.begin(), address.bytes.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+AdvertisingPdu AdvertisingPdu::parse(const std::vector<std::uint8_t>& bytes) {
+    if (bytes.size() < 8) throw std::runtime_error("AdvertisingPdu: truncated header");
+    AdvertisingPdu pdu;
+    pdu.type = static_cast<PduType>(bytes[0] & 0x0F);
+    pdu.tx_addr_random = (bytes[0] & 0x40) != 0;
+    const std::uint8_t length = bytes[1];
+    if (length < 6 || length > 37)
+        throw std::runtime_error("AdvertisingPdu: bad length field");
+    if (bytes.size() != static_cast<std::size_t>(length) + 2)
+        throw std::runtime_error("AdvertisingPdu: length/size mismatch");
+    std::copy(bytes.begin() + 2, bytes.begin() + 8, pdu.address.bytes.begin());
+    pdu.payload.assign(bytes.begin() + 8, bytes.end());
+    return pdu;
+}
+
+std::vector<AdStructure> parse_ad_structures(const std::vector<std::uint8_t>& payload) {
+    std::vector<AdStructure> out;
+    std::size_t i = 0;
+    while (i < payload.size()) {
+        const std::uint8_t len = payload[i];
+        if (len == 0) throw std::runtime_error("AD structure: zero length");
+        if (i + 1 + len > payload.size())
+            throw std::runtime_error("AD structure: truncated");
+        AdStructure ad;
+        ad.type = payload[i + 1];
+        ad.data.assign(payload.begin() + static_cast<long>(i) + 2,
+                       payload.begin() + static_cast<long>(i) + 1 + len);
+        out.push_back(std::move(ad));
+        i += 1 + len;
+    }
+    return out;
+}
+
+std::vector<std::uint8_t> build_ad_payload(const std::vector<AdStructure>& structures) {
+    std::vector<std::uint8_t> out;
+    for (const auto& ad : structures) {
+        if (ad.data.size() + 1 > 255)
+            throw std::runtime_error("AD structure: data too long");
+        out.push_back(static_cast<std::uint8_t>(ad.data.size() + 1));
+        out.push_back(ad.type);
+        out.insert(out.end(), ad.data.begin(), ad.data.end());
+    }
+    if (out.size() > 31)
+        throw std::runtime_error("AdvData payload exceeds 31 bytes");
+    return out;
+}
+
+}  // namespace locble::ble

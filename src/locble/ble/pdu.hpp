@@ -1,0 +1,81 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locble::ble {
+
+/// BLE advertising channel indices. Advertising hops over the three
+/// dedicated 2 MHz channels 37/38/39 in a fixed sequence (Sec. 2.2).
+enum class AdvChannel : std::uint8_t { ch37 = 37, ch38 = 38, ch39 = 39 };
+
+constexpr std::array<AdvChannel, 3> kAdvChannels{AdvChannel::ch37, AdvChannel::ch38,
+                                                 AdvChannel::ch39};
+
+/// Advertising-channel PDU types (BLE 4.2 spec Vol 6 Part B 2.3); the low
+/// 4 bits of the PDU header. The type determines connectability — the
+/// property LocBLE inspects to target non-connectable beacons.
+enum class PduType : std::uint8_t {
+    adv_ind = 0x0,          ///< connectable undirected
+    adv_direct_ind = 0x1,   ///< connectable directed
+    adv_nonconn_ind = 0x2,  ///< non-connectable undirected (beacons)
+    scan_req = 0x3,
+    scan_rsp = 0x4,
+    connect_req = 0x5,
+    adv_scan_ind = 0x6,     ///< scannable undirected
+};
+
+/// Whether a PDU type accepts connections. Non-connectable beacons extend
+/// battery life; LocBLE locates those (Sec. 2.2).
+bool is_connectable(PduType type);
+
+/// 48-bit device address.
+struct DeviceAddress {
+    std::array<std::uint8_t, 6> bytes{};
+
+    bool operator==(const DeviceAddress&) const = default;
+    auto operator<=>(const DeviceAddress&) const = default;
+
+    std::string str() const;                     ///< "aa:bb:cc:dd:ee:ff"
+    static DeviceAddress from_string(const std::string& s);  ///< throws on bad format
+    /// Deterministic pseudo-address derived from an integer id (for sims).
+    static DeviceAddress from_id(std::uint64_t id);
+};
+
+/// An advertising-channel PDU: 2-byte header (type, TxAdd, length) + AdvA
+/// + AdvData payload.
+struct AdvertisingPdu {
+    PduType type{PduType::adv_nonconn_ind};
+    bool tx_addr_random{true};
+    DeviceAddress address{};
+    std::vector<std::uint8_t> payload;  ///< AdvData: sequence of AD structures
+
+    /// Serialize to air format: header, AdvA, AdvData.
+    std::vector<std::uint8_t> serialize() const;
+    /// Parse from air format; throws std::runtime_error on truncated or
+    /// inconsistent input (bad length byte, payload > 31 bytes).
+    static AdvertisingPdu parse(const std::vector<std::uint8_t>& bytes);
+};
+
+/// One AD (advertising data) structure: length, type, data.
+struct AdStructure {
+    std::uint8_t type{0};
+    std::vector<std::uint8_t> data;
+};
+
+/// Split an AdvData payload into AD structures; throws std::runtime_error
+/// on malformed lengths.
+std::vector<AdStructure> parse_ad_structures(const std::vector<std::uint8_t>& payload);
+
+/// Concatenate AD structures back into an AdvData payload. Throws when the
+/// result would exceed the legacy 31-byte advertising payload limit.
+std::vector<std::uint8_t> build_ad_payload(const std::vector<AdStructure>& structures);
+
+// Common AD types.
+inline constexpr std::uint8_t kAdTypeFlags = 0x01;
+inline constexpr std::uint8_t kAdTypeServiceData16 = 0x16;
+inline constexpr std::uint8_t kAdTypeManufacturerData = 0xFF;
+
+}  // namespace locble::ble

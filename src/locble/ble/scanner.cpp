@@ -1,0 +1,65 @@
+#include "locble/ble/scanner.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locble::ble {
+
+Scanner::Scanner(const Config& cfg) : cfg_(cfg) {
+    if (cfg.scan_interval_s <= 0.0)
+        throw std::invalid_argument("Scanner: scan interval must be positive");
+    if (cfg.scan_window_s <= 0.0 || cfg.scan_window_s > cfg.scan_interval_s)
+        throw std::invalid_argument("Scanner: window must lie in (0, interval]");
+}
+
+std::vector<ScanReport> Scanner::receive(const std::vector<Transmission>& transmissions,
+                                         locble::Rng& rng) const {
+    std::vector<ScanReport> out;
+    if (transmissions.empty()) return out;
+    const double t0 = transmissions.front().t;
+    for (const auto& tx : transmissions) {
+        // Which scan interval does this transmission land in, and where?
+        const double rel = tx.t - t0;
+        const auto slot = static_cast<std::int64_t>(std::floor(rel / cfg_.scan_interval_s));
+        const double in_slot = rel - static_cast<double>(slot) * cfg_.scan_interval_s;
+        if (in_slot > cfg_.scan_window_s) continue;  // radio idle (duty cycling)
+        // Channel rotation: one advertising channel per interval.
+        const auto listening = kAdvChannels[static_cast<std::size_t>(slot % 3)];
+        if (listening != tx.channel) continue;
+        if (rng.chance(cfg_.receiver.loss_probability)) continue;  // CRC/interference
+        out.push_back({tx.t, tx.channel, tx.advertiser_id, tx.pdu.address, tx.pdu.payload});
+    }
+    return out;
+}
+
+ReceiverProfile iphone5s_receiver() {
+    ReceiverProfile r;
+    r.name = "iPhone 5s";
+    r.rssi_offset_db = 0.0;
+    r.rssi_noise_db = 1.4;
+    r.quantization_db = 1.0;
+    r.loss_probability = 0.10;
+    return r;
+}
+
+ReceiverProfile nexus5x_receiver() {
+    ReceiverProfile r;
+    r.name = "Nexus 5x";
+    r.rssi_offset_db = -6.0;
+    r.rssi_noise_db = 1.8;
+    r.quantization_db = 1.0;
+    r.loss_probability = 0.16;
+    return r;
+}
+
+ReceiverProfile nexus6_receiver() {
+    ReceiverProfile r;
+    r.name = "Moto Nexus 6";
+    r.rssi_offset_db = 4.0;
+    r.rssi_noise_db = 1.6;
+    r.quantization_db = 1.0;
+    r.loss_probability = 0.13;
+    return r;
+}
+
+}  // namespace locble::ble

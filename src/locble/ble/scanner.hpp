@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "locble/ble/advertiser.hpp"
+#include "locble/common/rng.hpp"
+
+namespace locble::ble {
+
+/// One delivered scan report — what a smartphone BLE API (CoreBluetooth /
+/// BluetoothLeScanner) hands to the application. RSSI is filled in later by
+/// the channel model; the scanner itself only decides *which* transmissions
+/// are heard.
+struct ScanReport {
+    double t{0.0};
+    AdvChannel channel{AdvChannel::ch37};
+    std::uint64_t advertiser_id{0};
+    DeviceAddress address{};
+    std::vector<std::uint8_t> payload;
+};
+
+/// Receiver chipset profile — models the per-phone RSSI offsets and
+/// quantization Fig. 2 shows, and the BCM4334-class +-5 dB accuracy from
+/// Sec. 2.4.
+struct ReceiverProfile {
+    std::string name{"generic"};
+    double rssi_offset_db{0.0};    ///< systematic chipset offset
+    double rssi_noise_db{1.5};     ///< measurement noise std (CMOS/thermal)
+    double quantization_db{1.0};   ///< RSSI reporting step
+    double loss_probability{0.1};  ///< CRC/interference packet loss
+};
+
+/// Simulated BLE scanner with interval/window duty cycling and channel
+/// rotation.
+///
+/// The scanner listens on one advertising channel at a time, rotating
+/// channels every scan interval; a transmission is heard when it lands
+/// inside the scan window on the listened channel and survives random loss.
+class Scanner {
+public:
+    struct Config {
+        double scan_interval_s{0.1};
+        double scan_window_s{0.1};  ///< == interval -> continuous scanning
+        ReceiverProfile receiver{};
+    };
+
+    explicit Scanner(const Config& cfg);
+
+    /// Filter `transmissions` (must be time-sorted) down to delivered scan
+    /// reports. Deterministic given the Rng state.
+    std::vector<ScanReport> receive(const std::vector<Transmission>& transmissions,
+                                    locble::Rng& rng) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+/// Receiver profiles for the phones in Fig. 2.
+ReceiverProfile iphone5s_receiver();
+ReceiverProfile nexus5x_receiver();
+ReceiverProfile nexus6_receiver();
+
+}  // namespace locble::ble

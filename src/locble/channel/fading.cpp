@@ -1,0 +1,96 @@
+#include "locble/channel/fading.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "locble/common/units.hpp"
+
+namespace locble::channel {
+
+FadingProcess::FadingProcess(double k_db, double coherence_distance_m, locble::Rng rng)
+    : k_db_(k_db), coherence_m_(coherence_distance_m), rng_(rng) {}
+
+double FadingProcess::step(double moved_m) {
+    // Scattered power sigma^2 per quadrature such that E[|scatter|^2] = 1.
+    constexpr double kQuadratureSigma = 0.7071067811865476;  // 1/sqrt(2)
+    if (!initialized_) {
+        in_phase_ = rng_.gaussian(0.0, kQuadratureSigma);
+        quadrature_ = rng_.gaussian(0.0, kQuadratureSigma);
+        initialized_ = true;
+    } else {
+        const double rho = std::exp(-std::abs(moved_m) / coherence_m_);
+        const double innov = kQuadratureSigma * std::sqrt(1.0 - rho * rho);
+        in_phase_ = rho * in_phase_ + rng_.gaussian(0.0, innov);
+        quadrature_ = rho * quadrature_ + rng_.gaussian(0.0, innov);
+    }
+
+    const double k = locble::db_to_ratio(k_db_);
+    // Normalize total mean power to 1: specular amplitude and scatter scale.
+    const double specular = std::sqrt(k / (k + 1.0));
+    const double scatter_scale = std::sqrt(1.0 / (k + 1.0));
+    const double re = specular + scatter_scale * in_phase_;
+    const double im = scatter_scale * quadrature_;
+    const double power = re * re + im * im;
+    constexpr double kFloor = 1e-6;  // -60 dB deep-fade floor
+    return locble::ratio_to_db(std::max(power, kFloor));
+}
+
+ShadowingProcess::ShadowingProcess(double sigma_db, double decorrelation_m,
+                                   locble::Rng rng)
+    : sigma_db_(sigma_db), decorrelation_m_(decorrelation_m), rng_(rng) {}
+
+double ShadowingProcess::step(double moved_m) {
+    if (!initialized_) {
+        value_ = rng_.gaussian(0.0, 1.0);
+        initialized_ = true;
+        return value_ * sigma_db_;
+    }
+    const double rho = std::exp(-std::abs(moved_m) / decorrelation_m_);
+    value_ = rho * value_ + rng_.gaussian(0.0, std::sqrt(1.0 - rho * rho));
+    return value_ * sigma_db_;
+}
+
+ShadowingField::ShadowingField(double correlation_length_m, locble::Rng rng,
+                               std::size_t num_waves) {
+    waves_.reserve(num_waves);
+    // Rayleigh-distributed wavenumbers give an approximately Gaussian
+    // spatial autocorrelation with the requested correlation length.
+    const double k_scale = 1.0 / std::max(correlation_length_m, 1e-3);
+    for (std::size_t i = 0; i < num_waves; ++i) {
+        const double k = rng.rayleigh(k_scale);
+        const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        waves_.push_back({k * std::cos(theta), k * std::sin(theta),
+                          rng.uniform(0.0, 2.0 * std::numbers::pi)});
+    }
+    amplitude_ = std::sqrt(2.0 / static_cast<double>(num_waves));
+}
+
+double ShadowingField::at(const locble::Vec2& p) const {
+    double s = 0.0;
+    for (const auto& w : waves_) s += std::cos(w.kx * p.x + w.ky * p.y + w.phase);
+    return amplitude_ * s;
+}
+
+double ShadowingField::link_shadow_db(const locble::Vec2& tx, const locble::Vec2& rx,
+                                      double sigma_db) const {
+    // Evaluate at the path midpoint: shadowing is dominated by the clutter
+    // the path crosses. Co-located transmitters to the same receiver share
+    // midpoints (correlated shadow, what DTW clustering keys on) while
+    // well-separated transmitters decorrelate with half their separation.
+    return sigma_db * at((tx + rx) * 0.5);
+}
+
+std::array<double, 3> draw_channel_offsets(double spread_db, locble::Rng& rng) {
+    std::array<double, 3> out{};
+    double sum = 0.0;
+    for (auto& v : out) {
+        v = rng.gaussian(0.0, spread_db);
+        sum += v;
+    }
+    // Zero-mean across channels so the offsets redistribute rather than
+    // shift total received power.
+    for (auto& v : out) v -= sum / 3.0;
+    return out;
+}
+
+}  // namespace locble::channel

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "locble/channel/pathloss.hpp"
+#include "locble/common/vec2.hpp"
+#include "locble/common/rng.hpp"
+
+namespace locble::channel {
+
+/// Spatially correlated Rician/Rayleigh fast fading for one radio link on
+/// one advertising channel.
+///
+/// The scattered component is a complex Gaussian whose in-phase and
+/// quadrature parts evolve as an AR(1) process over *distance moved*, so a
+/// stationary observer sees a nearly static fade while a walking observer
+/// decorrelates within half a wavelength — exactly the "low channel
+/// coherence time due to user movements" ANF must smooth (Sec. 4.3).
+class FadingProcess {
+public:
+    /// `k_db`: Rician K factor (ratio of specular to scattered power);
+    /// values below about -30 dB behave as pure Rayleigh.
+    FadingProcess(double k_db, double coherence_distance_m, locble::Rng rng);
+
+    /// Advance by `moved_m` metres of relative motion and return the fading
+    /// gain in dB (0 dB = no fade).
+    double step(double moved_m);
+
+    /// Change the K factor (e.g. the link transitioned LOS -> NLOS).
+    void set_k_db(double k_db) { k_db_ = k_db; }
+    double k_db() const { return k_db_; }
+
+private:
+    double k_db_;
+    double coherence_m_;
+    locble::Rng rng_;
+    double in_phase_{0.0};
+    double quadrature_{0.0};
+    bool initialized_{false};
+};
+
+/// Lognormal shadowing, AR(1)-correlated over distance moved with the
+/// configured decorrelation distance (Gudmundson model).
+class ShadowingProcess {
+public:
+    ShadowingProcess(double sigma_db, double decorrelation_m, locble::Rng rng);
+
+    /// Advance by `moved_m` metres and return the shadowing term in dB.
+    double step(double moved_m);
+
+    void set_sigma_db(double sigma_db) { sigma_db_ = sigma_db; }
+    double sigma_db() const { return sigma_db_; }
+
+private:
+    double sigma_db_;
+    double decorrelation_m_;
+    locble::Rng rng_;
+    double value_{0.0};
+    bool initialized_{false};
+};
+
+/// A smooth, zero-mean, unit-variance Gaussian random field over the site
+/// plane (sum-of-random-cosines construction) with the given correlation
+/// length. Shadowing is modelled as sigma * (f(tx) + f(rx)) / sqrt(2): it is
+/// a property of *where* the endpoints are, so two co-located beacons see
+/// nearly identical shadowing toward the same phone — the shared large-scale
+/// structure LocBLE's DTW clustering keys on (Sec. 6.1).
+class ShadowingField {
+public:
+    ShadowingField(double correlation_length_m, locble::Rng rng,
+                   std::size_t num_waves = 64);
+
+    /// Field value at a position (unit variance across space).
+    double at(const locble::Vec2& p) const;
+
+    /// Shadowing in dB for a link between `tx` and `rx`.
+    double link_shadow_db(const locble::Vec2& tx, const locble::Vec2& rx,
+                          double sigma_db) const;
+
+private:
+    struct Wave {
+        double kx{0.0};
+        double ky{0.0};
+        double phase{0.0};
+    };
+    std::vector<Wave> waves_;
+    double amplitude_{0.0};
+};
+
+/// Static per-(link, channel) gain offsets modelling frequency-selective
+/// fading across the three widely spaced advertising channels
+/// (2402/2426/2480 MHz): each channel of a link sees a different standing-
+/// wave pattern, so a fixed draw per channel captures the inter-channel
+/// RSSI spread (Sec. 2.2).
+std::array<double, 3> draw_channel_offsets(double spread_db, locble::Rng& rng);
+
+}  // namespace locble::channel

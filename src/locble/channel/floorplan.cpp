@@ -1,0 +1,85 @@
+#include "locble/channel/floorplan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locble::channel {
+
+namespace {
+
+/// Append the wall from `a` to `b`, split by a door at [offset,
+/// offset+width) along it when offset >= 0.
+void emit_side(std::vector<Wall>& out, const locble::Vec2& a, const locble::Vec2& b,
+               double door_offset, double door_width, const RoomSpec& spec) {
+    const double len = locble::Vec2::distance(a, b);
+    const locble::Vec2 dir = (b - a) / len;
+    const auto wall = [&](const locble::Vec2& from, const locble::Vec2& to) {
+        if (locble::Vec2::distance(from, to) < 1e-9) return;
+        out.push_back({from, to, spec.blockage, spec.attenuation_db, spec.label});
+    };
+    if (door_offset < 0.0) {
+        wall(a, b);
+        return;
+    }
+    if (door_offset + door_width > len + 1e-9)
+        throw std::invalid_argument("make_room: door wider than its wall");
+    wall(a, a + dir * door_offset);
+    wall(a + dir * (door_offset + door_width), b);
+}
+
+}  // namespace
+
+std::vector<Wall> make_room(const RoomSpec& spec) {
+    if (spec.width <= 0.0 || spec.height <= 0.0)
+        throw std::invalid_argument("make_room: non-positive dimensions");
+    const locble::Vec2 o = spec.origin;
+    const locble::Vec2 br{o.x + spec.width, o.y};
+    const locble::Vec2 tr{o.x + spec.width, o.y + spec.height};
+    const locble::Vec2 tl{o.x, o.y + spec.height};
+
+    std::vector<Wall> out;
+    emit_side(out, o, br, spec.door_offset[0], spec.door_width, spec);   // bottom
+    emit_side(out, br, tr, spec.door_offset[1], spec.door_width, spec);  // right
+    emit_side(out, tr, tl, spec.door_offset[2], spec.door_width, spec);  // top
+    emit_side(out, tl, o, spec.door_offset[3], spec.door_width, spec);   // left
+    return out;
+}
+
+std::vector<Wall> make_shelf_row(const locble::Vec2& start, const locble::Vec2& end,
+                                 int segments, double gap_fraction,
+                                 double attenuation_db, const std::string& label) {
+    if (segments < 1) throw std::invalid_argument("make_shelf_row: need >= 1 segment");
+    if (gap_fraction < 0.0 || gap_fraction >= 1.0)
+        throw std::invalid_argument("make_shelf_row: gap fraction outside [0,1)");
+    const locble::Vec2 span = end - start;
+    std::vector<Wall> out;
+    const double pitch = 1.0 / segments;
+    const double shelf = pitch * (1.0 - gap_fraction);
+    for (int i = 0; i < segments; ++i) {
+        const double t0 = i * pitch;
+        out.push_back({start + span * t0, start + span * (t0 + shelf),
+                       BlockageClass::heavy, attenuation_db,
+                       label + " #" + std::to_string(i + 1)});
+    }
+    return out;
+}
+
+std::vector<DiskBlocker> scatter_furniture(double width, double height, int count,
+                                           double margin, locble::Rng& rng) {
+    if (count < 0) throw std::invalid_argument("scatter_furniture: negative count");
+    std::vector<DiskBlocker> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        DiskBlocker d;
+        d.center = {rng.uniform(margin, width - margin),
+                    rng.uniform(margin, height - margin)};
+        d.radius = rng.uniform(0.25, 0.6);
+        d.blockage = BlockageClass::light;
+        d.attenuation_db = rng.uniform(1.5, 3.5);
+        d.label = "furniture #" + std::to_string(i + 1);
+        out.push_back(d);
+    }
+    return out;
+}
+
+}  // namespace locble::channel

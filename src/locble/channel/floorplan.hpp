@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "locble/channel/obstacles.hpp"
+#include "locble/channel/propagation.hpp"
+
+namespace locble::channel {
+
+/// Helpers for assembling SiteModel geometry from floor-plan primitives —
+/// rooms with doorways, shelf rows, furniture groups. Used to build the
+/// Table-1 scenario layouts and custom sites for new experiments.
+
+/// Four walls of an axis-aligned room with optional door gaps. A gap is
+/// specified per wall side as [offset, offset+width) along that wall; pass
+/// a negative offset for a solid wall.
+struct RoomSpec {
+    locble::Vec2 origin;       ///< lower-left corner
+    double width{4.0};
+    double height{4.0};
+    BlockageClass blockage{BlockageClass::heavy};
+    double attenuation_db{9.0};
+    std::string label{"room"};
+    /// Door gap on each side (bottom, right, top, left); negative = none.
+    double door_offset[4]{-1.0, -1.0, -1.0, -1.0};
+    double door_width{0.9};
+};
+
+/// Emit the wall segments of `room` (2 segments per side with a door, 1
+/// otherwise). Throws std::invalid_argument for non-positive dimensions or
+/// a door wider than its wall.
+std::vector<Wall> make_room(const RoomSpec& spec);
+
+/// A row of shelf/rack segments along a line, with aisle gaps between
+/// segments (retail layouts, the Store scenario's generalization).
+std::vector<Wall> make_shelf_row(const locble::Vec2& start, const locble::Vec2& end,
+                                 int segments, double gap_fraction,
+                                 double attenuation_db, const std::string& label);
+
+/// Scatter `count` light furniture disks uniformly inside the rectangle,
+/// keeping `margin` clear of the edges. Deterministic for an Rng state.
+std::vector<DiskBlocker> scatter_furniture(double width, double height, int count,
+                                           double margin, locble::Rng& rng);
+
+}  // namespace locble::channel

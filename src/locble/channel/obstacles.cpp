@@ -1,0 +1,79 @@
+#include "locble/channel/obstacles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locble::channel {
+
+namespace {
+
+int orientation(const locble::Vec2& a, const locble::Vec2& b, const locble::Vec2& c) {
+    const double v = (b - a).cross(c - a);
+    constexpr double kEps = 1e-12;
+    if (v > kEps) return 1;
+    if (v < -kEps) return -1;
+    return 0;
+}
+
+bool on_segment(const locble::Vec2& a, const locble::Vec2& b, const locble::Vec2& p) {
+    return std::min(a.x, b.x) - 1e-12 <= p.x && p.x <= std::max(a.x, b.x) + 1e-12 &&
+           std::min(a.y, b.y) - 1e-12 <= p.y && p.y <= std::max(a.y, b.y) + 1e-12;
+}
+
+}  // namespace
+
+bool segments_intersect(const locble::Vec2& p, const locble::Vec2& q,
+                        const locble::Vec2& a, const locble::Vec2& b) {
+    const int o1 = orientation(p, q, a);
+    const int o2 = orientation(p, q, b);
+    const int o3 = orientation(a, b, p);
+    const int o4 = orientation(a, b, q);
+    if (o1 != o2 && o3 != o4) return true;
+    if (o1 == 0 && on_segment(p, q, a)) return true;
+    if (o2 == 0 && on_segment(p, q, b)) return true;
+    if (o3 == 0 && on_segment(a, b, p)) return true;
+    if (o4 == 0 && on_segment(a, b, q)) return true;
+    return false;
+}
+
+bool segment_hits_disk(const locble::Vec2& p, const locble::Vec2& q,
+                       const locble::Vec2& center, double radius) {
+    const locble::Vec2 d = q - p;
+    const double len2 = d.norm2();
+    double t = 0.0;
+    if (len2 > 0.0) t = std::clamp((center - p).dot(d) / len2, 0.0, 1.0);
+    const locble::Vec2 closest = p + d * t;
+    return locble::Vec2::distance(closest, center) <= radius;
+}
+
+PathBlockage classify_path(const locble::Vec2& from, const locble::Vec2& to, double t,
+                           const std::vector<Wall>& walls,
+                           const std::vector<DiskBlocker>& blockers) {
+    PathBlockage out;
+    for (const auto& w : walls) {
+        if (!segments_intersect(from, to, w.a, w.b)) continue;
+        out.total_attenuation_db += w.attenuation_db;
+        if (w.blockage == BlockageClass::heavy)
+            out.heavy_crossings++;
+        else
+            out.light_crossings++;
+    }
+    for (const auto& d : blockers) {
+        if (!d.active_at(t)) continue;
+        if (!segment_hits_disk(from, to, d.center, d.radius)) continue;
+        out.total_attenuation_db += d.attenuation_db;
+        if (d.blockage == BlockageClass::heavy)
+            out.heavy_crossings++;
+        else
+            out.light_crossings++;
+    }
+    if (out.heavy_crossings > 0)
+        out.propagation = PropagationClass::nlos;
+    else if (out.light_crossings > 0)
+        out.propagation = PropagationClass::plos;
+    else
+        out.propagation = PropagationClass::los;
+    return out;
+}
+
+}  // namespace locble::channel

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "locble/channel/pathloss.hpp"
+#include "locble/common/vec2.hpp"
+
+namespace locble::channel {
+
+/// How strongly an obstacle degrades a path crossing it. The paper's
+/// taxonomy (Sec. 4.1): "light" blockage (glass, wooden door, human body)
+/// yields p-LOS, "heavy" blockage (concrete, cinder, metal) yields NLOS.
+enum class BlockageClass { light, heavy };
+
+/// A wall: a line segment with a blockage class and insertion loss.
+struct Wall {
+    locble::Vec2 a;
+    locble::Vec2 b;
+    BlockageClass blockage{BlockageClass::heavy};
+    double attenuation_db{10.0};
+    std::string label;
+};
+
+/// A disk blocker (rack, pillar, human) that may exist only during a time
+/// window — this models "people randomly come in between during the
+/// observer's movement" in the Fig. 5 experiment.
+struct DiskBlocker {
+    locble::Vec2 center;
+    double radius{0.3};
+    BlockageClass blockage{BlockageClass::light};
+    double attenuation_db{3.0};
+    double t_start{0.0};
+    double t_end{1e18};  ///< effectively "always present"
+    std::string label;
+
+    bool active_at(double t) const { return t >= t_start && t <= t_end; }
+};
+
+/// Does segment pq intersect segment ab (inclusive of touching)?
+bool segments_intersect(const locble::Vec2& p, const locble::Vec2& q,
+                        const locble::Vec2& a, const locble::Vec2& b);
+
+/// Does segment pq pass through the disk (center, radius)?
+bool segment_hits_disk(const locble::Vec2& p, const locble::Vec2& q,
+                       const locble::Vec2& center, double radius);
+
+/// What a path between two points encounters.
+struct PathBlockage {
+    PropagationClass propagation{PropagationClass::los};
+    double total_attenuation_db{0.0};
+    int light_crossings{0};
+    int heavy_crossings{0};
+};
+
+/// Classify the straight path from `from` to `to` at time `t` against the
+/// given obstacles: any heavy crossing makes NLOS, otherwise any light
+/// crossing makes p-LOS, otherwise LOS. Attenuations accumulate.
+PathBlockage classify_path(const locble::Vec2& from, const locble::Vec2& to, double t,
+                           const std::vector<Wall>& walls,
+                           const std::vector<DiskBlocker>& blockers);
+
+}  // namespace locble::channel

@@ -1,0 +1,50 @@
+#include "locble/channel/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locble::channel {
+
+double LogDistanceModel::rssi_at(double d) const {
+    return gamma_dbm - 10.0 * exponent * std::log10(std::max(d, 0.1));
+}
+
+double LogDistanceModel::distance_for(double rssi) const {
+    return std::pow(10.0, (gamma_dbm - rssi) / (10.0 * exponent));
+}
+
+const char* to_string(PropagationClass c) {
+    switch (c) {
+        case PropagationClass::los: return "LOS";
+        case PropagationClass::plos: return "p-LOS";
+        case PropagationClass::nlos: return "NLOS";
+    }
+    return "?";
+}
+
+PropagationParams params_for(PropagationClass c) {
+    PropagationParams p;
+    switch (c) {
+        case PropagationClass::los:
+            p.exponent = 2.0;
+            p.extra_attenuation_db = 0.0;
+            p.shadowing_sigma_db = 1.3;
+            p.rician_k_db = 9.0;
+            break;
+        case PropagationClass::plos:
+            p.exponent = 2.6;
+            p.extra_attenuation_db = 5.0;
+            p.shadowing_sigma_db = 2.2;
+            p.rician_k_db = 3.0;
+            break;
+        case PropagationClass::nlos:
+            p.exponent = 3.3;
+            p.extra_attenuation_db = 13.0;
+            p.shadowing_sigma_db = 3.2;
+            p.rician_k_db = -100.0;  // effectively Rayleigh
+            break;
+    }
+    return p;
+}
+
+}  // namespace locble::channel

@@ -1,0 +1,45 @@
+#pragma once
+
+namespace locble::channel {
+
+/// Log-distance path-loss model — the paper's Eq. (1):
+///
+///   RS = Gamma(e) - 10 n(e) log10(d)
+///
+/// `gamma_dbm` is the expected RSSI at 1 m (it folds transmit power, antenna
+/// gains and the hardware power offset P together), `exponent` is the
+/// environment-dependent fading coefficient n(e).
+struct LogDistanceModel {
+    double gamma_dbm{-59.0};
+    double exponent{2.0};
+
+    /// Expected RSSI at distance `d` metres (d clamped to >= 0.1 to avoid
+    /// the near-field singularity).
+    double rssi_at(double d) const;
+
+    /// Distance that produces `rssi` under this model.
+    double distance_for(double rssi) const;
+};
+
+/// The three propagation classes EnvAware distinguishes (Sec. 4.1).
+enum class PropagationClass { los = 0, plos = 1, nlos = 2 };
+
+const char* to_string(PropagationClass c);
+
+/// Channel statistics for one propagation class. Values follow the standard
+/// indoor ranges (Rappaport) and are tuned so LocBLE's published accuracy
+/// bands are reachable: LOS is near-free-space Rician, NLOS is lossy
+/// Rayleigh through heavy blockage.
+struct PropagationParams {
+    double exponent{2.0};        ///< path-loss exponent n(e)
+    double extra_attenuation_db{0.0};  ///< blockage insertion loss
+    double shadowing_sigma_db{1.5};    ///< lognormal shadowing std
+    double rician_k_db{8.0};     ///< fast-fading K factor (-inf => Rayleigh)
+    double coherence_distance_m{0.06};  ///< ~lambda/2 at 2.4 GHz
+    double shadowing_decorrelation_m{2.0};
+};
+
+/// Default parameters per class.
+PropagationParams params_for(PropagationClass c);
+
+}  // namespace locble::channel

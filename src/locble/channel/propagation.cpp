@@ -1,0 +1,85 @@
+#include "locble/channel/propagation.hpp"
+
+#include <cmath>
+
+namespace locble::channel {
+
+namespace {
+
+std::size_t channel_index(ble::AdvChannel ch) {
+    switch (ch) {
+        case ble::AdvChannel::ch37: return 0;
+        case ble::AdvChannel::ch38: return 1;
+        case ble::AdvChannel::ch39: return 2;
+    }
+    return 0;
+}
+
+}  // namespace
+
+LinkSimulator::LinkSimulator(const SiteModel& site, double gamma_dbm,
+                             std::shared_ptr<const ShadowingField> shadowing,
+                             locble::Rng rng)
+    : site_(site), gamma_dbm_(gamma_dbm), rng_(rng), shadowing_(std::move(shadowing)) {
+    if (!shadowing_) {
+        shadowing_ = std::make_shared<ShadowingField>(
+            params_for(PropagationClass::los).shadowing_decorrelation_m, rng_.fork());
+    }
+    for (std::size_t c = 0; c < 3; ++c)
+        fading_.emplace_back(params_for(PropagationClass::los).rician_k_db,
+                             params_for(PropagationClass::los).coherence_distance_m,
+                             rng_.fork());
+    channel_offsets_ = draw_channel_offsets(site.channel_offset_spread_db, rng_);
+}
+
+double LinkSimulator::rssi(const locble::Vec2& tx, const locble::Vec2& rx, double t,
+                           ble::AdvChannel channel) {
+    const PathBlockage blockage = classify_path(rx, tx, t, site_.walls, site_.blockers);
+    last_class_ = blockage.propagation;
+    const PropagationParams params = params_for(blockage.propagation);
+
+    // Relative displacement drives the spatial correlation of both fading
+    // and shadowing (either endpoint moving decorrelates the link).
+    double moved = 0.0;
+    if (has_last_) moved = (rx - last_rx_).norm() + (tx - last_tx_).norm();
+    last_rx_ = rx;
+    last_tx_ = tx;
+    has_last_ = true;
+
+    auto& fade = fading_[channel_index(channel)];
+    // Cluttered sites see deeper fades: reduce the effective K factor.
+    fade.set_k_db(params.rician_k_db - 10.0 * std::log10(site_.clutter_factor));
+
+    const double d = locble::Vec2::distance(tx, rx);
+    const LogDistanceModel model{gamma_dbm_, params.exponent};
+    double rssi = model.rssi_at(d);
+    rssi -= blockage.total_attenuation_db;
+    rssi += shadowing_->link_shadow_db(tx, rx,
+                                       params.shadowing_sigma_db * site_.shadowing_scale);
+    rssi += fade.step(moved);
+    rssi += channel_offsets_[channel_index(channel)];
+    if (site_.interference_noise_db > 0.0)
+        rssi += rng_.gaussian(0.0, site_.interference_noise_db);
+    return rssi;
+}
+
+double apply_receiver(double rssi, const ble::ReceiverProfile& rx, locble::Rng& rng) {
+    double v = rssi + rx.rssi_offset_db;
+    if (rx.rssi_noise_db > 0.0) v += rng.gaussian(0.0, rx.rssi_noise_db);
+    if (rx.quantization_db > 0.0)
+        v = std::round(v / rx.quantization_db) * rx.quantization_db;
+    return v;
+}
+
+double rssi_from_class(const LogDistanceModel& base, double d,
+                       const PropagationParams& params, FadingProcess& fading,
+                       ShadowingProcess& shadowing, double moved_m) {
+    const LogDistanceModel model{base.gamma_dbm, params.exponent};
+    double rssi = model.rssi_at(d);
+    rssi -= params.extra_attenuation_db;
+    rssi += shadowing.step(moved_m);
+    rssi += fading.step(moved_m);
+    return rssi;
+}
+
+}  // namespace locble::channel

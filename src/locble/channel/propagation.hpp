@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "locble/ble/pdu.hpp"
+#include "locble/ble/scanner.hpp"
+#include "locble/channel/fading.hpp"
+#include "locble/channel/obstacles.hpp"
+#include "locble/channel/pathloss.hpp"
+#include "locble/common/rng.hpp"
+#include "locble/common/vec2.hpp"
+
+namespace locble::channel {
+
+/// Physical description of one test site: bounds, obstacle geometry, and
+/// ambient interference level. The nine Table-1 environments are instances
+/// of this type (built in locble::sim).
+struct SiteModel {
+    std::string name{"site"};
+    double width_m{10.0};
+    double height_m{10.0};
+    std::vector<Wall> walls;
+    std::vector<DiskBlocker> blockers;
+    /// Extra white RSSI noise std from coexisting WiFi/BLE traffic.
+    double interference_noise_db{0.5};
+    /// Frequency-selective spread across the 3 advertising channels.
+    double channel_offset_spread_db{1.5};
+    /// Multipath richness multiplier; >1 in cluttered sites (racks, metal)
+    /// deepens fades by lowering the effective Rician K.
+    double clutter_factor{1.0};
+    /// Site-level multiplier on the per-class shadowing sigma: open outdoor
+    /// spaces shadow far less than cluttered interiors.
+    double shadowing_scale{1.0};
+    /// Expected number of passers-by crossing the area during a ~10 s
+    /// measurement. Each becomes a short-lived light blocker; co-located
+    /// beacons dip together when one crosses their shared path — the common
+    /// structure Sec. 6.1's DTW clustering keys on.
+    double ambient_crossings{3.0};
+};
+
+/// Stateful simulator for one beacon -> one receiver radio link inside a
+/// site. Owns the correlated shadowing/fading processes so consecutive
+/// queries along a walk produce a realistic, temporally coherent RSS trace.
+class LinkSimulator {
+public:
+    /// `gamma_dbm` is the link's LOS RSSI at 1 m before receiver effects
+    /// (derived from the advertiser's radiated power). `shadowing` is the
+    /// site's shared shadowing field — all links of a capture must use the
+    /// same field so that co-located beacons shadow together; pass nullptr
+    /// to give this link a private field (single-link experiments).
+    LinkSimulator(const SiteModel& site, double gamma_dbm,
+                  std::shared_ptr<const ShadowingField> shadowing, locble::Rng rng);
+    LinkSimulator(const SiteModel& site, double gamma_dbm, locble::Rng rng)
+        : LinkSimulator(site, gamma_dbm, nullptr, rng) {}
+
+    /// RSSI (pre-receiver) for a transmission at time `t` on `channel` with
+    /// the beacon at `tx` and the phone at `rx`.
+    double rssi(const locble::Vec2& tx, const locble::Vec2& rx, double t,
+                ble::AdvChannel channel);
+
+    /// Propagation class of the most recent rssi() query.
+    PropagationClass last_class() const { return last_class_; }
+
+    const SiteModel& site() const { return site_; }
+
+private:
+    const SiteModel& site_;
+    double gamma_dbm_;
+    locble::Rng rng_;
+    std::shared_ptr<const ShadowingField> shadowing_;
+    std::vector<FadingProcess> fading_;  ///< one per advertising channel
+    std::array<double, 3> channel_offsets_{};
+    locble::Vec2 last_rx_{};
+    locble::Vec2 last_tx_{};
+    bool has_last_{false};
+    PropagationClass last_class_{PropagationClass::los};
+};
+
+/// Apply receiver-side effects (chipset offset, measurement noise, RSSI
+/// quantization) to a pre-receiver RSSI value (Sec. 2.4).
+double apply_receiver(double rssi, const ble::ReceiverProfile& rx, locble::Rng& rng);
+
+/// Generate a synthetic RSS sample for a *parametric* propagation class at
+/// distance `d` — used to build labeled training data for EnvAware without
+/// site geometry. `fading` and `shadowing` must be processes configured for
+/// the class.
+double rssi_from_class(const LogDistanceModel& base, double d,
+                       const PropagationParams& params, FadingProcess& fading,
+                       ShadowingProcess& shadowing, double moved_m);
+
+}  // namespace locble::channel

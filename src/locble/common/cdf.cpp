@@ -1,0 +1,60 @@
+#include "locble/common/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "locble/common/stats.hpp"
+
+namespace locble {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+    if (sorted_.empty()) throw std::invalid_argument("EmpiricalCdf: empty sample set");
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::percentile(double q) const { return quantile(sorted_, q); }
+
+double EmpiricalCdf::mean() const { return locble::mean(sorted_); }
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(std::size_t points) const {
+    std::vector<std::pair<double, double>> out;
+    if (points < 2) points = 2;
+    out.reserve(points);
+    const double lo = sorted_.front();
+    const double hi = sorted_.back();
+    for (std::size_t i = 0; i < points; ++i) {
+        const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+        out.emplace_back(x, at(x));
+    }
+    return out;
+}
+
+std::string format_cdf_table(
+    const std::vector<std::pair<std::string, EmpiricalCdf>>& curves,
+    std::span<const double> percentiles) {
+    std::ostringstream os;
+    os << "| series | n |";
+    for (double p : percentiles) os << " p" << static_cast<int>(std::lround(p * 100)) << " |";
+    os << " mean |\n";
+    os << "|---|---|";
+    for (std::size_t i = 0; i < percentiles.size(); ++i) os << "---|";
+    os << "---|\n";
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    for (const auto& [name, cdf] : curves) {
+        os << "| " << name << " | " << cdf.count() << " |";
+        for (double p : percentiles) os << " " << cdf.percentile(p) << " |";
+        os << " " << cdf.mean() << " |\n";
+    }
+    return os.str();
+}
+
+}  // namespace locble

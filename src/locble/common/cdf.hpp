@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace locble {
+
+/// Empirical CDF of a sample set — the presentation format of most of the
+/// paper's evaluation figures (Figs. 5, 10(b), 11(b), 13).
+class EmpiricalCdf {
+public:
+    /// Builds the CDF from `samples` (copied and sorted). Throws
+    /// std::invalid_argument when empty.
+    explicit EmpiricalCdf(std::span<const double> samples);
+
+    /// Fraction of samples <= x, in [0,1].
+    double at(double x) const;
+
+    /// Value below which `q` (in [0,1]) of the samples fall; linear
+    /// interpolation between order statistics.
+    double percentile(double q) const;
+
+    double median() const { return percentile(0.5); }
+    double min() const { return sorted_.front(); }
+    double max() const { return sorted_.back(); }
+    double mean() const;
+    std::size_t count() const { return sorted_.size(); }
+
+    /// Evenly spaced (value, cdf) pairs suitable for plotting/printing.
+    std::vector<std::pair<double, double>> curve(std::size_t points = 20) const;
+
+private:
+    std::vector<double> sorted_;
+};
+
+/// Render several named CDFs as an aligned text table of percentiles —
+/// the bench binaries use this to print "CDF figures" as rows.
+std::string format_cdf_table(
+    const std::vector<std::pair<std::string, EmpiricalCdf>>& curves,
+    std::span<const double> percentiles);
+
+}  // namespace locble

@@ -1,0 +1,93 @@
+#include "locble/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace locble {
+
+std::size_t CsvTable::column(const std::string& name) const {
+    for (std::size_t i = 0; i < header.size(); ++i)
+        if (header[i] == name) return i;
+    throw std::out_of_range("CsvTable: no column named " + name);
+}
+
+std::vector<double> CsvTable::column_values(const std::string& name) const {
+    const std::size_t idx = column(name);
+    std::vector<double> out;
+    out.reserve(rows.size());
+    for (const auto& row : rows) out.push_back(row.at(idx));
+    return out;
+}
+
+std::string to_csv(const CsvTable& table) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < table.header.size(); ++i) {
+        if (i) os << ',';
+        os << table.header[i];
+    }
+    os << '\n';
+    os.precision(15);
+    for (const auto& row : table.rows) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) os << ',';
+            os << row[i];
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+CsvTable parse_csv(const std::string& text) {
+    CsvTable table;
+    std::istringstream is(text);
+    std::string line;
+    bool have_header = false;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        std::istringstream ls(line);
+        std::string cell;
+        if (!have_header) {
+            while (std::getline(ls, cell, ',')) table.header.push_back(cell);
+            have_header = true;
+            continue;
+        }
+        std::vector<double> row;
+        while (std::getline(ls, cell, ',')) {
+            try {
+                std::size_t consumed = 0;
+                const double v = std::stod(cell, &consumed);
+                if (consumed != cell.size())
+                    throw std::runtime_error("trailing characters");
+                row.push_back(v);
+            } catch (const std::exception&) {
+                throw std::runtime_error("parse_csv: non-numeric cell '" + cell +
+                                         "' at line " + std::to_string(line_no));
+            }
+        }
+        if (row.size() != table.header.size())
+            throw std::runtime_error("parse_csv: ragged row at line " +
+                                     std::to_string(line_no));
+        table.rows.push_back(std::move(row));
+    }
+    return table;
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("write_csv_file: cannot open " + path);
+    f << to_csv(table);
+    if (!f) throw std::runtime_error("write_csv_file: write failed for " + path);
+}
+
+CsvTable read_csv_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("read_csv_file: cannot open " + path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return parse_csv(os.str());
+}
+
+}  // namespace locble

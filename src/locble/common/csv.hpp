@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace locble {
+
+/// A parsed CSV document: a header row plus data rows of doubles.
+/// Used for recording and replaying simulated sensor traces so that an
+/// experiment's raw data can be inspected or re-run offline.
+struct CsvTable {
+    std::vector<std::string> header;
+    std::vector<std::vector<double>> rows;
+
+    /// Index of a header column; throws std::out_of_range if absent.
+    std::size_t column(const std::string& name) const;
+    /// All values of one named column.
+    std::vector<double> column_values(const std::string& name) const;
+};
+
+/// Serialize to CSV text (header + fixed-precision rows).
+std::string to_csv(const CsvTable& table);
+
+/// Parse CSV text. Throws std::runtime_error on ragged rows or non-numeric
+/// cells.
+CsvTable parse_csv(const std::string& text);
+
+/// Write CSV text to a file; throws std::runtime_error on IO failure.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+/// Read and parse a CSV file; throws std::runtime_error on IO failure.
+CsvTable read_csv_file(const std::string& path);
+
+}  // namespace locble

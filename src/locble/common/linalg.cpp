@@ -1,0 +1,82 @@
+#include "locble/common/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locble {
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+    const std::size_t n = a.size();
+    if (n == 0) throw std::invalid_argument("solve_linear: empty system");
+    for (const auto& row : a)
+        if (row.size() != n) throw std::invalid_argument("solve_linear: not square");
+    if (b.size() != n) throw std::invalid_argument("solve_linear: rhs size mismatch");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+        if (std::abs(a[pivot][col]) < 1e-14)
+            throw std::runtime_error("solve_linear: singular matrix");
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r][col] / a[col][col];
+            if (f == 0.0) continue;
+            for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+            b[r] -= f * b[col];
+        }
+    }
+    std::vector<double> x(n);
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+        x[i] = s / a[i][i];
+    }
+    return x;
+}
+
+std::vector<double> least_squares(const Matrix& x, const std::vector<double>& y) {
+    const std::size_t n = x.size();
+    if (n == 0) throw std::invalid_argument("least_squares: empty system");
+    const std::size_t m = x.front().size();
+    if (m == 0 || n < m)
+        throw std::invalid_argument("least_squares: need at least m rows");
+    for (const auto& row : x)
+        if (row.size() != m) throw std::invalid_argument("least_squares: ragged matrix");
+    if (y.size() != n) throw std::invalid_argument("least_squares: rhs size mismatch");
+
+    // Column scaling for conditioning.
+    std::vector<double> scale(m, 0.0);
+    for (const auto& row : x)
+        for (std::size_t j = 0; j < m; ++j) scale[j] = std::max(scale[j], std::abs(row[j]));
+    for (auto& s : scale)
+        if (s < 1e-300) s = 1.0;
+
+    Matrix ata(m, std::vector<double>(m, 0.0));
+    std::vector<double> atb(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const double xij = x[i][j] / scale[j];
+            atb[j] += xij * y[i];
+            for (std::size_t k = j; k < m; ++k)
+                ata[j][k] += xij * (x[i][k] / scale[k]);
+        }
+    }
+    for (std::size_t j = 0; j < m; ++j)
+        for (std::size_t k = 0; k < j; ++k) ata[j][k] = ata[k][j];
+
+    std::vector<double> beta;
+    try {
+        beta = solve_linear(std::move(ata), std::move(atb));
+    } catch (const std::runtime_error&) {
+        throw std::runtime_error("least_squares: rank-deficient system");
+    }
+    for (std::size_t j = 0; j < m; ++j) beta[j] /= scale[j];
+    return beta;
+}
+
+}  // namespace locble

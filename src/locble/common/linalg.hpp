@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+namespace locble {
+
+/// Dense row-major matrix for the small systems LocBLE solves (the
+/// elliptical regression has 4 unknowns).
+using Matrix = std::vector<std::vector<double>>;
+
+/// Solve the square system `a x = b` by Gaussian elimination with partial
+/// pivoting. Throws std::invalid_argument on shape mismatch and
+/// std::runtime_error when `a` is singular to working precision.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Least-squares solution of `x beta ~= y` via the normal equations
+/// (x is n-by-m with n >= m). The columns are internally scaled to unit
+/// infinity-norm before solving to keep the normal equations conditioned.
+/// Throws std::invalid_argument on shape problems and std::runtime_error on
+/// a rank-deficient system.
+std::vector<double> least_squares(const Matrix& x, const std::vector<double>& y);
+
+}  // namespace locble

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace locble {
+
+/// Deterministic random source used throughout the simulator.
+///
+/// All stochastic components (fading, shadowing, IMU noise, trajectory
+/// jitter) draw from an explicitly seeded Rng so that every experiment is
+/// reproducible run-to-run. Components that need independent streams should
+/// fork() a child generator instead of sharing one instance.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Gaussian sample.
+    double gaussian(double mean, double stddev) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Exponential sample with the given mean (mean = 1/lambda).
+    double exponential(double mean_value) {
+        return std::exponential_distribution<double>(1.0 / mean_value)(engine_);
+    }
+
+    /// Bernoulli trial.
+    bool chance(double probability) {
+        return std::bernoulli_distribution(probability)(engine_);
+    }
+
+    /// Rayleigh-distributed sample with scale sigma.
+    double rayleigh(double sigma) {
+        const double u = uniform(1e-12, 1.0);
+        return sigma * std::sqrt(-2.0 * std::log(u));
+    }
+
+    /// Derive an independent child generator. The child's stream is a pure
+    /// function of this generator's current state, so forking is itself
+    /// deterministic.
+    Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace locble

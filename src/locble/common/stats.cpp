@@ -1,0 +1,109 @@
+#include "locble/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace locble {
+
+double quantile(std::span<const double> values, double q) {
+    if (values.empty()) throw std::invalid_argument("quantile: empty input");
+    if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double mean(std::span<const double> values) {
+    if (values.empty()) throw std::invalid_argument("mean: empty input");
+    double s = 0.0;
+    for (double v : values) s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+    if (values.empty()) throw std::invalid_argument("variance: empty input");
+    const double m = mean(values);
+    double s = 0.0;
+    for (double v : values) s += (v - m) * (v - m);
+    return s / static_cast<double>(values.size());
+}
+
+WindowSummary summarize(std::span<const double> values) {
+    if (values.empty()) throw std::invalid_argument("summarize: empty input");
+    WindowSummary s;
+    s.count = values.size();
+    s.mean = mean(values);
+
+    double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+    for (double v : values) {
+        const double d = v - s.mean;
+        m2 += d * d;
+        m3 += d * d * d;
+        m4 += d * d * d * d;
+    }
+    const auto n = static_cast<double>(values.size());
+    m2 /= n;
+    m3 /= n;
+    m4 /= n;
+    s.variance = m2;
+    s.stddev = std::sqrt(m2);
+    constexpr double kVarEps = 1e-12;
+    s.skewness = m2 > kVarEps ? m3 / std::pow(m2, 1.5) : 0.0;
+    s.kurtosis = m2 > kVarEps ? m4 / (m2 * m2) - 3.0 : 0.0;
+
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.q1 = quantile(sorted, 0.25);
+    s.median = quantile(sorted, 0.50);
+    s.q3 = quantile(sorted, 0.75);
+    return s;
+}
+
+void RunningStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+    if (a.size() != b.size()) throw std::invalid_argument("rmse: size mismatch");
+    if (a.empty()) throw std::invalid_argument("rmse: empty input");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+    if (a.size() != b.size()) throw std::invalid_argument("pearson: size mismatch");
+    if (a.size() < 2) throw std::invalid_argument("pearson: need >=2 samples");
+    const double ma = mean(a);
+    const double mb = mean(b);
+    double sab = 0.0, sa = 0.0, sb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        sab += (a[i] - ma) * (b[i] - mb);
+        sa += (a[i] - ma) * (a[i] - ma);
+        sb += (b[i] - mb) * (b[i] - mb);
+    }
+    if (sa <= 0.0 || sb <= 0.0) return 0.0;
+    return sab / std::sqrt(sa * sb);
+}
+
+}  // namespace locble

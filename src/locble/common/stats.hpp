@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace locble {
+
+/// Summary statistics of one window of samples.
+///
+/// These are exactly the statistics LocBLE's EnvAware feature extraction
+/// uses (Sec. 4.1): central moments plus the five-number summary.
+struct WindowSummary {
+    std::size_t count{0};
+    double mean{0.0};
+    double variance{0.0};  ///< population variance
+    double stddev{0.0};
+    double skewness{0.0};  ///< 0 when variance is ~0
+    double kurtosis{0.0};  ///< excess kurtosis; 0 when variance is ~0
+    double min{0.0};
+    double q1{0.0};      ///< first quartile (linear interpolation)
+    double median{0.0};
+    double q3{0.0};      ///< third quartile
+    double max{0.0};
+};
+
+/// Compute the full summary of `values`. Throws std::invalid_argument when
+/// `values` is empty.
+WindowSummary summarize(std::span<const double> values);
+
+/// Quantile of `values` at `q` in [0,1] using linear interpolation between
+/// order statistics (the "linear"/type-7 convention, matching numpy).
+/// Throws std::invalid_argument when `values` is empty or q outside [0,1].
+double quantile(std::span<const double> values, double q);
+
+/// Arithmetic mean. Throws std::invalid_argument when empty.
+double mean(std::span<const double> values);
+
+/// Population variance. Throws std::invalid_argument when empty.
+double variance(std::span<const double> values);
+
+/// Incremental single-pass statistics (Welford). Useful for long streams
+/// where storing the window is unnecessary.
+class RunningStats {
+public:
+    void add(double x);
+    void reset();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return mean_; }
+    /// Population variance; 0 when fewer than 2 samples.
+    double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+    /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+    double sample_variance() const {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+private:
+    std::size_t n_{0};
+    double mean_{0.0};
+    double m2_{0.0};
+    double min_{0.0};
+    double max_{0.0};
+};
+
+/// Root-mean-square error between two equally sized series.
+/// Throws std::invalid_argument on size mismatch or empty input.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Pearson correlation coefficient; returns 0 if either series is constant.
+/// Throws std::invalid_argument on size mismatch or fewer than 2 samples.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+}  // namespace locble

@@ -1,0 +1,56 @@
+#include "locble/common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace locble {
+
+std::string fmt(double v, int precision) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size())
+        throw std::invalid_argument("TextTable: row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& label, const std::vector<double>& values,
+                        int precision) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values) cells.push_back(fmt(v, precision));
+    add_row(std::move(cells));
+}
+
+std::string TextTable::str() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+    for (const auto& row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << ' ' << cells[i] << std::string(width[i] - cells[i].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+    emit(header_);
+    os << '|';
+    for (std::size_t i = 0; i < header_.size(); ++i)
+        os << std::string(width[i] + 2, '-') << '|';
+    os << '\n';
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+}  // namespace locble

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace locble {
+
+/// Minimal markdown-style table builder used by the bench binaries to print
+/// the rows/series each paper table or figure reports.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+    /// Append a row of already formatted cells. Throws std::invalid_argument
+    /// when the cell count does not match the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with `precision` decimals.
+    void add_row(const std::string& label, const std::vector<double>& values,
+                 int precision = 2);
+
+    std::string str() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace locble

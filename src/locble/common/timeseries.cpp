@@ -1,0 +1,87 @@
+#include "locble/common/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace locble {
+
+std::vector<double> values_of(const TimeSeries& ts) {
+    std::vector<double> out;
+    out.reserve(ts.size());
+    for (const auto& s : ts) out.push_back(s.value);
+    return out;
+}
+
+std::vector<double> times_of(const TimeSeries& ts) {
+    std::vector<double> out;
+    out.reserve(ts.size());
+    for (const auto& s : ts) out.push_back(s.t);
+    return out;
+}
+
+double interpolate(const TimeSeries& ts, double t) {
+    if (ts.empty()) throw std::invalid_argument("interpolate: empty series");
+    if (t <= ts.front().t) return ts.front().value;
+    if (t >= ts.back().t) return ts.back().value;
+    const auto it = std::lower_bound(ts.begin(), ts.end(), t,
+                                     [](const Sample& s, double tt) { return s.t < tt; });
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    if (hi.t == lo.t) return lo.value;
+    const double f = (t - lo.t) / (hi.t - lo.t);
+    return lo.value * (1.0 - f) + hi.value * f;
+}
+
+TimeSeries resample(const TimeSeries& ts, double rate_hz) {
+    if (ts.empty()) throw std::invalid_argument("resample: empty series");
+    if (rate_hz <= 0.0) throw std::invalid_argument("resample: rate must be positive");
+    TimeSeries out;
+    const double dt = 1.0 / rate_hz;
+    for (double t = ts.front().t; t <= ts.back().t + 1e-9; t += dt)
+        out.push_back({t, interpolate(ts, t)});
+    return out;
+}
+
+TimeSeries resample_at(const TimeSeries& ts, std::span<const double> target_times) {
+    TimeSeries out;
+    out.reserve(target_times.size());
+    for (double t : target_times) out.push_back({t, interpolate(ts, t)});
+    return out;
+}
+
+TimeSeries slice(const TimeSeries& ts, double t0, double t1) {
+    TimeSeries out;
+    for (const auto& s : ts)
+        if (s.t >= t0 && s.t <= t1) out.push_back(s);
+    return out;
+}
+
+TimeSeries differentiate(const TimeSeries& ts) {
+    TimeSeries out;
+    if (ts.size() < 2) return out;
+    out.reserve(ts.size() - 1);
+    for (std::size_t i = 1; i < ts.size(); ++i)
+        out.push_back({ts[i].t, ts[i].value - ts[i - 1].value});
+    return out;
+}
+
+TimeSeries decimate(const TimeSeries& ts, double rate_hz) {
+    if (rate_hz <= 0.0) throw std::invalid_argument("decimate: rate must be positive");
+    TimeSeries out;
+    if (ts.empty()) return out;
+    // Keep a sample whenever the target-rate clock has ticked since the last
+    // kept one; the *average* output rate equals rate_hz even when input
+    // timestamps jitter (dropping whole scan events, like inserting an idle
+    // delay between scans does).
+    const double t0 = ts.front().t;
+    std::size_t kept = 0;
+    for (const auto& s : ts) {
+        if ((s.t - t0) * rate_hz >= static_cast<double>(kept) - 1e-9) {
+            out.push_back(s);
+            ++kept;
+        }
+    }
+    return out;
+}
+
+}  // namespace locble

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace locble {
+
+/// One timestamped scalar sample (time in seconds).
+struct Sample {
+    double t{0.0};
+    double value{0.0};
+
+    constexpr bool operator==(const Sample&) const = default;
+};
+
+/// A time-ordered sequence of scalar samples. This is the shape of every
+/// sensor stream in the library: RSSI per beacon, accelerometer magnitude,
+/// gyroscope rate, magnetic heading.
+using TimeSeries = std::vector<Sample>;
+
+/// Extract just the values of a series.
+std::vector<double> values_of(const TimeSeries& ts);
+
+/// Extract just the timestamps of a series.
+std::vector<double> times_of(const TimeSeries& ts);
+
+/// Linear interpolation of `ts` at time `t`. Clamps to the end values
+/// outside the covered interval. Throws std::invalid_argument when empty.
+double interpolate(const TimeSeries& ts, double t);
+
+/// Resample `ts` onto a uniform grid of `rate_hz` starting at the first
+/// sample's timestamp, by linear interpolation. Throws when `ts` is empty or
+/// rate is not positive.
+TimeSeries resample(const TimeSeries& ts, double rate_hz);
+
+/// Resample `ts` at the given target timestamps by linear interpolation.
+TimeSeries resample_at(const TimeSeries& ts, std::span<const double> target_times);
+
+/// Keep only samples with t in [t0, t1].
+TimeSeries slice(const TimeSeries& ts, double t0, double t1);
+
+/// First difference of values: out[i] = v[i+1] - v[i], timestamped at the
+/// later sample. Length is ts.size()-1 (empty for fewer than 2 samples).
+TimeSeries differentiate(const TimeSeries& ts);
+
+/// Decimate to approximately `rate_hz` by dropping samples (no filtering);
+/// models lowering a scanner's sampling frequency as in Sec. 7.6.1, where an
+/// idle delay is inserted between consecutive scans.
+TimeSeries decimate(const TimeSeries& ts, double rate_hz);
+
+}  // namespace locble

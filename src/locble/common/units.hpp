@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace locble {
+
+/// dBm <-> milliwatt conversions and small dB helpers.
+///
+/// The channel simulator composes gains multiplicatively in linear power and
+/// reports RSSI in dBm, matching what a BLE scan callback delivers.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Ratio (linear power gain) to dB and back.
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+inline double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+inline double rad_to_deg(double rad) { return rad * 180.0 / std::numbers::pi; }
+
+}  // namespace locble

@@ -1,0 +1,17 @@
+#include "locble/common/vec2.hpp"
+
+#include <numbers>
+
+namespace locble {
+
+double wrap_angle(double radians) {
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    double a = std::fmod(radians, two_pi);
+    if (a <= -std::numbers::pi) a += two_pi;
+    if (a > std::numbers::pi) a -= two_pi;
+    return a;
+}
+
+double angle_diff(double a, double b) { return wrap_angle(a - b); }
+
+}  // namespace locble

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cmath>
+
+namespace locble {
+
+/// A 2-D point/vector in the observer's coordinate plane (metres).
+///
+/// LocBLE works in a plane whose origin is the observer's starting point and
+/// whose x-axis is the observer's initial walking direction (Sec. 5 of the
+/// paper). All geometry in the library uses this type.
+struct Vec2 {
+    double x{0.0};
+    double y{0.0};
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    constexpr Vec2& operator+=(const Vec2& o) {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+    constexpr Vec2& operator-=(const Vec2& o) {
+        x -= o.x;
+        y -= o.y;
+        return *this;
+    }
+    constexpr Vec2 operator-() const { return {-x, -y}; }
+
+    constexpr bool operator==(const Vec2&) const = default;
+
+    /// Dot product.
+    constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+    /// Z-component of the 3-D cross product; >0 when `o` is CCW from *this.
+    constexpr double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+    /// Euclidean norm.
+    double norm() const { return std::hypot(x, y); }
+    /// Squared norm (avoids the sqrt when comparing distances).
+    constexpr double norm2() const { return x * x + y * y; }
+    /// Unit vector in the same direction; returns {0,0} for the zero vector.
+    Vec2 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+    }
+    /// Angle from +x axis in radians, in (-pi, pi].
+    double angle() const { return std::atan2(y, x); }
+    /// This vector rotated CCW by `radians`.
+    Vec2 rotated(double radians) const {
+        const double c = std::cos(radians);
+        const double s = std::sin(radians);
+        return {c * x - s * y, s * x + c * y};
+    }
+
+    /// Euclidean distance between two points.
+    static double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// Unit vector at `radians` from the +x axis.
+inline Vec2 unit_from_angle(double radians) { return {std::cos(radians), std::sin(radians)}; }
+
+/// Wrap an angle to (-pi, pi].
+double wrap_angle(double radians);
+
+/// Smallest signed difference a-b between two angles, in (-pi, pi].
+double angle_diff(double a, double b);
+
+}  // namespace locble

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cmath>
+
+#include "locble/common/vec2.hpp"
+
+namespace locble {
+
+/// A 3-D point/vector (metres). Used by the Sec. 9.3 extension that lifts
+/// LocBLE's estimate into 3-D when the walk carries vertical excitation
+/// (stairs, raising the phone).
+struct Vec3 {
+    double x{0.0};
+    double y{0.0};
+    double z{0.0};
+
+    constexpr Vec3() = default;
+    constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+    constexpr Vec3(const Vec2& xy, double z_) : x(xy.x), y(xy.y), z(z_) {}
+
+    constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3& operator+=(const Vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    constexpr bool operator==(const Vec3&) const = default;
+
+    constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+    constexpr double norm2() const { return x * x + y * y + z * z; }
+    double norm() const { return std::sqrt(norm2()); }
+    constexpr Vec2 xy() const { return {x, y}; }
+
+    static double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+}  // namespace locble

@@ -1,0 +1,85 @@
+#include "locble/core/clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "locble/dsp/moving_average.hpp"
+
+namespace locble::core {
+
+std::vector<double> ClusteringCalibrator::trend_signal(
+    const locble::TimeSeries& rss, const std::vector<double>& times,
+    std::size_t smooth_half_window, std::size_t stride) {
+    // Align to the reference clock first (devices sample at different,
+    // drifting rates), then smooth, then difference over `stride` samples
+    // so absolute RSSI offsets between chipsets drop out while the walking
+    // trend clears the noise floor.
+    const locble::TimeSeries aligned = locble::resample_at(rss, times);
+    const std::vector<double> smooth = locble::dsp::centered_moving_average(
+        locble::values_of(aligned), smooth_half_window);
+    std::vector<double> diff;
+    if (stride == 0 || smooth.size() <= stride) return diff;
+    diff.reserve(smooth.size() - stride);
+    for (std::size_t i = stride; i < smooth.size(); ++i)
+        diff.push_back(smooth[i] - smooth[i - stride]);
+    // Z-score: the matcher compares trend *shape*; two flat noise traces
+    // normalize to unit-variance noise and keep a large DTW distance.
+    double mean = 0.0;
+    for (double v : diff) mean += v;
+    mean /= static_cast<double>(diff.size());
+    double var = 0.0;
+    for (double v : diff) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(diff.size());
+    const double sd = std::sqrt(var);
+    constexpr double kMinSpread = 1e-9;
+    for (double& v : diff) v = sd > kMinSpread ? (v - mean) / sd : 0.0;
+    return diff;
+}
+
+ClusterCalibration ClusteringCalibrator::calibrate(
+    const ClusterCandidate& target, const std::vector<ClusterCandidate>& neighbors) const {
+    ClusterCalibration out;
+    const std::vector<double> times = locble::times_of(target.rss);
+    const std::vector<double> target_trend =
+        trend_signal(target.rss, times, cfg_.smooth_half_window, cfg_.diff_stride);
+
+    std::vector<const ClusterCandidate*> cluster{&target};
+    out.members.push_back(target.id);
+    for (const auto& nb : neighbors) {
+        if (nb.rss.size() < 2) {
+            ++out.rejected;
+            continue;
+        }
+        if (locble::Vec2::distance(nb.fit.location, target.fit.location) >
+            cfg_.max_candidate_distance_m) {
+            ++out.rejected;
+            continue;
+        }
+        const std::vector<double> trend =
+            trend_signal(nb.rss, times, cfg_.smooth_half_window, cfg_.diff_stride);
+        const auto result = matcher_.match(target_trend, trend);
+        if (result.matched) {
+            cluster.push_back(&nb);
+            out.members.push_back(nb.id);
+        } else {
+            ++out.rejected;
+        }
+    }
+
+    // Confidence-weighted sum of candidate positions (Algo. 2 lines 12-15).
+    double weight_sum = 0.0;
+    locble::Vec2 acc{0.0, 0.0};
+    for (const auto* c : cluster) {
+        const double w = std::max(c->fit.confidence, 1e-6);
+        acc += c->fit.location * w;
+        weight_sum += w;
+    }
+    out.calibrated = acc / weight_sum;
+    // The combined estimate is at least as trustworthy as the best member.
+    double best = 0.0;
+    for (const auto* c : cluster) best = std::max(best, c->fit.confidence);
+    out.combined_confidence = best;
+    return out;
+}
+
+}  // namespace locble::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "locble/common/timeseries.hpp"
+#include "locble/common/vec2.hpp"
+#include "locble/core/dtw.hpp"
+#include "locble/core/location_solver.hpp"
+
+namespace locble::core {
+
+/// One beacon participating in multi-beacon calibration: its preprocessed
+/// RSS sequence and its independently estimated location fit.
+struct ClusterCandidate {
+    std::uint64_t id{0};
+    locble::TimeSeries rss;
+    LocationFit fit;
+};
+
+/// Result of the clustering calibration (Algo. 2).
+struct ClusterCalibration {
+    locble::Vec2 calibrated;  ///< confidence-weighted position
+    double combined_confidence{0.0};
+    std::vector<std::uint64_t> members;  ///< beacons whose RSS matched the target's
+    std::size_t rejected{0};             ///< candidates DTW voted out
+};
+
+/// Multi-beacon clustering calibration (Sec. 6).
+///
+/// Co-located beacons see the same geometry during the observer's L-shaped
+/// walk, so their RSS *trends* match; the matcher low-passes and
+/// differentiates each sequence (removing device-specific offsets), aligns
+/// candidates onto the target's timestamps, and runs the LB-gated segmented
+/// DTW vote. Estimates from the clustered beacons are then combined with
+/// normalized confidence weights (Algo. 2's probabilistic weighting).
+class ClusteringCalibrator {
+public:
+    struct Config {
+        SegmentedDtwMatcher::Config dtw{};
+        std::size_t smooth_half_window{4};  ///< pre-differentiation smoothing
+        /// Differences are taken over this many samples rather than one:
+        /// at 10 Hz a 5-sample stride spans 0.5 s, long enough for the
+        /// walking-induced trend to clear the smoothed noise floor.
+        std::size_t diff_stride{5};
+        /// Sec. 6's precondition is "multiple beacons with similar location
+        /// estimation (or located nearby)": a neighbor whose own fit lands
+        /// farther than this from the target's fit is not a cluster
+        /// candidate, regardless of DTW.
+        double max_candidate_distance_m{3.0};
+    };
+
+    ClusteringCalibrator() : ClusteringCalibrator(Config{}) {}
+    explicit ClusteringCalibrator(const Config& cfg) : cfg_(cfg), matcher_(cfg.dtw) {}
+
+    /// Calibrate the target's estimate using neighboring beacons. The
+    /// target itself always participates in the weighted sum.
+    ClusterCalibration calibrate(const ClusterCandidate& target,
+                                 const std::vector<ClusterCandidate>& neighbors) const;
+
+    /// The trend signal the DTW matcher actually compares: RSS resampled on
+    /// `times`, smoothed, differenced over `stride` samples, then z-scored
+    /// so chipset offsets and amplitude differences drop out and only the
+    /// *shape* of the trend is compared (exposed for tests/bench).
+    static std::vector<double> trend_signal(const locble::TimeSeries& rss,
+                                            const std::vector<double>& times,
+                                            std::size_t smooth_half_window,
+                                            std::size_t stride);
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+    SegmentedDtwMatcher matcher_;
+};
+
+}  // namespace locble::core

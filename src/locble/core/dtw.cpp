@@ -1,0 +1,114 @@
+#include "locble/core/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace locble::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double sqdist(double a, double b) { return (a - b) * (a - b); }
+
+}  // namespace
+
+std::vector<std::vector<double>> dtw_cost_matrix(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 std::size_t window) {
+    if (a.empty() || b.empty())
+        throw std::invalid_argument("dtw: empty sequence");
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    // A band narrower than |n - m| can never reach the corner.
+    const std::size_t min_band = n > m ? n - m : m - n;
+    const std::size_t w = window == 0 ? std::max(n, m) : std::max(window, min_band);
+
+    std::vector<std::vector<double>> cost(n, std::vector<double>(m, kInf));
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j_lo = i > w ? i - w : 0;
+        const std::size_t j_hi = std::min(i + w, m - 1);
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const double d = sqdist(a[i], b[j]);
+            if (i == 0 && j == 0) {
+                cost[i][j] = d;
+                continue;
+            }
+            double best = kInf;
+            if (i > 0) best = std::min(best, cost[i - 1][j]);
+            if (j > 0) best = std::min(best, cost[i][j - 1]);
+            if (i > 0 && j > 0) best = std::min(best, cost[i - 1][j - 1]);
+            cost[i][j] = d + best;
+        }
+    }
+    return cost;
+}
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    std::size_t window) {
+    const auto cost = dtw_cost_matrix(a, b, window);
+    return cost.back().back();
+}
+
+Envelope warping_envelope(std::span<const double> s, std::size_t window) {
+    Envelope env;
+    env.lower.resize(s.size());
+    env.upper.resize(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const std::size_t lo = i > window ? i - window : 0;
+        const std::size_t hi = std::min(i + window, s.size() - 1);
+        double mn = s[lo], mx = s[lo];
+        for (std::size_t j = lo + 1; j <= hi; ++j) {
+            mn = std::min(mn, s[j]);
+            mx = std::max(mx, s[j]);
+        }
+        env.lower[i] = mn;
+        env.upper[i] = mx;
+    }
+    return env;
+}
+
+double lb_keogh(std::span<const double> target, std::span<const double> candidate,
+                std::size_t window) {
+    if (target.size() != candidate.size())
+        throw std::invalid_argument("lb_keogh: length mismatch");
+    if (target.empty()) throw std::invalid_argument("lb_keogh: empty sequence");
+    const Envelope env = warping_envelope(target, window);
+    double lb = 0.0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+        if (candidate[i] > env.upper[i])
+            lb += sqdist(candidate[i], env.upper[i]);
+        else if (candidate[i] < env.lower[i])
+            lb += sqdist(candidate[i], env.lower[i]);
+    }
+    return lb;
+}
+
+SegmentedDtwMatcher::MatchResult SegmentedDtwMatcher::match(
+    std::span<const double> target, std::span<const double> candidate) const {
+    MatchResult out;
+    const std::size_t n = std::min(target.size(), candidate.size());
+    const std::size_t seg = cfg_.segment_length;
+    if (seg == 0 || n < seg) return out;
+
+    for (std::size_t start = 0; start + seg <= n; start += seg) {
+        ++out.segments_total;
+        const auto t = target.subspan(start, seg);
+        const auto c = candidate.subspan(start, seg);
+        // Cheap gate first: if even the lower bound exceeds the threshold,
+        // the true DTW distance must as well.
+        if (lb_keogh(t, c, cfg_.warp_window) > cfg_.threshold) {
+            ++out.lb_rejections;
+            continue;
+        }
+        if (dtw_distance(t, c, cfg_.warp_window) <= cfg_.threshold)
+            ++out.segments_matched;
+    }
+    out.matched = out.segments_total > 0 &&
+                  2 * out.segments_matched > out.segments_total;
+    return out;
+}
+
+}  // namespace locble::core

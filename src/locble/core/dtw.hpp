@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace locble::core {
+
+/// Dynamic time warping with a Sakoe-Chiba band.
+///
+/// Returns the cumulative alignment cost between `a` and `b` under squared
+/// Euclidean point distance, constrained to |i - j| <= window (window == 0
+/// means unconstrained). Throws std::invalid_argument on empty input.
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    std::size_t window = 0);
+
+/// Full DTW cost matrix (for Fig. 9's visualization); entry [i][j] is the
+/// cumulative cost of aligning a[0..i] with b[0..j].
+std::vector<std::vector<double>> dtw_cost_matrix(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 std::size_t window = 0);
+
+/// LB_Keogh lower bound on the DTW distance: the squared-distance mass of
+/// `candidate` outside the warping envelope of `target`. Cheap (O(n)) and
+/// always <= the true DTW distance, so it can discard non-matching segments
+/// before running DTW (Sec. 6.1's "lower bounding technique", ~100x faster
+/// than full DTW). Sequences must be the same length.
+double lb_keogh(std::span<const double> target, std::span<const double> candidate,
+                std::size_t window);
+
+/// Warping envelope of `s`: per-index min/max over [i-window, i+window].
+struct Envelope {
+    std::vector<double> lower;
+    std::vector<double> upper;
+};
+Envelope warping_envelope(std::span<const double> s, std::size_t window);
+
+/// LocBLE's segmented DTW matcher (Sec. 6.1 / Algo. 2 lines 4-11):
+/// sequences are preprocessed (low-pass + differentiation happen upstream),
+/// split into fixed-length segments, each segment gated by LB_Keogh and
+/// then accepted iff its banded DTW distance passes the threshold; the
+/// candidate matches when more than half of its segments match.
+class SegmentedDtwMatcher {
+public:
+    struct Config {
+        std::size_t segment_length{10};  ///< paper: 10-point segments
+        std::size_t warp_window{3};
+        double threshold{6.1};  ///< shared LB / DTW threshold (Sec. 6.1)
+    };
+
+    SegmentedDtwMatcher() : SegmentedDtwMatcher(Config{}) {}
+    explicit SegmentedDtwMatcher(const Config& cfg) : cfg_(cfg) {}
+
+    struct MatchResult {
+        bool matched{false};
+        std::size_t segments_total{0};
+        std::size_t segments_matched{0};
+        std::size_t lb_rejections{0};  ///< segments LB_Keogh discarded early
+    };
+
+    /// Compare a candidate sequence against the target; both must be
+    /// sampled on the target's timestamps already (interpolate upstream).
+    MatchResult match(std::span<const double> target,
+                      std::span<const double> candidate) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+}  // namespace locble::core

@@ -1,0 +1,120 @@
+#include "locble/core/envaware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "locble/channel/fading.hpp"
+#include "locble/channel/propagation.hpp"
+#include "locble/core/features.hpp"
+
+namespace locble::core {
+
+void EnvAware::train(const ml::Dataset& features) {
+    features.validate();
+    scaler_.fit(features);
+    ml::LinearSvm svm(cfg_.svm);
+    svm.fit(scaler_.transform(features));
+    svm_ = std::move(svm);
+}
+
+channel::PropagationClass EnvAware::classify(std::span<const double> rss_window) const {
+    if (!trained()) throw std::logic_error("EnvAware: classify before train");
+    const auto features = extract_env_features_vec(rss_window);
+    return static_cast<channel::PropagationClass>(
+        svm_.predict(scaler_.transform(features)));
+}
+
+EnvAware::Observation EnvAware::observe(std::span<const double> rss_window) {
+    Observation obs{};
+    obs.window_class = classify(rss_window);
+    if (!regime_) {
+        regime_ = obs.window_class;
+        obs.regime = *regime_;
+        return obs;
+    }
+    if (obs.window_class == *regime_) {
+        pending_.reset();
+        pending_count_ = 0;
+    } else {
+        if (pending_ && *pending_ == obs.window_class) {
+            ++pending_count_;
+        } else {
+            pending_ = obs.window_class;
+            pending_count_ = 1;
+        }
+        // "Abrupt environmental changes" (Sec. 4.1) — a two-class jump such
+        // as NLOS -> LOS — flip immediately; adjacent-class drift waits out
+        // the debounce so one passer-by cannot reset the regression.
+        const int jump = std::abs(static_cast<int>(obs.window_class) -
+                                  static_cast<int>(*regime_));
+        const int needed = jump >= 2 ? 1 : cfg_.change_debounce;
+        if (pending_count_ >= needed) {
+            regime_ = *pending_;
+            pending_.reset();
+            pending_count_ = 0;
+            obs.changed = true;
+        }
+    }
+    obs.regime = *regime_;
+    return obs;
+}
+
+void EnvAware::reset_stream() {
+    regime_.reset();
+    pending_.reset();
+    pending_count_ = 0;
+}
+
+ml::Dataset generate_env_dataset(const EnvDatasetConfig& cfg, locble::Rng& rng) {
+    ml::Dataset out;
+    const auto window_samples =
+        static_cast<std::size_t>(cfg.window_seconds * cfg.sample_rate_hz);
+    const double dt = 1.0 / cfg.sample_rate_hz;
+
+    for (int label = 0; label < 3; ++label) {
+        const auto cls = static_cast<channel::PropagationClass>(label);
+        const channel::PropagationParams params = channel::params_for(cls);
+        for (int trace = 0; trace < cfg.traces_per_class; ++trace) {
+            channel::FadingProcess fading(params.rician_k_db,
+                                          params.coherence_distance_m, rng.fork());
+            channel::ShadowingProcess shadowing(params.shadowing_sigma_db,
+                                                params.shadowing_decorrelation_m,
+                                                rng.fork());
+            const channel::LogDistanceModel base{cfg.gamma_dbm, params.exponent};
+            double d = rng.uniform(cfg.min_distance_m, cfg.max_distance_m);
+            // The collector walks around in front of the (possibly blocked)
+            // beacon: distance random-walks, motion decorrelates fading.
+            const double speed = rng.uniform(0.4, 1.3);
+            std::vector<double> window;
+            window.reserve(window_samples);
+            const auto total =
+                static_cast<std::size_t>(cfg.trace_seconds * cfg.sample_rate_hz);
+            for (std::size_t i = 0; i < total; ++i) {
+                const double moved = speed * dt;
+                d += rng.gaussian(0.0, moved);  // meandering walk
+                d = std::clamp(d, cfg.min_distance_m, cfg.max_distance_m);
+                window.push_back(channel::rssi_from_class(base, d, params, fading,
+                                                          shadowing, moved));
+                if (window.size() == window_samples) {
+                    out.add(extract_env_features_vec(window), label);
+                    window.clear();
+                }
+            }
+        }
+    }
+    return out;
+}
+
+ml::ClassificationReport evaluate_envaware(EnvAware& env, const ml::Dataset& data,
+                                           double test_fraction, locble::Rng& rng) {
+    auto [train, test] = ml::train_test_split(data, test_fraction, rng);
+    env.train(train);
+    std::vector<int> predicted;
+    predicted.reserve(test.size());
+    for (const auto& row : test.x)
+        predicted.push_back(env.svm().predict(env.scaler().transform(row)));
+    return ml::evaluate_classification(test.y, predicted);
+}
+
+}  // namespace locble::core

@@ -1,0 +1,19 @@
+#include "locble/core/features.hpp"
+
+#include "locble/common/stats.hpp"
+
+namespace locble::core {
+
+std::array<double, kEnvFeatureDims> extract_env_features(
+    std::span<const double> window) {
+    const locble::WindowSummary s = locble::summarize(window);
+    return {s.mean, s.variance, s.skewness, s.min, s.q1,
+            s.median, s.q3, s.max, s.kurtosis};
+}
+
+std::vector<double> extract_env_features_vec(std::span<const double> window) {
+    const auto f = extract_env_features(window);
+    return {f.begin(), f.end()};
+}
+
+}  // namespace locble::core

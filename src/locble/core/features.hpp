@@ -1,0 +1,23 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace locble::core {
+
+/// Dimensionality of the EnvAware feature vector. Sec. 4.1 builds it from
+/// window statistics — mean, variance, skewness plus the five-number
+/// summary (min, Q1, median, Q3, max) — and calls the result "the
+/// standardized 9 values"; kurtosis completes the count (see DESIGN.md).
+inline constexpr std::size_t kEnvFeatureDims = 9;
+
+/// Extract the EnvAware feature vector from one RSS window (1-2 s of
+/// samples). Standardization happens later, in the trained scaler. Throws
+/// std::invalid_argument when the window is empty.
+std::array<double, kEnvFeatureDims> extract_env_features(std::span<const double> window);
+
+/// Convenience: as a std::vector for the ml:: dataset types.
+std::vector<double> extract_env_features_vec(std::span<const double> window);
+
+}  // namespace locble::core

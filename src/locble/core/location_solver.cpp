@@ -1,0 +1,375 @@
+#include "locble/core/location_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "locble/common/linalg.hpp"
+#include "locble/common/stats.hpp"
+
+namespace locble::core {
+
+namespace {
+
+constexpr double kLog10 = 2.302585092994046;
+
+int segment_count(const std::vector<FusedSample>& samples) {
+    int k = 1;
+    for (const auto& s : samples) k = std::max(k, s.segment + 1);
+    return k;
+}
+
+double predict_rssi_seg(const locble::Vec2& location, double exponent,
+                        const std::vector<double>& gammas, const FusedSample& s) {
+    const double dx = location.x + s.p;
+    const double dy = location.y + s.q;
+    const double l = std::max(std::sqrt(dx * dx + dy * dy), 0.1);
+    const double g = gammas[static_cast<std::size_t>(
+        std::min<int>(s.segment, static_cast<int>(gammas.size()) - 1))];
+    return g - 10.0 * exponent * std::log10(l);
+}
+
+/// Gauss-Newton refinement of (x, h, Gamma_1..Gamma_k) at fixed exponent,
+/// minimizing the dB-domain residual — the maximum-likelihood objective
+/// under Gaussian RSS noise, with one power offset per environment segment
+/// (the paper's Gamma(e)). Gammas are projected into [gamma_min, gamma_max]
+/// each step.
+void refine_fit_db(const std::vector<FusedSample>& samples, double exponent,
+                   locble::Vec2& location, std::vector<double>& gammas,
+                   double gamma_min, double gamma_max) {
+    constexpr int kIterations = 12;
+    const std::size_t k = gammas.size();
+    const std::size_t dim = 2 + k;
+    double x = location.x, h = location.y;
+
+    for (int it = 0; it < kIterations; ++it) {
+        locble::Matrix jtj(dim, std::vector<double>(dim, 0.0));
+        std::vector<double> jtr(dim, 0.0);
+        for (const auto& s : samples) {
+            const double dx = x + s.p;
+            const double dy = h + s.q;
+            const double l2 = std::max(dx * dx + dy * dy, 0.01);
+            const auto seg = static_cast<std::size_t>(
+                std::min<int>(s.segment, static_cast<int>(k) - 1));
+            const double pred =
+                gammas[seg] - 5.0 * exponent * std::log10(l2) / 1.0;
+            const double r = s.rssi - pred;
+            const double c = -10.0 * exponent / kLog10;
+            std::vector<double> jac(dim, 0.0);
+            jac[0] = c * dx / l2;
+            jac[1] = c * dy / l2;
+            jac[2 + seg] = 1.0;
+            for (std::size_t a = 0; a < dim; ++a) {
+                if (jac[a] == 0.0) continue;
+                jtr[a] += jac[a] * r;
+                for (std::size_t b = 0; b < dim; ++b)
+                    jtj[a][b] += jac[a] * jac[b];
+            }
+        }
+        // Levenberg damping keeps early steps conservative; a small ridge
+        // also guards segments with very few samples.
+        const double damping = 1e-6 + (it < 3 ? 0.1 : 0.0);
+        for (std::size_t a = 0; a < dim; ++a) jtj[a][a] = jtj[a][a] * (1.0 + damping) + 1e-9;
+
+        std::vector<double> delta;
+        try {
+            delta = locble::solve_linear(std::move(jtj), std::move(jtr));
+        } catch (const std::exception&) {
+            break;
+        }
+        x += delta[0];
+        h += delta[1];
+        double step = std::abs(delta[0]) + std::abs(delta[1]);
+        for (std::size_t s = 0; s < k; ++s) {
+            gammas[s] = std::clamp(gammas[s] + delta[2 + s], gamma_min, gamma_max);
+            step += std::abs(delta[2 + s]);
+        }
+        if (step < 1e-6) break;
+    }
+    location = {x, h};
+}
+
+/// Residual statistics with per-segment gammas.
+ResidualStats residual_stats_seg(const std::vector<FusedSample>& samples,
+                                 const locble::Vec2& location, double exponent,
+                                 const std::vector<double>& gammas) {
+    ResidualStats out;
+    if (samples.empty()) return out;
+    std::vector<double> residuals;
+    residuals.reserve(samples.size());
+    for (const auto& s : samples)
+        residuals.push_back(s.rssi - predict_rssi_seg(location, exponent, gammas, s));
+    out.mean_db = locble::mean(residuals);
+    out.stddev_db = std::sqrt(locble::variance(residuals));
+    double ss = 0.0;
+    for (double r : residuals) ss += r * r;
+    out.rms_db = std::sqrt(ss / static_cast<double>(residuals.size()));
+    const double sigma = std::max(out.stddev_db, 1e-6);
+    out.confidence = std::exp(-(out.mean_db * out.mean_db) / (2.0 * sigma * sigma));
+    return out;
+}
+
+/// Initialize per-segment gammas from a single-gamma seed: each segment's
+/// offset is the mean residual of its samples under the seed parameters.
+std::vector<double> init_segment_gammas(const std::vector<FusedSample>& samples,
+                                        const locble::Vec2& location, double exponent,
+                                        double gamma_seed, int k, double gamma_min,
+                                        double gamma_max) {
+    std::vector<double> sum(k, 0.0);
+    std::vector<int> count(k, 0);
+    const std::vector<double> seed_vec{gamma_seed};
+    for (const auto& s : samples) {
+        const int seg = std::min(s.segment, k - 1);
+        FusedSample tmp = s;
+        tmp.segment = 0;
+        sum[seg] += s.rssi - predict_rssi_seg(location, exponent, seed_vec, tmp);
+        count[seg] += 1;
+    }
+    std::vector<double> gammas(k, gamma_seed);
+    for (int s = 0; s < k; ++s) {
+        if (count[s] > 0) gammas[s] += sum[s] / count[s];
+        gammas[s] = std::clamp(gammas[s], gamma_min, gamma_max);
+    }
+    return gammas;
+}
+
+}  // namespace
+
+ResidualStats residual_stats(const std::vector<FusedSample>& samples,
+                             const locble::Vec2& location, double exponent,
+                             double gamma_dbm) {
+    return residual_stats_seg(samples, location, exponent, {gamma_dbm});
+}
+
+std::pair<double, double> exponent_band_for(channel::PropagationClass cls) {
+    switch (cls) {
+        case channel::PropagationClass::los: return {1.6, 2.4};
+        case channel::PropagationClass::plos: return {2.1, 3.1};
+        case channel::PropagationClass::nlos: return {2.7, 4.2};
+    }
+    return {1.2, 6.0};
+}
+
+std::optional<LocationSolver::Candidate> LocationSolver::fit_at_exponent(
+    const std::vector<FusedSample>& samples, double exponent, bool lateral_ok,
+    double gamma_min, double gamma_max) const {
+    const int k = segment_count(samples);
+
+    // --- Linear elliptical seed (paper Eq. 3) on all samples with a single
+    // Gamma; rho is exponential in RSS, so dB noise becomes multiplicative.
+    // Weighting rows by 1/rho_i minimizes relative error — the first-order
+    // equivalent of fitting in the dB domain, in the same linear form.
+    const double eta = std::pow(10.0, -1.0 / (5.0 * exponent));
+    std::vector<double> rho(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        rho[i] = std::pow(eta, samples[i].rssi);
+        if (!(rho[i] > 0.0) || !std::isfinite(rho[i])) return std::nullopt;
+    }
+    double rho_scale = 0.0;
+    for (double r : rho) rho_scale = std::max(rho_scale, r);
+    locble::Matrix x;
+    std::vector<double> y;
+    x.reserve(samples.size());
+    y.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const auto& s = samples[i];
+        // Plain LS (ablation) keeps the paper's raw Eq. 3 rows (scaled for
+        // conditioning only); WLS divides each row by rho_i.
+        const double w = cfg_.use_wls ? 1.0 / rho[i] : 1.0 / rho_scale;
+        if (lateral_ok)
+            x.push_back({(s.p * s.p + s.q * s.q) * w, s.p * w, s.q * w, w});
+        else
+            x.push_back({s.p * s.p * w, s.p * w, w});
+        y.push_back(cfg_.use_wls ? 1.0 : rho[i] / rho_scale);
+    }
+
+    std::vector<double> beta;
+    bool linear_seed_ok = true;
+    try {
+        beta = locble::least_squares(x, y);
+    } catch (const std::exception&) {
+        linear_seed_ok = false;
+    }
+    if (linear_seed_ok && !(beta[0] > 0.0)) linear_seed_ok = false;  // eps = 1/A > 0
+
+    // Plausibility screen: discard non-physical attempts so a noise-
+    // favoured exponent cannot launch the target outside radio range.
+    const auto plausible = [&](const locble::Vec2& loc,
+                               const std::vector<double>& gammas) {
+        if (loc.norm() > cfg_.max_range_m) return false;
+        for (double g : gammas)
+            if (g < gamma_min - 1e-9 || g > gamma_max + 1e-9) return false;
+        return true;
+    };
+
+    // Gather refined attempts and keep the best *plausible* one: the linear
+    // seed when it exists, plus multi-start Gauss-Newton from the
+    // level-implied range when it does not (weak quadratic excitation makes
+    // the linear system lose the sign of A) or when its refinement ran away.
+    double best_rms = 1e300;
+    locble::Vec2 best_loc;
+    std::vector<double> best_gammas;
+    const auto consider = [&](locble::Vec2 loc, double gamma_seed) {
+        auto gammas = init_segment_gammas(samples, loc, exponent, gamma_seed, k,
+                                          gamma_min, gamma_max);
+        if (cfg_.use_gn_refinement)
+            refine_fit_db(samples, exponent, loc, gammas, gamma_min, gamma_max);
+        if (!plausible(loc, gammas)) return;
+        const ResidualStats st = residual_stats_seg(samples, loc, exponent, gammas);
+        if (st.rms_db < best_rms) {
+            best_rms = st.rms_db;
+            best_loc = loc;
+            best_gammas = std::move(gammas);
+        }
+    };
+
+    double gamma_seed = 0.5 * (gamma_min + gamma_max);
+    if (linear_seed_ok) {
+        const double a = beta[0];
+        const double eps = 1.0 / a;
+        gamma_seed = std::clamp(5.0 * exponent * std::log10(eps), gamma_min, gamma_max);
+        if (lateral_ok) {
+            consider({beta[1] / (2.0 * a), beta[2] / (2.0 * a)}, gamma_seed);
+        } else {
+            const double x0 = beta[1] / (2.0 * a);
+            const double g = beta[2];
+            const double h2 = g * eps - x0 * x0;
+            consider({x0, std::sqrt(std::max(h2, 0.0))}, gamma_seed);
+        }
+    }
+    if (best_rms >= 1e300) {
+        double mean_rssi = 0.0;
+        for (const auto& s : samples) mean_rssi += s.rssi;
+        mean_rssi /= static_cast<double>(samples.size());
+        const double d0 = std::clamp(
+            std::pow(10.0, (gamma_seed - mean_rssi) / (10.0 * exponent)), 0.5,
+            cfg_.max_range_m);
+        constexpr int kBearings = 8;
+        for (int b = 0; b < kBearings; ++b) {
+            const double angle = 2.0 * std::numbers::pi * b / kBearings;
+            consider(locble::unit_from_angle(angle) * d0, gamma_seed);
+        }
+    }
+    if (best_rms >= 1e300) return std::nullopt;
+
+    LocationFit fit;
+    fit.exponent = exponent;
+    fit.location = best_loc;
+    fit.segment_gammas = std::move(best_gammas);
+    fit.ambiguous = !lateral_ok;
+    if (fit.ambiguous) fit.location.y = std::abs(fit.location.y);
+    fit.gamma_dbm = fit.segment_gammas.back();
+
+    const ResidualStats stats =
+        residual_stats_seg(samples, fit.location, fit.exponent, fit.segment_gammas);
+    fit.residual_db = stats.rms_db;
+    fit.confidence = stats.confidence;
+    return Candidate{fit, stats.rms_db};
+}
+
+std::optional<LocationFit> LocationSolver::solve(const std::vector<FusedSample>& samples,
+                                                 const SolveHints& hints) const {
+    if (samples.size() < cfg_.min_samples) return std::nullopt;
+
+    // Is there usable lateral (q) excitation, or is the walk effectively 1-D?
+    double qmin = samples.front().q, qmax = samples.front().q;
+    for (const auto& s : samples) {
+        qmin = std::min(qmin, s.q);
+        qmax = std::max(qmax, s.q);
+    }
+    const bool lateral_ok = (qmax - qmin) >= cfg_.min_lateral_spread;
+
+    double n_min = cfg_.exponent_min;
+    double n_max = cfg_.exponent_max;
+    if (hints.exponent_band) {
+        n_min = std::max(n_min, hints.exponent_band->first);
+        n_max = std::min(n_max, hints.exponent_band->second);
+    }
+    double gamma_min = cfg_.gamma_min_dbm;
+    double gamma_max = cfg_.gamma_max_dbm;
+    if (hints.gamma_band_dbm) {
+        gamma_min = std::max(gamma_min, hints.gamma_band_dbm->first);
+        gamma_max = std::min(gamma_max, hints.gamma_band_dbm->second);
+    }
+
+    std::optional<Candidate> best;
+    std::vector<Candidate> candidates;
+    for (double n = n_min; n <= n_max + 1e-9; n += cfg_.exponent_step) {
+        auto cand = fit_at_exponent(samples, n, lateral_ok, gamma_min, gamma_max);
+        if (!cand) continue;
+        candidates.push_back(*cand);
+        if (!best || cand->score < best->score) best = cand;
+    }
+    if (!best) return std::nullopt;
+
+    // The residual is nearly flat across neighbouring exponents; averaging
+    // the near-optimal candidates (within 15% of the best residual) damps
+    // the jitter a hard argmin would inherit from noise.
+    if (!cfg_.use_model_averaging) return best->fit;
+
+    locble::Vec2 loc_acc{0.0, 0.0};
+    double n_acc = 0.0, weight_acc = 0.0;
+    for (const auto& c : candidates) {
+        if (c.score > best->score * 1.15 + 1e-9) continue;
+        if (c.fit.ambiguous != best->fit.ambiguous) continue;
+        const double w = 1.0 / std::max(c.score, 1e-6);
+        loc_acc += c.fit.location * w;
+        n_acc += c.fit.exponent * w;
+        weight_acc += w;
+    }
+    LocationFit fit = best->fit;
+    if (weight_acc > 0.0) {
+        fit.location = loc_acc / weight_acc;
+        fit.exponent = n_acc / weight_acc;
+        const ResidualStats stats = residual_stats_seg(samples, fit.location,
+                                                       fit.exponent, fit.segment_gammas);
+        fit.residual_db = stats.rms_db;
+        fit.confidence = stats.confidence;
+    }
+    return fit;
+}
+
+std::optional<LocationFit> LocationSolver::resolve_l_shape(
+    const LocationFit& leg1, const LocationFit& leg2, const locble::Vec2& leg2_origin,
+    double leg2_heading) {
+    // Each ambiguous leg fit yields two mirror candidates in its own frame.
+    const auto candidates_of = [](const LocationFit& fit) {
+        std::vector<locble::Vec2> out{fit.location};
+        if (fit.ambiguous) out.push_back({fit.location.x, -fit.location.y});
+        return out;
+    };
+    // Leg 1's frame *is* the observer frame. Leg 2 candidates must be
+    // rotated/translated out of the second leg's local frame.
+    std::vector<locble::Vec2> c1 = candidates_of(leg1);
+    std::vector<locble::Vec2> c2;
+    for (const auto& c : candidates_of(leg2))
+        c2.push_back(leg2_origin + c.rotated(leg2_heading));
+
+    double best_gap = 1e300;
+    locble::Vec2 best_point;
+    for (const auto& a : c1) {
+        for (const auto& b : c2) {
+            const double gap = locble::Vec2::distance(a, b);
+            if (gap < best_gap) {
+                best_gap = gap;
+                best_point = (a + b) * 0.5;
+            }
+        }
+    }
+    if (best_gap >= 1e300) return std::nullopt;
+
+    LocationFit out;
+    out.location = best_point;
+    // Blend the per-leg parameter estimates, weighting by confidence.
+    const double w1 = std::max(leg1.confidence, 1e-6);
+    const double w2 = std::max(leg2.confidence, 1e-6);
+    out.exponent = (leg1.exponent * w1 + leg2.exponent * w2) / (w1 + w2);
+    out.gamma_dbm = (leg1.gamma_dbm * w1 + leg2.gamma_dbm * w2) / (w1 + w2);
+    out.segment_gammas = {out.gamma_dbm};
+    out.residual_db = 0.5 * (leg1.residual_db + leg2.residual_db);
+    out.confidence = std::min(leg1.confidence, leg2.confidence);
+    out.ambiguous = false;
+    return out;
+}
+
+}  // namespace locble::core

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "locble/channel/pathloss.hpp"
+#include "locble/common/vec2.hpp"
+
+namespace locble::core {
+
+/// One fused measurement: the relative displacement between target and
+/// observer at the moment an RSS sample arrived (Sec. 5's p_i = b_i - a_i,
+/// q_i = d_i - c_i) plus the (denoised) RSS value.
+struct FusedSample {
+    double t{0.0};
+    double p{0.0};     ///< relative x displacement (m)
+    double q{0.0};     ///< relative y displacement (m)
+    double rssi{0.0};  ///< dBm, after ANF
+    /// Environment segment (EnvAware regime) this sample was captured in.
+    /// The paper's model RS = Gamma(e) - 10 n(e) log10(l) has environment-
+    /// dependent parameters; the solver shares (x, h) across segments and
+    /// fits one Gamma per segment, which absorbs blockage insertion loss.
+    int segment{0};
+};
+
+/// The solver's output: the target's location in the observer frame plus
+/// the jointly estimated propagation parameters.
+struct LocationFit {
+    locble::Vec2 location;      ///< (x, h): target position at measurement start
+    double exponent{2.0};       ///< estimated path-loss exponent n(e)
+    double gamma_dbm{-59.0};    ///< Gamma(e) of the latest environment segment
+    /// Gamma per environment segment (size >= 1; last == gamma_dbm).
+    std::vector<double> segment_gammas{};
+    double residual_db{0.0};    ///< RMS of dB-domain residuals
+    double confidence{0.0};     ///< Sec. 5 estimation confidence in (0, 1]
+    bool ambiguous{false};      ///< 1-D motion: sign of location.y unresolved
+};
+
+/// Optional constraints a caller can hand the solver:
+///   - EnvAware's propagation class narrows the plausible exponent band
+///     (the "adjust the location estimation" coupling of Sec. 4.1);
+///   - the calibrated 1 m power carried in every beacon frame (iBeacon
+///     measured power / Eddystone txPower) bounds Gamma.
+struct SolveHints {
+    std::optional<std::pair<double, double>> exponent_band;
+    std::optional<std::pair<double, double>> gamma_band_dbm;
+};
+
+/// Exponent band for a recognized propagation class.
+std::pair<double, double> exponent_band_for(channel::PropagationClass cls);
+
+/// Elliptical-regression location estimator (Sec. 5).
+///
+/// For a candidate exponent n, the path-loss law becomes linear in
+/// (A, C, D, G) after substituting rho_i = eta^{RS_i} with
+/// eta = 10^{-1/(5n)}:
+///
+///   A (p^2 + q^2) + C p + D q + G = rho,   A = 1/eps, C = 2x/eps,
+///                                          D = 2h/eps, G = (x^2+h^2)/eps
+///
+/// The solver grid-searches n (Eq. 5), solving the least-squares system at
+/// each candidate and scoring it by the dB-domain residual; the target is
+/// read off as (C/2A, D/2A) and Gamma as 5 n log10(1/A).
+class LocationSolver {
+public:
+    struct Config {
+        double exponent_min{1.2};
+        double exponent_max{6.0};
+        double exponent_step{0.05};  ///< grid resolution for Eq. 5's search
+        std::size_t min_samples{8};
+        /// Below this spread (m) the q dimension is considered degenerate
+        /// and the 1-D (ambiguous) model is fit instead.
+        double min_lateral_spread{0.35};
+        /// Physical plausibility bounds on candidate fits: BLE beacons are
+        /// receivable within ~15 m indoors (Sec. 2.2), and the 1 m power
+        /// offset of any real transmitter/receiver pair lies in a known
+        /// band. Candidates outside are discarded during the Eq. 5 search.
+        double max_range_m{25.0};
+        double gamma_min_dbm{-90.0};
+        double gamma_max_dbm{-30.0};
+        /// Ablation switches for the estimator design choices documented in
+        /// DESIGN.md (defaults are the measured-best configuration).
+        bool use_wls{true};              ///< 1/rho row weighting of the linear seed
+        bool use_gn_refinement{true};    ///< dB-domain Gauss-Newton polish
+        bool use_model_averaging{false};  ///< average near-optimal exponents (measured
+                                          ///  counterproductive once GN refinement
+                                          ///  exists; kept for the ablation bench)
+    };
+
+    LocationSolver() : LocationSolver(Config{}) {}
+    explicit LocationSolver(const Config& cfg) : cfg_(cfg) {}
+
+    /// Full 2-D fit over (typically L-shaped) movement data. Returns
+    /// nullopt when there are too few samples or every candidate exponent
+    /// yields a degenerate system. `hints` (optional) narrows the exponent
+    /// and Gamma search regions.
+    std::optional<LocationFit> solve(const std::vector<FusedSample>& samples,
+                                     const SolveHints& hints = {}) const;
+
+    /// The paper's explicit disambiguation (Sec. 5.1): fit each leg of an
+    /// L-shaped walk independently (each is 1-D and symmetric about its own
+    /// axis), rotate both candidate pairs into the observer frame, and pick
+    /// the pair of candidates that agree. `leg2_origin`/`leg2_heading`
+    /// place the second leg's local frame inside the observer frame.
+    static std::optional<LocationFit> resolve_l_shape(
+        const LocationFit& leg1, const LocationFit& leg2,
+        const locble::Vec2& leg2_origin, double leg2_heading);
+
+    const Config& config() const { return cfg_; }
+
+private:
+    struct Candidate {
+        LocationFit fit;
+        double score{1e300};
+    };
+
+    /// One least-squares pass at a fixed exponent; nullopt when the linear
+    /// system is singular or produces a non-physical A <= 0.
+    std::optional<Candidate> fit_at_exponent(const std::vector<FusedSample>& samples,
+                                             double exponent, bool lateral_ok,
+                                             double gamma_min, double gamma_max) const;
+
+    Config cfg_;
+};
+
+/// Residual diagnostics backing the confidence number (Sec. 5): mean and
+/// std of deltaRS = RS - RS_hat, and confidence = exp(-mu^2 / (2 sigma^2)).
+struct ResidualStats {
+    double mean_db{0.0};
+    double stddev_db{0.0};
+    double rms_db{0.0};
+    double confidence{0.0};
+};
+
+/// Evaluate a fitted model against samples.
+ResidualStats residual_stats(const std::vector<FusedSample>& samples,
+                             const locble::Vec2& location, double exponent,
+                             double gamma_dbm);
+
+}  // namespace locble::core

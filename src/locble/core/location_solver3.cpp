@@ -1,0 +1,157 @@
+#include "locble/core/location_solver3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "locble/common/linalg.hpp"
+#include "locble/common/stats.hpp"
+
+namespace locble::core {
+
+namespace {
+
+constexpr double kLog10 = 2.302585092994046;
+
+double predict_rssi3(const locble::Vec3& location, double exponent, double gamma_dbm,
+                     const FusedSample3& s) {
+    const double dx = location.x + s.p;
+    const double dy = location.y + s.q;
+    const double dz = location.z + s.r;
+    const double l = std::max(std::sqrt(dx * dx + dy * dy + dz * dz), 0.1);
+    return gamma_dbm - 10.0 * exponent * std::log10(l);
+}
+
+/// Projected Gauss-Newton over (x, h, z, Gamma) at fixed exponent; z is
+/// frozen when the walk carries no vertical excitation.
+void refine3(const std::vector<FusedSample3>& samples, double exponent,
+             locble::Vec3& location, double& gamma, bool solve_z, double gamma_min,
+             double gamma_max) {
+    constexpr int kIterations = 14;
+    const std::size_t dim = solve_z ? 4 : 3;
+    double x = location.x, h = location.y, z = location.z, g = gamma;
+    for (int it = 0; it < kIterations; ++it) {
+        locble::Matrix jtj(dim, std::vector<double>(dim, 0.0));
+        std::vector<double> jtr(dim, 0.0);
+        for (const auto& s : samples) {
+            const double dx = x + s.p;
+            const double dy = h + s.q;
+            const double dz = z + s.r;
+            const double l2 = std::max(dx * dx + dy * dy + dz * dz, 0.01);
+            const double pred = g - 5.0 * exponent * std::log10(l2);
+            const double res = s.rssi - pred;
+            const double c = -10.0 * exponent / kLog10;
+            std::vector<double> jac(dim, 0.0);
+            jac[0] = c * dx / l2;
+            jac[1] = c * dy / l2;
+            if (solve_z) {
+                jac[2] = c * dz / l2;
+                jac[3] = 1.0;
+            } else {
+                jac[2] = 1.0;
+            }
+            for (std::size_t a = 0; a < dim; ++a) {
+                jtr[a] += jac[a] * res;
+                for (std::size_t b = 0; b < dim; ++b) jtj[a][b] += jac[a] * jac[b];
+            }
+        }
+        const double damping = 1e-6 + (it < 3 ? 0.1 : 0.0);
+        for (std::size_t a = 0; a < dim; ++a)
+            jtj[a][a] = jtj[a][a] * (1.0 + damping) + 1e-9;
+        std::vector<double> delta;
+        try {
+            delta = locble::solve_linear(std::move(jtj), std::move(jtr));
+        } catch (const std::exception&) {
+            break;
+        }
+        x += delta[0];
+        h += delta[1];
+        double step = std::abs(delta[0]) + std::abs(delta[1]);
+        if (solve_z) {
+            z += delta[2];
+            g = std::clamp(g + delta[3], gamma_min, gamma_max);
+            step += std::abs(delta[2]) + std::abs(delta[3]);
+        } else {
+            g = std::clamp(g + delta[2], gamma_min, gamma_max);
+            step += std::abs(delta[2]);
+        }
+        if (step < 1e-6) break;
+    }
+    location = {x, h, z};
+    gamma = g;
+}
+
+}  // namespace
+
+ResidualStats residual_stats3(const std::vector<FusedSample3>& samples,
+                              const locble::Vec3& location, double exponent,
+                              double gamma_dbm) {
+    ResidualStats out;
+    if (samples.empty()) return out;
+    std::vector<double> residuals;
+    residuals.reserve(samples.size());
+    for (const auto& s : samples)
+        residuals.push_back(s.rssi - predict_rssi3(location, exponent, gamma_dbm, s));
+    out.mean_db = locble::mean(residuals);
+    out.stddev_db = std::sqrt(locble::variance(residuals));
+    double ss = 0.0;
+    for (double r : residuals) ss += r * r;
+    out.rms_db = std::sqrt(ss / static_cast<double>(residuals.size()));
+    const double sigma = std::max(out.stddev_db, 1e-6);
+    out.confidence = std::exp(-(out.mean_db * out.mean_db) / (2.0 * sigma * sigma));
+    return out;
+}
+
+std::optional<LocationFit3> LocationSolver3::solve(
+    const std::vector<FusedSample3>& samples, const SolveHints& hints) const {
+    if (samples.size() < cfg_.base.min_samples) return std::nullopt;
+
+    // Vertical observability: does the walk move in z at all?
+    double rmin = samples.front().r, rmax = samples.front().r;
+    for (const auto& s : samples) {
+        rmin = std::min(rmin, s.r);
+        rmax = std::max(rmax, s.r);
+    }
+    const bool solve_z = (rmax - rmin) >= cfg_.min_vertical_spread;
+
+    // Seed from the 2-D stack on the horizontal projection.
+    std::vector<FusedSample> flat;
+    flat.reserve(samples.size());
+    for (const auto& s : samples)
+        flat.push_back({s.t, s.p, s.q, s.rssi, s.segment});
+    const LocationSolver solver2(cfg_.base);
+    const auto seed = solver2.solve(flat, hints);
+    if (!seed) return std::nullopt;
+
+    double gamma_min = cfg_.base.gamma_min_dbm;
+    double gamma_max = cfg_.base.gamma_max_dbm;
+    if (hints.gamma_band_dbm) {
+        gamma_min = std::max(gamma_min, hints.gamma_band_dbm->first);
+        gamma_max = std::min(gamma_max, hints.gamma_band_dbm->second);
+    }
+
+    LocationFit3 fit;
+    fit.exponent = seed->exponent;
+    fit.z_observable = solve_z;
+    double best_rms = 1e300;
+    // z is only weakly coupled; try a few starting heights and keep the best.
+    const double z_starts[] = {0.0, 1.0, -1.0, 2.0};
+    for (double z0 : z_starts) {
+        locble::Vec3 loc{seed->location, z0};
+        double g = std::clamp(seed->gamma_dbm, gamma_min, gamma_max);
+        refine3(samples, seed->exponent, loc, g, solve_z, gamma_min, gamma_max);
+        const ResidualStats st = residual_stats3(samples, loc, seed->exponent, g);
+        if (st.rms_db < best_rms) {
+            best_rms = st.rms_db;
+            fit.location = loc;
+            fit.gamma_dbm = g;
+            fit.residual_db = st.rms_db;
+            fit.confidence = st.confidence;
+        }
+        if (!solve_z) break;  // z frozen: every start is identical
+    }
+    if (best_rms >= 1e300) return std::nullopt;
+    if (fit.location.xy().norm() > cfg_.base.max_range_m) return std::nullopt;
+    return fit;
+}
+
+}  // namespace locble::core

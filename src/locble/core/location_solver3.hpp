@@ -1,0 +1,66 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "locble/common/vec3.hpp"
+#include "locble/core/location_solver.hpp"
+
+namespace locble::core {
+
+/// One fused 3-D measurement: relative displacement (p, q, r) between the
+/// target and observer plus the denoised RSS, as in the 2-D FusedSample but
+/// with a vertical component.
+struct FusedSample3 {
+    double t{0.0};
+    double p{0.0};
+    double q{0.0};
+    double r{0.0};  ///< relative z displacement (m)
+    double rssi{0.0};
+    int segment{0};
+};
+
+/// 3-D fit (Sec. 9.3's extension, implemented): target position in the
+/// observer frame with z relative to the phone's starting height.
+struct LocationFit3 {
+    locble::Vec3 location;
+    double exponent{2.0};
+    double gamma_dbm{-59.0};
+    double residual_db{0.0};
+    double confidence{0.0};
+    /// z is only observable when the walk had vertical excitation; when it
+    /// did not, the solver pins z to 0 and reports this flag.
+    bool z_observable{false};
+};
+
+/// 3-D location estimator: the 2-D elliptical-regression/Gauss-Newton stack
+/// lifted by one dimension. The 2-D solve on the horizontal projection
+/// seeds (x, h); z starts at 0 and is released only when the walk's
+/// vertical spread crosses `min_vertical_spread`.
+class LocationSolver3 {
+public:
+    struct Config {
+        LocationSolver::Config base{};
+        /// Minimum spread of r (m) before z is treated as observable —
+        /// raising the phone overhead and to the knee spans ~1 m.
+        double min_vertical_spread{0.5};
+    };
+
+    LocationSolver3() : LocationSolver3(Config{}) {}
+    explicit LocationSolver3(const Config& cfg) : cfg_(cfg) {}
+
+    std::optional<LocationFit3> solve(const std::vector<FusedSample3>& samples,
+                                      const SolveHints& hints = {}) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+/// Residual statistics of a 3-D model against samples.
+ResidualStats residual_stats3(const std::vector<FusedSample3>& samples,
+                              const locble::Vec3& location, double exponent,
+                              double gamma_dbm);
+
+}  // namespace locble::core

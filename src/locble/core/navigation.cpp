@@ -1,0 +1,15 @@
+#include "locble/core/navigation.hpp"
+
+namespace locble::core {
+
+Guidance Navigator::guide(const locble::Vec2& current_position,
+                          double current_heading) const {
+    Guidance g;
+    const locble::Vec2 delta = target_ - current_position;
+    g.distance_m = delta.norm();
+    g.arrived = g.distance_m <= arrive_radius_;
+    g.bearing_rad = g.arrived ? 0.0 : locble::angle_diff(delta.angle(), current_heading);
+    return g;
+}
+
+}  // namespace locble::core

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "locble/common/vec2.hpp"
+
+namespace locble::core {
+
+/// One navigation instruction (what LocBLE's navigation mode renders as the
+/// on-screen arrow, Sec. 7.1).
+struct Guidance {
+    double distance_m{0.0};      ///< straight-line distance to the estimate
+    double bearing_rad{0.0};     ///< turn required relative to current heading
+    bool arrived{false};
+};
+
+/// Dead-reckoning navigator toward a measured target estimate (Sec. 7.3).
+///
+/// The observer frame is fixed at the measurement's start; as the user
+/// walks, their dead-reckoned pose is compared against the stored estimate
+/// to produce distance + turn instructions. The estimate can be refreshed
+/// whenever a new measurement completes en route (Fig. 12(b)'s improving
+/// accuracy while approaching).
+class Navigator {
+public:
+    explicit Navigator(const locble::Vec2& target_estimate, double arrive_radius_m = 0.5)
+        : target_(target_estimate), arrive_radius_(arrive_radius_m) {}
+
+    Guidance guide(const locble::Vec2& current_position, double current_heading) const;
+
+    /// Replace the target estimate (mid-route re-measurement).
+    void update_target(const locble::Vec2& target_estimate) { target_ = target_estimate; }
+    const locble::Vec2& target() const { return target_; }
+
+private:
+    locble::Vec2 target_;
+    double arrive_radius_;
+};
+
+}  // namespace locble::core

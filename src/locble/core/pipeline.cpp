@@ -1,0 +1,153 @@
+#include "locble/core/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locble::core {
+
+LocBle::LocBle(const Config& cfg, std::optional<EnvAware> envaware)
+    : cfg_(cfg), envaware_(std::move(envaware)), solver_(cfg.solver) {
+    if (cfg_.use_envaware && (!envaware_ || !envaware_->trained()))
+        throw std::invalid_argument("LocBle: use_envaware requires a trained EnvAware");
+}
+
+motion::MotionEstimate rotate_motion(const motion::MotionEstimate& m, double angle) {
+    motion::MotionEstimate out = m;
+    for (auto& tp : out.path) tp.position = tp.position.rotated(angle);
+    return out;
+}
+
+LocateResult LocBle::locate(const locble::TimeSeries& raw_rss,
+                            const motion::MotionEstimate& observer) const {
+    return run(raw_rss, observer, nullptr, 0.0);
+}
+
+LocateResult LocBle::locate(const locble::TimeSeries& raw_rss,
+                            const motion::MotionEstimate& observer,
+                            const motion::MotionEstimate& target,
+                            double target_frame_rotation) const {
+    const motion::MotionEstimate aligned = rotate_motion(target, target_frame_rotation);
+    return run(raw_rss, observer, &aligned, 0.0);
+}
+
+LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
+                         const motion::MotionEstimate& observer,
+                         const motion::MotionEstimate* target,
+                         double /*target_frame_rotation*/) const {
+    LocateResult result;
+    if (raw_rss.empty()) return result;
+
+    // ANF runs offline (zero-phase) over the recorded capture; EnvAware
+    // sees raw batches (it learns from the raw fluctuation statistics the
+    // filter would erase).
+    const dsp::Anf anf(cfg_.anf);
+    locble::TimeSeries denoised_series;
+    if (cfg_.use_anf) denoised_series = anf.process_offline(raw_rss);
+    std::optional<EnvAware> env = envaware_;  // private streaming state
+    if (env) env->reset_stream();
+
+    // One regression shared across the walk; a regime change opens a new
+    // environment *segment* (Algo. 1's "new regression"): the solver keeps
+    // (x, h) common and fits Gamma per segment, so blockage insertion loss
+    // is absorbed without discarding geometry.
+    std::vector<FusedSample> regression;
+    std::optional<LocationFit> last_fit;
+    std::size_t last_fit_samples = 0;
+    int segment = 0;
+    std::optional<channel::PropagationClass> regime;
+    double band_min = 10.0, band_max = 0.0;  // union of regime bands seen
+    double prev_batch_mean = 0.0;
+    bool have_prev_batch = false;
+
+    const double t0 = raw_rss.front().t;
+    double batch_end = t0 + cfg_.batch_seconds;
+    std::vector<double> batch_raw;
+    std::vector<FusedSample> batch_fused;
+
+    auto flush_batch = [&]() {
+        if (batch_raw.empty()) return;
+        bool restart = false;
+        if (cfg_.use_envaware && env && batch_raw.size() >= 4) {
+            const auto obs = env->observe(batch_raw);
+            result.window_classes.push_back(obs.window_class);
+            regime = obs.regime;
+            restart = obs.changed;
+        }
+        if (regime && cfg_.use_regime_bands) {
+            const auto band = exponent_band_for(*regime);
+            band_min = std::min(band_min, band.first);
+            band_max = std::max(band_max, band.second);
+        }
+        double batch_mean = 0.0;
+        for (double v : batch_raw) batch_mean += v;
+        batch_mean /= static_cast<double>(batch_raw.size());
+        // A classifier flip only opens a new segment when the received
+        // level actually moved (real insertion-loss change); spurious
+        // reclassifications must not fragment the regression.
+        const bool level_jumped =
+            have_prev_batch && std::abs(batch_mean - prev_batch_mean) > 4.0;
+        prev_batch_mean = batch_mean;
+        have_prev_batch = true;
+        if (restart && level_jumped && cfg_.restart_on_change) {
+            ++segment;
+            ++result.regression_restarts;
+        }
+        for (auto& s : batch_fused) s.segment = segment;
+        regression.insert(regression.end(), batch_fused.begin(), batch_fused.end());
+
+        SolveHints hints;
+        // The regime's exponent band is applied only when a single regime
+        // covered the whole walk; mixed-regime data keeps the full range
+        // (the union band measured worse than either constraint).
+        if (cfg_.use_regime_bands && band_max > band_min &&
+            result.regression_restarts == 0)
+            hints.exponent_band = {{band_min, band_max}};
+        if (cfg_.gamma_prior_dbm) {
+            // Blockage shows up as insertion loss the log-distance model has
+            // no term for; per-segment Gammas absorb it, so the band must
+            // open downward when any blocked regime was seen (glass/body
+            // ~3-8 dB, concrete or metal 8-15 dB below calibration).
+            double below = cfg_.gamma_prior_below_db;
+            bool saw_blocked = false;
+            for (const auto cls : result.window_classes)
+                if (cls != channel::PropagationClass::los) saw_blocked = true;
+            if (saw_blocked && cfg_.use_regime_bands) below += 14.0;
+            hints.gamma_band_dbm = {*cfg_.gamma_prior_dbm - below,
+                                    *cfg_.gamma_prior_dbm + cfg_.gamma_prior_above_db};
+        }
+
+        if (auto fit = solver_.solve(regression, hints)) {
+            last_fit = fit;
+            last_fit_samples = regression.size();
+        }
+        batch_raw.clear();
+        batch_fused.clear();
+    };
+
+    for (std::size_t i = 0; i < raw_rss.size(); ++i) {
+        const auto& s = raw_rss[i];
+        while (s.t > batch_end) {
+            flush_batch();
+            batch_end += cfg_.batch_seconds;
+        }
+        const double denoised = cfg_.use_anf ? denoised_series[i].value : s.value;
+        // Match movement to the RSS sample by timestamp (Algo. 1 line 8).
+        const locble::Vec2 obs_pos = observer.position_at(s.t);
+        locble::Vec2 tgt_pos{0.0, 0.0};
+        if (target) tgt_pos = target->position_at(s.t);
+        FusedSample fused;
+        fused.t = s.t;
+        fused.p = tgt_pos.x - obs_pos.x;
+        fused.q = tgt_pos.y - obs_pos.y;
+        fused.rssi = denoised;
+        batch_raw.push_back(s.value);
+        batch_fused.push_back(fused);
+    }
+    flush_batch();
+
+    result.fit = last_fit;
+    result.samples_used = last_fit_samples;
+    return result;
+}
+
+}  // namespace locble::core

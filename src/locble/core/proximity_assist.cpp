@@ -1,0 +1,39 @@
+#include "locble/core/proximity_assist.hpp"
+
+#include <algorithm>
+
+namespace locble::core {
+
+ProximityAssist::Result ProximityAssist::refine(
+    const LocationFit& fit, const locble::TimeSeries& recent_rss,
+    const locble::Vec2& observer_position) const {
+    Result out;
+    out.location = fit.location;
+    if (recent_rss.empty()) return out;
+
+    out.proximity_range_m = ranger_.estimate_distance(recent_rss);
+    out.zone = baseline::FixedModelRanger::zone_for(out.proximity_range_m);
+
+    const locble::Vec2 offset = fit.location - observer_position;
+    const double regression_range = offset.norm();
+    // Engage only when both agree the target is close; a proximity reading
+    // alone can be a fade, a close regression estimate alone can be a bias.
+    if (regression_range > cfg_.engage_range_m ||
+        out.proximity_range_m > cfg_.engage_range_m)
+        return out;
+
+    // Keep the regression's bearing, blend the range. Blend weight grows as
+    // the proximity range shrinks (proximity is most trustworthy very close).
+    const double closeness =
+        1.0 - std::clamp(out.proximity_range_m / cfg_.engage_range_m, 0.0, 1.0);
+    const double w = cfg_.max_blend * closeness;
+    const double blended_range =
+        (1.0 - w) * regression_range + w * out.proximity_range_m;
+    const locble::Vec2 bearing =
+        regression_range > 1e-9 ? offset / regression_range : locble::Vec2{1.0, 0.0};
+    out.location = observer_position + bearing * blended_range;
+    out.engaged = true;
+    return out;
+}
+
+}  // namespace locble::core

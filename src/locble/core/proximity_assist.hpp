@@ -1,0 +1,54 @@
+#pragma once
+
+#include <optional>
+
+#include "locble/baseline/ranging.hpp"
+#include "locble/common/timeseries.hpp"
+#include "locble/core/location_solver.hpp"
+
+namespace locble::core {
+
+/// Last-metre refinement (Sec. 9.2, implemented future work).
+///
+/// The paper observes that "Bluetooth proximity actually demonstrates fairly
+/// good accuracy within 2 m" and proposes folding it into LocBLE to push
+/// sub-metre. This module does that: when the recent RSS indicates the
+/// immediate/near zone and the regression estimate also places the target
+/// close, the estimate's *radial* distance is blended toward the
+/// proximity-derived range (bearing is kept — proximity carries none).
+class ProximityAssist {
+public:
+    struct Config {
+        /// Blending starts when both estimates agree the target is within
+        /// this range.
+        double engage_range_m{2.5};
+        /// Weight of the proximity range at 0 m, decaying linearly to 0 at
+        /// engage_range_m (close in, proximity is the better ranger).
+        double max_blend{0.7};
+        baseline::FixedModelRanger::Config ranger{};
+    };
+
+    ProximityAssist() : ProximityAssist(Config{}) {}
+    explicit ProximityAssist(const Config& cfg) : cfg_(cfg), ranger_(cfg.ranger) {}
+
+    struct Result {
+        locble::Vec2 location;   ///< refined location (observer frame)
+        bool engaged{false};     ///< whether proximity was blended in
+        double proximity_range_m{0.0};
+        baseline::ProximityZone zone{baseline::ProximityZone::unknown};
+    };
+
+    /// Refine `fit` using the tail of the RSS stream, with the observer's
+    /// current position (observer frame) as the range origin. Returns the
+    /// original location untouched when out of the engage range.
+    Result refine(const LocationFit& fit, const locble::TimeSeries& recent_rss,
+                  const locble::Vec2& observer_position) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+    baseline::FixedModelRanger ranger_;
+};
+
+}  // namespace locble::core

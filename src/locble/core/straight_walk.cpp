@@ -1,0 +1,73 @@
+#include "locble/core/straight_walk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locble::core {
+
+MirrorHypothesisTracker::MirrorHypothesisTracker(const LocationFit& ambiguous_fit) {
+    if (!ambiguous_fit.ambiguous)
+        throw std::invalid_argument(
+            "MirrorHypothesisTracker: fit is already unambiguous");
+    right_ = ambiguous_fit.location;
+    left_ = {ambiguous_fit.location.x, -ambiguous_fit.location.y};
+    // A target on the walk line has no mirror to resolve.
+    if (std::abs(ambiguous_fit.location.y) < 1e-9) left_alive_ = false;
+}
+
+std::vector<locble::Vec2> MirrorHypothesisTracker::hypotheses() const {
+    std::vector<locble::Vec2> out;
+    if (right_alive_) out.push_back(right_);
+    if (left_alive_) out.push_back(left_);
+    return out;
+}
+
+locble::Vec2 MirrorHypothesisTracker::best() const {
+    if (right_alive_) return right_;
+    return left_;
+}
+
+void MirrorHypothesisTracker::update_with_fit(const LocationFit& fit,
+                                              const locble::Vec2& origin,
+                                              double heading) {
+    if (resolved()) return;
+    // Bring the new fit's candidates into the original observer frame.
+    std::vector<locble::Vec2> candidates{origin + fit.location.rotated(heading)};
+    if (fit.ambiguous)
+        candidates.push_back(
+            origin +
+            locble::Vec2{fit.location.x, -fit.location.y}.rotated(heading));
+
+    auto nearest_gap = [&](const locble::Vec2& h) {
+        double best = 1e300;
+        for (const auto& c : candidates)
+            best = std::min(best, locble::Vec2::distance(h, c));
+        return best;
+    };
+    const double gap_right = nearest_gap(right_);
+    const double gap_left = nearest_gap(left_);
+    // Only discriminate when the evidence clearly prefers one mirror; a new
+    // measurement equidistant from both carries no sign information.
+    const double margin = 0.25 * locble::Vec2::distance(right_, left_) + 0.3;
+    if (gap_right + margin < gap_left) left_alive_ = false;
+    if (gap_left + margin < gap_right) right_alive_ = false;
+}
+
+void MirrorHypothesisTracker::update_with_rss_trend(
+    const locble::Vec2& walked_toward, double moved_m, double rss_delta_db) {
+    if (resolved() || moved_m < 0.5) return;
+    // Walking a metre toward the true target must raise RSS (log-distance);
+    // a clear drop while approaching a hypothesis falsifies it.
+    constexpr double kClearDropDb = 1.5;
+    if (rss_delta_db > -kClearDropDb) return;
+    const double to_right = locble::Vec2::distance(walked_toward, right_);
+    const double to_left = locble::Vec2::distance(walked_toward, left_);
+    if (to_right < to_left)
+        right_alive_ = false;
+    else
+        left_alive_ = false;
+    // Never kill the last hypothesis.
+    if (!right_alive_ && !left_alive_) right_alive_ = true;
+}
+
+}  // namespace locble::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <optional>
+
+#include "locble/common/vec2.hpp"
+#include "locble/core/location_solver.hpp"
+
+namespace locble::core {
+
+/// Straight-walk measurement with navigation-time disambiguation
+/// (Sec. 9.2, implemented future work).
+///
+/// The L-shaped walk exists only to break the left/right symmetry of a 1-D
+/// measurement. The paper proposes letting the user "just walk straight and
+/// leave the symmetry problem to the navigation stage: during the last turn
+/// in navigation, we will know whether the observer is in a correct
+/// direction and correct him accordingly."
+///
+/// This tracker holds both mirror hypotheses of an ambiguous fit and
+/// retires one as soon as fresh evidence (a second measurement from a new
+/// pose, or an RSS trend while walking toward one hypothesis) contradicts
+/// it.
+class MirrorHypothesisTracker {
+public:
+    /// Start from an ambiguous fit in the observer frame (h >= 0 by the
+    /// solver's convention). Throws std::invalid_argument if the fit is not
+    /// ambiguous.
+    explicit MirrorHypothesisTracker(const LocationFit& ambiguous_fit);
+
+    /// Both live hypotheses (1 or 2 entries).
+    std::vector<locble::Vec2> hypotheses() const;
+
+    bool resolved() const { return !right_alive_ || !left_alive_; }
+
+    /// The surviving location; the +h mirror when still unresolved (so a
+    /// caller can always navigate toward *something*).
+    locble::Vec2 best() const;
+
+    /// Evidence: a later (unambiguous or ambiguous) fit taken from a pose
+    /// whose local frame is placed at `origin` with `heading` in the
+    /// original observer frame. The mirror farther from the new estimate
+    /// dies when the gap between hypotheses is discriminative.
+    void update_with_fit(const LocationFit& fit, const locble::Vec2& origin,
+                         double heading);
+
+    /// Evidence: the observer walked `moved` metres toward `walked_toward`
+    /// (one of the hypotheses) and the smoothed RSS changed by
+    /// `rss_delta_db`. Walking toward the true target raises RSS; a falling
+    /// RSS kills the hypothesis being approached.
+    void update_with_rss_trend(const locble::Vec2& walked_toward, double moved_m,
+                               double rss_delta_db);
+
+private:
+    locble::Vec2 right_;  ///< (x, +h)
+    locble::Vec2 left_;   ///< (x, -h)
+    bool right_alive_{true};
+    bool left_alive_{true};
+};
+
+}  // namespace locble::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/common/timeseries.hpp"
+#include "locble/dsp/butterworth.hpp"
+#include "locble/dsp/kalman.hpp"
+
+namespace locble::dsp {
+
+/// Adaptive Noise Filter — LocBLE's RSS preprocessing stage (Sec. 4.2).
+///
+/// Raw RSS passes through a fine-tuned low-pass Butterworth filter (default:
+/// 6th order) to remove fast fading, then an adaptive Kalman filter fuses
+/// the raw and filtered streams to recover the responsiveness the high-order
+/// Butterworth costs.
+class Anf {
+public:
+    struct Config {
+        int butterworth_order{6};
+        double cutoff_hz{0.7};    ///< passes slow path-loss trends only
+        double sample_rate_hz{10.0};
+        AdaptiveKalman::Config akf{};
+    };
+
+    Anf() : Anf(Config{}) {}
+    explicit Anf(const Config& cfg);
+
+    /// Process one raw RSS sample; returns the denoised value.
+    double process(double raw_rssi);
+
+    /// Convenience: filter a whole series causally, preserving timestamps.
+    locble::TimeSeries process(const locble::TimeSeries& raw);
+
+    /// Offline variant for recorded measurements (Algo. 1 runs on complete
+    /// batches): the Butterworth stage is applied forward-backward
+    /// (zero-phase), then the adaptive Kalman fuses raw against the
+    /// undelayed reference — so the output tracks the true level with no
+    /// group delay to compensate. Does not disturb streaming state.
+    locble::TimeSeries process_offline(const locble::TimeSeries& raw) const;
+
+    /// The intermediate Butterworth-only output of the last process() call —
+    /// exposed so the Fig. 4 bench can show BF vs BF+AKF.
+    double last_bf_output() const { return last_bf_; }
+
+    /// Effective group delay of the whole ANF chain in seconds, measured at
+    /// construction by driving a copy with a ramp. The location pipeline
+    /// pairs each denoised RSS value with the observer position this many
+    /// seconds *earlier*, so filtering does not skew the motion/RSS fusion.
+    double group_delay_s() const { return group_delay_s_; }
+
+    void reset();
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+    BiquadCascade bf_;
+    AdaptiveKalman akf_;
+    bool primed_{false};
+    double last_bf_{0.0};
+    double group_delay_s_{0.0};
+};
+
+/// Offline ablation helper: Butterworth-only filtering of a series.
+locble::TimeSeries butterworth_only(const locble::TimeSeries& raw,
+                                    const Anf::Config& cfg = {});
+
+}  // namespace locble::dsp

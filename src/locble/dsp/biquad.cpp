@@ -1,0 +1,35 @@
+#include "locble/dsp/biquad.hpp"
+
+#include <vector>
+
+namespace locble::dsp {
+
+double Biquad::dc_gain() const {
+    const double num = c_.b0 + c_.b1 + c_.b2;
+    const double den = 1.0 + c_.a1 + c_.a2;
+    return num / den;
+}
+
+void Biquad::prime(double x0) {
+    // Steady state for constant input x0: y = x0 * dc_gain, and the DF2T
+    // states follow directly from the update equations with x,y constant.
+    const double y = x0 * dc_gain();
+    s2_ = c_.b2 * x0 - c_.a2 * y;
+    s1_ = c_.b1 * x0 - c_.a1 * y + s2_;
+}
+
+void BiquadCascade::prime(double x0) {
+    double x = x0 * gain_;
+    for (auto& s : sections_) {
+        s.prime(x);
+        x *= s.dc_gain();
+    }
+}
+
+double BiquadCascade::dc_gain() const {
+    double g = gain_;
+    for (const auto& s : sections_) g *= s.dc_gain();
+    return g;
+}
+
+}  // namespace locble::dsp

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace locble::dsp {
+
+/// One second-order IIR section (Direct Form II transposed).
+///
+/// Coefficients are normalized so a0 == 1:
+///   y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]
+struct BiquadCoeffs {
+    double b0{1.0}, b1{0.0}, b2{0.0};
+    double a1{0.0}, a2{0.0};
+};
+
+/// Stateful biquad filter.
+class Biquad {
+public:
+    Biquad() = default;
+    explicit Biquad(const BiquadCoeffs& c) : c_(c) {}
+
+    /// Process one sample.
+    double process(double x) {
+        const double y = c_.b0 * x + s1_;
+        s1_ = c_.b1 * x - c_.a1 * y + s2_;
+        s2_ = c_.b2 * x - c_.a2 * y;
+        return y;
+    }
+
+    /// Clear internal state (zero input history).
+    void reset() { s1_ = s2_ = 0.0; }
+
+    /// Initialize internal state to the steady-state response for a constant
+    /// input `x0`, so the filter starts without a startup transient. For a
+    /// unity-DC-gain low-pass this makes the first output equal x0.
+    void prime(double x0);
+
+    /// DC gain of this section.
+    double dc_gain() const;
+
+    const BiquadCoeffs& coeffs() const { return c_; }
+
+private:
+    BiquadCoeffs c_{};
+    double s1_{0.0};
+    double s2_{0.0};
+};
+
+/// A cascade of biquad sections (+ overall gain), e.g. a designed
+/// Butterworth filter factored into second-order sections.
+class BiquadCascade {
+public:
+    BiquadCascade() = default;
+    BiquadCascade(std::vector<Biquad> sections, double gain)
+        : sections_(std::move(sections)), gain_(gain) {}
+
+    double process(double x) {
+        double y = x * gain_;
+        for (auto& s : sections_) y = s.process(y);
+        return y;
+    }
+
+    void reset() {
+        for (auto& s : sections_) s.reset();
+    }
+
+    /// Prime every section for constant input `x0` (propagating each
+    /// section's DC output to the next).
+    void prime(double x0);
+
+    double dc_gain() const;
+    std::size_t order() const { return sections_.size() * 2; }
+    const std::vector<Biquad>& sections() const { return sections_; }
+
+private:
+    std::vector<Biquad> sections_;
+    double gain_{1.0};
+};
+
+}  // namespace locble::dsp

@@ -1,0 +1,85 @@
+#include "locble/dsp/butterworth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace locble::dsp {
+
+namespace {
+
+/// Bilinear transform of one analog second-order-section denominator
+/// s^2 + a1 s + a0 with unity numerator gain a0 (low-pass pair), at
+/// sampling constant K = 2 fs.
+BiquadCoeffs bilinear_pair(double a1, double a0, double K) {
+    const double d0 = K * K + a1 * K + a0;
+    BiquadCoeffs c;
+    c.b0 = a0 / d0;
+    c.b1 = 2.0 * a0 / d0;
+    c.b2 = a0 / d0;
+    c.a1 = (2.0 * a0 - 2.0 * K * K) / d0;
+    c.a2 = (K * K - a1 * K + a0) / d0;
+    return c;
+}
+
+/// Bilinear transform of one real analog pole section (s + wc) with
+/// numerator wc, expressed as a degenerate biquad.
+BiquadCoeffs bilinear_single(double wc, double K) {
+    const double d0 = K + wc;
+    BiquadCoeffs c;
+    c.b0 = wc / d0;
+    c.b1 = wc / d0;
+    c.b2 = 0.0;
+    c.a1 = (wc - K) / d0;
+    c.a2 = 0.0;
+    return c;
+}
+
+}  // namespace
+
+BiquadCascade design_butterworth_lowpass(int order, double cutoff_hz,
+                                         double sample_rate_hz) {
+    if (order < 1) throw std::invalid_argument("butterworth: order must be >= 1");
+    if (!(cutoff_hz > 0.0) || !(cutoff_hz < sample_rate_hz / 2.0))
+        throw std::invalid_argument("butterworth: cutoff must lie in (0, fs/2)");
+
+    const double K = 2.0 * sample_rate_hz;
+    // Pre-warped analog cutoff so the digital response hits -3 dB exactly at
+    // cutoff_hz after the bilinear transform.
+    const double wc = K * std::tan(std::numbers::pi * cutoff_hz / sample_rate_hz);
+
+    std::vector<Biquad> sections;
+    const int pairs = order / 2;
+    for (int k = 0; k < pairs; ++k) {
+        // Prototype pole angle for the k-th conjugate pair.
+        const double theta =
+            std::numbers::pi * (2.0 * k + 1.0) / (2.0 * order) + std::numbers::pi / 2.0;
+        const double re = std::cos(theta);  // negative (left half-plane)
+        // Pair contributes s^2 - 2 re wc s + wc^2.
+        sections.emplace_back(bilinear_pair(-2.0 * re * wc, wc * wc, K));
+    }
+    if (order % 2 == 1) sections.emplace_back(bilinear_single(wc, K));
+    return BiquadCascade(std::move(sections), 1.0);
+}
+
+std::vector<double> filter_signal(BiquadCascade filter,
+                                  const std::vector<double>& input) {
+    std::vector<double> out;
+    out.reserve(input.size());
+    if (!input.empty()) filter.prime(input.front());
+    for (double x : input) out.push_back(filter.process(x));
+    return out;
+}
+
+std::vector<double> filtfilt(const BiquadCascade& filter,
+                             const std::vector<double>& input) {
+    std::vector<double> fwd = filter_signal(filter, input);
+    std::reverse(fwd.begin(), fwd.end());
+    std::vector<double> bwd = filter_signal(filter, fwd);
+    std::reverse(bwd.begin(), bwd.end());
+    return bwd;
+}
+
+}  // namespace locble::dsp

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "locble/dsp/biquad.hpp"
+
+namespace locble::dsp {
+
+/// Design an N-th order Butterworth low-pass filter as a cascade of
+/// second-order sections (plus one first-order section for odd N).
+///
+/// The design places the analog prototype poles on the unit circle,
+/// pre-warps the cutoff, and maps sections through the bilinear transform —
+/// the textbook procedure, so the magnitude response is maximally flat with
+/// -3 dB at `cutoff_hz`.
+///
+/// LocBLE's ANF (Sec. 4.2) uses order 6 with a sub-hertz cutoff to strip
+/// fast fading off 8-10 Hz RSS streams.
+///
+/// Throws std::invalid_argument when order < 1 or the cutoff is not inside
+/// (0, sample_rate/2).
+BiquadCascade design_butterworth_lowpass(int order, double cutoff_hz,
+                                         double sample_rate_hz);
+
+/// Zero-phase offline filtering (forward-backward application of `filter`),
+/// useful when post-processing recorded traces; doubles the effective order
+/// and cancels group delay.
+std::vector<double> filtfilt(const BiquadCascade& filter,
+                             const std::vector<double>& input);
+
+/// Apply `filter` causally over `input`, priming it on the first sample so
+/// there is no startup transient.
+std::vector<double> filter_signal(BiquadCascade filter,
+                                  const std::vector<double>& input);
+
+}  // namespace locble::dsp

@@ -1,0 +1,64 @@
+#include "locble/imu/imu_synth.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace locble::imu {
+
+double GaitModel::frequency_for_speed(double speed) const {
+    if (speed <= 0.0) return 0.0;
+    // Solve b f^2 + a f - v = 0 for f > 0.
+    const double a = length_intercept;
+    const double b = length_slope;
+    if (b <= 0.0) return speed / a;
+    return (-a + std::sqrt(a * a + 4.0 * b * speed)) / (2.0 * b);
+}
+
+ImuTrace ImuSynthesizer::synthesize(const Trajectory& trajectory,
+                                    locble::Rng& rng) const {
+    ImuTrace out;
+    const double dt = 1.0 / cfg_.sample_rate_hz;
+    const double duration = trajectory.duration();
+
+    locble::Rng accel_rng = rng.fork();
+    locble::Rng gyro_rng = rng.fork();
+    locble::Rng mag_rng = rng.fork();
+
+    double gait_phase = 0.0;
+    double mag_disturbance = mag_rng.gaussian(0.0, cfg_.mag_disturbance_rad);
+    const double dist_rho = std::exp(-dt / cfg_.mag_disturbance_tau_s);
+    const double dist_innov =
+        cfg_.mag_disturbance_rad * std::sqrt(1.0 - dist_rho * dist_rho);
+
+    double prev_heading = trajectory.pose_at(0.0).heading;
+    for (double t = 0.0; t <= duration + 1e-9; t += dt) {
+        const Pose pose = trajectory.pose_at(t);
+
+        // --- accelerometer: gait oscillation while walking, noise otherwise
+        double accel = accel_rng.gaussian(0.0, cfg_.accel_noise);
+        if (pose.walking) {
+            const double f = cfg_.gait.frequency_for_speed(pose.speed);
+            gait_phase += 2.0 * std::numbers::pi * f * dt;
+            out.true_steps += f * dt;
+            accel += cfg_.accel_amplitude * std::sin(gait_phase) +
+                     cfg_.accel_amplitude * cfg_.accel_harmonic_ratio *
+                         std::sin(2.0 * gait_phase + 0.7);
+        }
+        out.accel_vertical.push_back({t, accel});
+
+        // --- gyroscope: true yaw rate + noise
+        const double yaw_rate = locble::angle_diff(pose.heading, prev_heading) / dt;
+        prev_heading = pose.heading;
+        out.gyro_z.push_back({t, yaw_rate + gyro_rng.gaussian(0.0, cfg_.gyro_noise)});
+
+        // --- magnetometer: heading + slow disturbance + white noise
+        mag_disturbance = dist_rho * mag_disturbance + mag_rng.gaussian(0.0, dist_innov);
+        const double heading = locble::wrap_angle(
+            pose.heading + mag_disturbance +
+            mag_rng.gaussian(0.0, cfg_.mag_white_noise_rad));
+        out.mag_heading.push_back({t, heading});
+    }
+    return out;
+}
+
+}  // namespace locble::imu

@@ -1,0 +1,65 @@
+#pragma once
+
+#include "locble/common/rng.hpp"
+#include "locble/common/timeseries.hpp"
+#include "locble/imu/trajectory.hpp"
+
+namespace locble::imu {
+
+/// Gait model tying walking speed, step frequency and step length together.
+///
+/// The paper's step-length inference "inspects the step frequency"
+/// (Sec. 5.2.1, citing [26]); the standard linear relation is
+///   step_length = a + b * step_frequency
+/// and speed = frequency * length. Both the synthesizer and the motion
+/// tracker share this model so that the tracker's step-length estimate is
+/// correct up to sensing noise.
+struct GaitModel {
+    double length_intercept{0.3};  ///< a (m)
+    double length_slope{0.25};     ///< b (m per Hz)
+
+    /// Step frequency that realizes `speed` under this model (positive root
+    /// of b f^2 + a f - v = 0).
+    double frequency_for_speed(double speed) const;
+    double length_for_frequency(double f) const { return length_intercept + length_slope * f; }
+};
+
+/// One synthesized phone sensor capture, earth-aligned (the phone->earth
+/// coordinate alignment of Sec. 5.2 is assumed already applied; its error
+/// is folded into the noise terms).
+struct ImuTrace {
+    locble::TimeSeries accel_vertical;  ///< gait oscillation component (m/s^2)
+    locble::TimeSeries gyro_z;          ///< yaw rate (rad/s)
+    locble::TimeSeries mag_heading;     ///< magnetic heading (rad, wrapped)
+    double true_steps{0.0};             ///< ground-truth (fractional) step count
+};
+
+/// Synthesizes accelerometer / gyroscope / magnetometer streams for a
+/// trajectory.
+class ImuSynthesizer {
+public:
+    struct Config {
+        double sample_rate_hz{100.0};
+        GaitModel gait{};
+        double accel_amplitude{1.8};       ///< gait oscillation peak (m/s^2)
+        double accel_harmonic_ratio{0.35}; ///< 2nd harmonic relative amplitude
+        double accel_noise{0.25};          ///< white noise std (m/s^2)
+        double gyro_noise{0.03};           ///< white noise std (rad/s)
+        double mag_white_noise_rad{0.035}; ///< ~2 deg white heading noise
+        double mag_disturbance_rad{0.09};  ///< ~5 deg slow indoor disturbance
+        double mag_disturbance_tau_s{20.0};///< disturbance correlation time
+    };
+
+    ImuSynthesizer() : ImuSynthesizer(Config{}) {}
+    explicit ImuSynthesizer(const Config& cfg) : cfg_(cfg) {}
+
+    /// Generate the full sensor capture for `trajectory`.
+    ImuTrace synthesize(const Trajectory& trajectory, locble::Rng& rng) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+}  // namespace locble::imu

@@ -1,0 +1,139 @@
+#include "locble/imu/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace locble::imu {
+
+Trajectory::Trajectory(std::vector<locble::Vec2> waypoints, const Config& cfg)
+    : waypoints_(std::move(waypoints)), cfg_(cfg) {
+    if (waypoints_.empty())
+        throw std::invalid_argument("Trajectory: need at least one waypoint");
+
+    double heading = 0.0;
+    if (waypoints_.size() >= 2)
+        heading = (waypoints_[1] - waypoints_[0]).angle();
+
+    double t = 0.0;
+    auto push = [&](Phase p) {
+        phases_.push_back(p);
+        t = p.t1;
+    };
+
+    push({Phase::Kind::pause, 0.0, cfg_.initial_pause, waypoints_.front(),
+          waypoints_.front(), heading, heading});
+
+    for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
+        const locble::Vec2 from = waypoints_[i];
+        const locble::Vec2 to = waypoints_[i + 1];
+        const double leg_heading = (to - from).angle();
+        // Rotate in place toward the next leg when the heading changes.
+        const double delta = locble::angle_diff(leg_heading, heading);
+        if (std::abs(delta) > 1e-6) {
+            const double dur =
+                std::max(std::abs(delta) / cfg_.turn_rate, cfg_.min_turn_duration);
+            push({Phase::Kind::turn, t, t + dur, from, from, heading, leg_heading});
+            heading = leg_heading;
+        }
+        const double leg_len = locble::Vec2::distance(from, to);
+        if (leg_len > 1e-9) {
+            const double dur = leg_len / cfg_.walk_speed;
+            push({Phase::Kind::walk, t, t + dur, from, to, heading, heading});
+        }
+    }
+
+    push({Phase::Kind::pause, t, t + cfg_.final_pause, waypoints_.back(),
+          waypoints_.back(), heading, heading});
+    duration_ = t + cfg_.final_pause;
+}
+
+Pose Trajectory::pose_at(double t) const {
+    t = std::clamp(t, 0.0, duration_);
+    const Phase* phase = &phases_.back();
+    for (const auto& p : phases_) {
+        if (t <= p.t1) {
+            phase = &p;
+            break;
+        }
+    }
+    const double f =
+        phase->t1 > phase->t0 ? (t - phase->t0) / (phase->t1 - phase->t0) : 1.0;
+    Pose pose;
+    switch (phase->kind) {
+        case Phase::Kind::pause:
+            pose.position = phase->from;
+            pose.heading = phase->heading0;
+            break;
+        case Phase::Kind::turn: {
+            pose.position = phase->from;
+            const double delta = locble::angle_diff(phase->heading1, phase->heading0);
+            pose.heading = locble::wrap_angle(phase->heading0 + delta * f);
+            break;
+        }
+        case Phase::Kind::walk:
+            pose.position = phase->from + (phase->to - phase->from) * f;
+            pose.heading = phase->heading0;
+            pose.walking = true;
+            pose.speed = cfg_.walk_speed;
+            break;
+    }
+    return pose;
+}
+
+double Trajectory::walked_distance() const {
+    double d = 0.0;
+    for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i)
+        d += locble::Vec2::distance(waypoints_[i], waypoints_[i + 1]);
+    return d;
+}
+
+std::vector<double> Trajectory::turn_angles() const {
+    std::vector<double> out;
+    for (std::size_t i = 1; i + 1 < waypoints_.size(); ++i) {
+        const double h0 = (waypoints_[i] - waypoints_[i - 1]).angle();
+        const double h1 = (waypoints_[i + 1] - waypoints_[i]).angle();
+        out.push_back(locble::angle_diff(h1, h0));
+    }
+    return out;
+}
+
+Trajectory make_l_shape(const locble::Vec2& start, double initial_heading, double leg1_m,
+                        double leg2_m, double turn_rad, const Trajectory::Config& cfg) {
+    const locble::Vec2 mid = start + unit_from_angle(initial_heading) * leg1_m;
+    const locble::Vec2 end =
+        mid + unit_from_angle(initial_heading + turn_rad) * leg2_m;
+    return Trajectory({start, mid, end}, cfg);
+}
+
+Trajectory make_straight(const locble::Vec2& start, double heading, double length_m,
+                         const Trajectory::Config& cfg) {
+    return Trajectory({start, start + unit_from_angle(heading) * length_m}, cfg);
+}
+
+Trajectory make_random_walk(double width, double height, int legs, double min_leg,
+                            double max_leg, locble::Rng& rng,
+                            const Trajectory::Config& cfg) {
+    if (legs < 1) throw std::invalid_argument("make_random_walk: need >= 1 leg");
+    std::vector<locble::Vec2> wps;
+    locble::Vec2 p{rng.uniform(0.15 * width, 0.85 * width),
+                   rng.uniform(0.15 * height, 0.85 * height)};
+    wps.push_back(p);
+    for (int i = 0; i < legs; ++i) {
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            const double heading = rng.uniform(-std::numbers::pi, std::numbers::pi);
+            const double len = rng.uniform(min_leg, max_leg);
+            const locble::Vec2 q = p + unit_from_angle(heading) * len;
+            if (q.x >= 0.05 * width && q.x <= 0.95 * width && q.y >= 0.05 * height &&
+                q.y <= 0.95 * height) {
+                p = q;
+                wps.push_back(p);
+                break;
+            }
+        }
+    }
+    return Trajectory(std::move(wps), cfg);
+}
+
+}  // namespace locble::imu

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/common/rng.hpp"
+#include "locble/common/vec2.hpp"
+
+namespace locble::imu {
+
+/// Instantaneous kinematic state of a walker.
+struct Pose {
+    locble::Vec2 position;
+    double heading{0.0};  ///< radians from +x
+    bool walking{false};
+    double speed{0.0};  ///< m/s along heading while walking
+};
+
+/// A pedestrian trajectory built from waypoints with a stop-and-turn model:
+/// the walker moves between waypoints at constant speed and pauses at each
+/// interior waypoint to rotate toward the next leg. This produces the
+/// signal morphology LocBLE's motion tracker expects — clean gait cycles
+/// on legs and distinct gyro "bumps" at turns (Sec. 5.2).
+class Trajectory {
+public:
+    struct Config {
+        double walk_speed{1.1};          ///< m/s
+        double turn_rate{1.8};           ///< rad/s while rotating
+        double min_turn_duration{0.35};  ///< s, even tiny corrections pause
+        double initial_pause{0.5};       ///< s standing before the first leg
+        double final_pause{0.5};         ///< s standing at the end
+    };
+
+    /// Build from at least one waypoint; the initial heading faces the first
+    /// leg (or +x for a single point). Throws std::invalid_argument when
+    /// `waypoints` is empty.
+    explicit Trajectory(std::vector<locble::Vec2> waypoints)
+        : Trajectory(std::move(waypoints), Config{}) {}
+    Trajectory(std::vector<locble::Vec2> waypoints, const Config& cfg);
+
+    Pose pose_at(double t) const;
+    double duration() const { return duration_; }
+    const std::vector<locble::Vec2>& waypoints() const { return waypoints_; }
+    /// Ground-truth walked distance (sum of leg lengths).
+    double walked_distance() const;
+    /// Ground-truth turn angles at interior waypoints (signed, radians).
+    std::vector<double> turn_angles() const;
+
+private:
+    struct Phase {
+        enum class Kind { pause, walk, turn } kind{Kind::pause};
+        double t0{0.0};
+        double t1{0.0};
+        locble::Vec2 from;
+        locble::Vec2 to;
+        double heading0{0.0};
+        double heading1{0.0};
+    };
+
+    std::vector<locble::Vec2> waypoints_;
+    Config cfg_;
+    std::vector<Phase> phases_;
+    double duration_{0.0};
+};
+
+/// The paper's measurement walk (Sec. 5.1): start at `start`, walk
+/// `leg1_m` along `initial_heading`, turn by `turn_rad` (default +90°),
+/// walk `leg2_m`.
+Trajectory make_l_shape(const locble::Vec2& start, double initial_heading, double leg1_m,
+                        double leg2_m, double turn_rad, const Trajectory::Config& cfg = {});
+
+/// A straight walk of `length_m` from `start` along `heading`.
+Trajectory make_straight(const locble::Vec2& start, double heading, double length_m,
+                         const Trajectory::Config& cfg = {});
+
+/// Random waypoint walk inside the rectangle [0,w]x[0,h] with `legs` legs of
+/// length in [min_leg, max_leg]; used for moving-target experiments.
+Trajectory make_random_walk(double width, double height, int legs, double min_leg,
+                            double max_leg, locble::Rng& rng,
+                            const Trajectory::Config& cfg = {});
+
+}  // namespace locble::imu

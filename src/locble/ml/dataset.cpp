@@ -1,0 +1,88 @@
+#include "locble/ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace locble::ml {
+
+int Dataset::num_classes() const {
+    int k = 0;
+    for (int label : y) k = std::max(k, label + 1);
+    return k;
+}
+
+void Dataset::validate() const {
+    if (x.size() != y.size())
+        throw std::invalid_argument("Dataset: feature/label count mismatch");
+    for (const auto& row : x)
+        if (row.size() != dims())
+            throw std::invalid_argument("Dataset: ragged feature rows");
+    for (int label : y)
+        if (label < 0) throw std::invalid_argument("Dataset: negative label");
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data, double test_fraction,
+                                             locble::Rng& rng) {
+    if (test_fraction < 0.0 || test_fraction > 1.0)
+        throw std::invalid_argument("train_test_split: fraction outside [0,1]");
+    std::vector<std::size_t> idx(data.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::shuffle(idx.begin(), idx.end(), rng.engine());
+    const auto n_test = static_cast<std::size_t>(
+        std::llround(test_fraction * static_cast<double>(data.size())));
+    Dataset train, test;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        auto& dst = i < n_test ? test : train;
+        dst.add(data.x[idx[i]], data.y[idx[i]]);
+    }
+    return {std::move(train), std::move(test)};
+}
+
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t k,
+                                                    locble::Rng& rng) {
+    if (k == 0 || k > n) throw std::invalid_argument("kfold_indices: bad k");
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::shuffle(idx.begin(), idx.end(), rng.engine());
+    std::vector<std::vector<std::size_t>> folds(k);
+    for (std::size_t i = 0; i < n; ++i) folds[i % k].push_back(idx[i]);
+    return folds;
+}
+
+void StandardScaler::fit(const Dataset& data) {
+    if (data.size() == 0) throw std::invalid_argument("StandardScaler: empty dataset");
+    const std::size_t d = data.dims();
+    mean_.assign(d, 0.0);
+    std_.assign(d, 0.0);
+    for (const auto& row : data.x)
+        for (std::size_t j = 0; j < d; ++j) mean_[j] += row[j];
+    for (std::size_t j = 0; j < d; ++j) mean_[j] /= static_cast<double>(data.size());
+    for (const auto& row : data.x)
+        for (std::size_t j = 0; j < d; ++j)
+            std_[j] += (row[j] - mean_[j]) * (row[j] - mean_[j]);
+    for (std::size_t j = 0; j < d; ++j)
+        std_[j] = std::sqrt(std_[j] / static_cast<double>(data.size()));
+}
+
+std::vector<double> StandardScaler::transform(const std::vector<double>& features) const {
+    if (features.size() != mean_.size())
+        throw std::invalid_argument("StandardScaler: dimension mismatch");
+    std::vector<double> out(features.size());
+    for (std::size_t j = 0; j < features.size(); ++j) {
+        constexpr double kEps = 1e-12;
+        out[j] = std_[j] > kEps ? (features[j] - mean_[j]) / std_[j] : 0.0;
+    }
+    return out;
+}
+
+Dataset StandardScaler::transform(const Dataset& data) const {
+    Dataset out;
+    out.y = data.y;
+    out.x.reserve(data.size());
+    for (const auto& row : data.x) out.x.push_back(transform(row));
+    return out;
+}
+
+}  // namespace locble::ml

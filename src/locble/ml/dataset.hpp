@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "locble/common/rng.hpp"
+
+namespace locble::ml {
+
+/// A labeled dataset: row-major feature matrix plus integer class labels.
+struct Dataset {
+    std::vector<std::vector<double>> x;
+    std::vector<int> y;
+
+    std::size_t size() const { return x.size(); }
+    std::size_t dims() const { return x.empty() ? 0 : x.front().size(); }
+
+    void add(std::vector<double> features, int label) {
+        x.push_back(std::move(features));
+        y.push_back(label);
+    }
+
+    /// Number of distinct classes, assuming labels are 0..k-1.
+    int num_classes() const;
+
+    /// Validate rectangular shape and matching label count; throws
+    /// std::invalid_argument otherwise.
+    void validate() const;
+};
+
+/// Shuffle-split into train/test with the given test fraction.
+/// Deterministic for a given Rng state.
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data, double test_fraction,
+                                             locble::Rng& rng);
+
+/// Indices for k-fold cross validation (deterministic shuffled folds).
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, std::size_t k,
+                                                    locble::Rng& rng);
+
+/// Z-score feature standardizer (fit on train, apply everywhere), as used
+/// before LocBLE's SVM ("standardized 9 values", Sec. 4.1).
+class StandardScaler {
+public:
+    /// Learn per-dimension mean and standard deviation. Dimensions with ~0
+    /// spread standardize to 0. Throws std::invalid_argument when empty.
+    void fit(const Dataset& data);
+
+    std::vector<double> transform(const std::vector<double>& features) const;
+    Dataset transform(const Dataset& data) const;
+
+    bool fitted() const { return !mean_.empty(); }
+    const std::vector<double>& mean() const { return mean_; }
+    const std::vector<double>& stddev() const { return std_; }
+
+private:
+    std::vector<double> mean_;
+    std::vector<double> std_;
+};
+
+}  // namespace locble::ml

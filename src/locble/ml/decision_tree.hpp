@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "locble/common/rng.hpp"
+#include "locble/ml/dataset.hpp"
+
+namespace locble::ml {
+
+/// CART decision-tree classifier (Gini impurity, axis-aligned splits).
+///
+/// One of the classifiers LocBLE's EnvAware ensemble compared against the
+/// linear SVM (Sec. 4.1); kept as a baseline for `bench_envaware_classifier`.
+class DecisionTree {
+public:
+    struct Config {
+        int max_depth{12};
+        std::size_t min_samples_split{4};
+        std::size_t min_samples_leaf{2};
+        /// Number of features examined per split; 0 = all (plain CART).
+        /// Random forests set this to sqrt(d).
+        std::size_t max_features{0};
+        std::uint64_t seed{11};  ///< feature subsampling seed
+    };
+
+    DecisionTree() : DecisionTree(Config{}) {}
+    explicit DecisionTree(const Config& cfg) : cfg_(cfg) {}
+
+    void fit(const Dataset& data);
+    /// Fit on a subset of rows (used by the random forest's bootstrap).
+    void fit(const Dataset& data, const std::vector<std::size_t>& rows);
+
+    int predict(const std::vector<double>& features) const;
+    std::vector<int> predict(const Dataset& data) const;
+
+    bool fitted() const { return !nodes_.empty(); }
+    std::size_t node_count() const { return nodes_.size(); }
+
+private:
+    struct Node {
+        int feature{-1};       ///< -1 marks a leaf
+        double threshold{0.0}; ///< go left when x[feature] <= threshold
+        int left{-1};
+        int right{-1};
+        int label{0};          ///< majority class at this node
+    };
+
+    int build(const Dataset& data, std::vector<std::size_t>& rows, int depth,
+              locble::Rng& rng);
+
+    Config cfg_;
+    int num_classes_{0};
+    std::vector<Node> nodes_;
+};
+
+/// Random forest: bagged CART trees with sqrt-feature subsampling and
+/// majority voting.
+class RandomForest {
+public:
+    struct Config {
+        std::size_t num_trees{25};
+        DecisionTree::Config tree{};
+        std::uint64_t seed{13};
+    };
+
+    RandomForest() : RandomForest(Config{}) {}
+    explicit RandomForest(const Config& cfg) : cfg_(cfg) {}
+
+    void fit(const Dataset& data);
+    int predict(const std::vector<double>& features) const;
+    std::vector<int> predict(const Dataset& data) const;
+
+    bool fitted() const { return !trees_.empty(); }
+    std::size_t size() const { return trees_.size(); }
+
+private:
+    Config cfg_;
+    int num_classes_{0};
+    std::vector<DecisionTree> trees_;
+};
+
+}  // namespace locble::ml

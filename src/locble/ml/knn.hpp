@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/ml/dataset.hpp"
+
+namespace locble::ml {
+
+/// k-nearest-neighbours classifier (Euclidean), the third member of the
+/// classifier ensemble EnvAware was evaluated against (Sec. 4.1 compares
+/// "various classifiers"). Brute force — EnvAware datasets are a few
+/// thousand rows at most.
+class KnnClassifier {
+public:
+    struct Config {
+        std::size_t k{7};
+        /// Weight votes by 1/distance instead of uniformly.
+        bool distance_weighted{true};
+    };
+
+    KnnClassifier() : KnnClassifier(Config{}) {}
+    explicit KnnClassifier(const Config& cfg) : cfg_(cfg) {}
+
+    /// Stores the training data. Throws on empty/malformed input or k of 0.
+    void fit(const Dataset& data);
+
+    int predict(const std::vector<double>& features) const;
+    std::vector<int> predict(const Dataset& data) const;
+
+    bool fitted() const { return !train_.x.empty(); }
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+    Dataset train_;
+    int num_classes_{0};
+};
+
+}  // namespace locble::ml

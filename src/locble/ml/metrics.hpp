@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace locble::ml {
+
+/// Multiclass classification quality report.
+struct ClassificationReport {
+    std::vector<std::vector<std::size_t>> confusion;  ///< [true][predicted]
+    double accuracy{0.0};
+    std::vector<double> precision;  ///< per class
+    std::vector<double> recall;     ///< per class
+    std::vector<double> f1;         ///< per class
+    double macro_precision{0.0};
+    double macro_recall{0.0};
+    double macro_f1{0.0};
+
+    std::string str(const std::vector<std::string>& class_names = {}) const;
+};
+
+/// Build a report from aligned truth/prediction vectors with labels in
+/// 0..k-1. Throws std::invalid_argument on size mismatch or empty input.
+ClassificationReport evaluate_classification(const std::vector<int>& truth,
+                                             const std::vector<int>& predicted);
+
+}  // namespace locble::ml

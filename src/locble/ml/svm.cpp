@@ -1,0 +1,111 @@
+#include "locble/ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace locble::ml {
+
+namespace {
+
+double dot_aug(const std::vector<double>& w, const std::vector<double>& x) {
+    // w has one extra bias slot; x is implicitly augmented with 1.
+    double s = w.back();
+    for (std::size_t j = 0; j < x.size(); ++j) s += w[j] * x[j];
+    return s;
+}
+
+}  // namespace
+
+std::vector<double> LinearSvm::train_binary(const std::vector<std::vector<double>>& x,
+                                            const std::vector<int>& sign,
+                                            locble::Rng& rng) const {
+    const std::size_t n = x.size();
+    const std::size_t d = x.front().size();
+    std::vector<double> w(d + 1, 0.0);  // last slot = bias (augmented feature 1)
+    std::vector<double> alpha(n, 0.0);
+    std::vector<double> q_ii(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double q = 1.0;  // the augmented constant feature
+        for (double v : x[i]) q += v * v;
+        q_ii[i] = q;
+    }
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < cfg_.max_epochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), rng.engine());
+        double max_violation = 0.0;
+        for (std::size_t i : order) {
+            const double yi = sign[i];
+            const double g = yi * dot_aug(w, x[i]) - 1.0;
+            // Projected gradient for the box constraint 0 <= alpha <= C.
+            double pg = g;
+            if (alpha[i] <= 0.0) pg = std::min(g, 0.0);
+            if (alpha[i] >= cfg_.c) pg = std::max(g, 0.0);
+            max_violation = std::max(max_violation, std::abs(pg));
+            if (pg == 0.0) continue;
+            const double old = alpha[i];
+            alpha[i] = std::clamp(old - g / q_ii[i], 0.0, cfg_.c);
+            const double delta = (alpha[i] - old) * yi;
+            for (std::size_t j = 0; j < d; ++j) w[j] += delta * x[i][j];
+            w[d] += delta;  // bias via augmented feature
+        }
+        if (max_violation < cfg_.tolerance) break;
+    }
+    return w;
+}
+
+void LinearSvm::fit(const Dataset& data) {
+    data.validate();
+    if (data.size() == 0) throw std::invalid_argument("LinearSvm: empty dataset");
+    const int k = data.num_classes();
+    if (k < 2) throw std::invalid_argument("LinearSvm: need at least 2 classes");
+
+    locble::Rng rng(cfg_.seed);
+    weights_.clear();
+    if (k == 2) {
+        std::vector<int> sign(data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) sign[i] = data.y[i] == 1 ? 1 : -1;
+        auto w = train_binary(data.x, sign, rng);
+        // Store as one-vs-rest pair so decision_values() is uniform.
+        std::vector<double> neg(w.size());
+        for (std::size_t j = 0; j < w.size(); ++j) neg[j] = -w[j];
+        weights_.push_back(std::move(neg));
+        weights_.push_back(std::move(w));
+        return;
+    }
+    for (int c = 0; c < k; ++c) {
+        std::vector<int> sign(data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) sign[i] = data.y[i] == c ? 1 : -1;
+        weights_.push_back(train_binary(data.x, sign, rng));
+    }
+}
+
+std::vector<double> LinearSvm::decision_values(const std::vector<double>& features) const {
+    if (!fitted()) throw std::logic_error("LinearSvm: predict before fit");
+    std::vector<double> out;
+    out.reserve(weights_.size());
+    for (const auto& w : weights_) {
+        if (features.size() + 1 != w.size())
+            throw std::invalid_argument("LinearSvm: feature dimension mismatch");
+        out.push_back(dot_aug(w, features));
+    }
+    return out;
+}
+
+int LinearSvm::predict(const std::vector<double>& features) const {
+    const auto d = decision_values(features);
+    return static_cast<int>(std::max_element(d.begin(), d.end()) - d.begin());
+}
+
+std::vector<int> LinearSvm::predict(const Dataset& data) const {
+    std::vector<int> out;
+    out.reserve(data.size());
+    for (const auto& row : data.x) out.push_back(predict(row));
+    return out;
+}
+
+}  // namespace locble::ml

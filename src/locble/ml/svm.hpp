@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/common/rng.hpp"
+#include "locble/ml/dataset.hpp"
+
+namespace locble::ml {
+
+/// Linear SVM trained by dual coordinate descent (the liblinear algorithm
+/// for L1-loss SVC), extended to multiclass with one-vs-rest voting.
+///
+/// LocBLE's EnvAware picked "SVM with a linear kernel" over trees/forests
+/// for the 3-way LOS/p-LOS/NLOS environment classification (Sec. 4.1); this
+/// is that classifier.
+class LinearSvm {
+public:
+    struct Config {
+        double c{1.0};          ///< soft-margin penalty
+        int max_epochs{200};    ///< dual coordinate descent sweeps
+        double tolerance{1e-4}; ///< stop when max projected gradient < tol
+        std::uint64_t seed{7};  ///< permutation seed (deterministic training)
+    };
+
+    LinearSvm() : LinearSvm(Config{}) {}
+    explicit LinearSvm(const Config& cfg) : cfg_(cfg) {}
+
+    /// Fit on `data` (labels 0..k-1). Binary problems train one separator;
+    /// multiclass trains k one-vs-rest separators. Throws on an empty or
+    /// malformed dataset.
+    void fit(const Dataset& data);
+
+    /// Predicted class label.
+    int predict(const std::vector<double>& features) const;
+    std::vector<int> predict(const Dataset& data) const;
+
+    /// Raw one-vs-rest decision values (one per class; binary problems
+    /// report {-d, d}).
+    std::vector<double> decision_values(const std::vector<double>& features) const;
+
+    bool fitted() const { return !weights_.empty(); }
+    int num_classes() const { return static_cast<int>(weights_.size()); }
+    /// Weight vector for class `c`, last element is the bias term.
+    const std::vector<double>& weights(int c) const { return weights_.at(c); }
+
+private:
+    /// Train one binary separator for labels in {-1,+1}; returns the weight
+    /// vector with the bias appended.
+    std::vector<double> train_binary(const std::vector<std::vector<double>>& x,
+                                     const std::vector<int>& sign,
+                                     locble::Rng& rng) const;
+
+    Config cfg_;
+    std::vector<std::vector<double>> weights_;  ///< [class][dim+1]
+};
+
+}  // namespace locble::ml

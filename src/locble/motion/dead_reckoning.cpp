@@ -1,0 +1,61 @@
+#include "locble/motion/dead_reckoning.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace locble::motion {
+
+locble::Vec2 MotionEstimate::position_at(double t) const {
+    if (path.empty()) throw std::logic_error("MotionEstimate: empty path");
+    if (t <= path.front().t) return path.front().position;
+    if (t >= path.back().t) return path.back().position;
+    for (std::size_t i = 1; i < path.size(); ++i) {
+        if (t <= path[i].t) {
+            const auto& a = path[i - 1];
+            const auto& b = path[i];
+            const double f = b.t > a.t ? (t - a.t) / (b.t - a.t) : 1.0;
+            return a.position + (b.position - a.position) * f;
+        }
+    }
+    return path.back().position;
+}
+
+MotionEstimate DeadReckoner::track(const locble::imu::ImuTrace& imu) const {
+    MotionEstimate out;
+    out.steps = StepDetector(cfg_.step).detect(imu.accel_vertical);
+    out.turns = TurnDetector(cfg_.turn).detect(imu.gyro_z, imu.mag_heading);
+
+    if (cfg_.snap_right_angles) {
+        for (auto& turn : out.turns) {
+            constexpr double kRight = std::numbers::pi / 2.0;
+            if (std::abs(std::abs(turn.angle_rad) - kRight) <= cfg_.snap_tolerance_rad)
+                turn.angle_rad = std::copysign(kRight, turn.angle_rad);
+        }
+    }
+
+    // Walk the steps forward, applying each turn's heading change once the
+    // step stream passes the turn's midpoint.
+    double heading = 0.0;
+    std::size_t next_turn = 0;
+    locble::Vec2 pos{0.0, 0.0};
+    const double start_t = imu.accel_vertical.empty() ? 0.0 : imu.accel_vertical.front().t;
+    out.path.push_back({start_t, pos});
+    for (const auto& step : out.steps.steps) {
+        while (next_turn < out.turns.size() &&
+               0.5 * (out.turns[next_turn].t_begin + out.turns[next_turn].t_end) <=
+                   step.t) {
+            heading = locble::wrap_angle(heading + out.turns[next_turn].angle_rad);
+            ++next_turn;
+        }
+        pos += locble::unit_from_angle(heading) * step.length_m;
+        out.path.push_back({step.t, pos});
+    }
+    // Apply any trailing turns so position_at() past the last step stays put
+    // but the final heading is consistent for navigation use.
+    const double end_t = imu.accel_vertical.empty() ? start_t : imu.accel_vertical.back().t;
+    if (out.path.back().t < end_t) out.path.push_back({end_t, pos});
+    return out;
+}
+
+}  // namespace locble::motion

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/common/timeseries.hpp"
+#include "locble/common/vec2.hpp"
+#include "locble/imu/imu_synth.hpp"
+#include "locble/motion/step_detector.hpp"
+#include "locble/motion/turn_detector.hpp"
+
+namespace locble::motion {
+
+/// A timestamped position along the reconstructed walk, in the observer
+/// coordinate frame (origin at start, +x along the initial heading).
+struct TimedPosition {
+    double t{0.0};
+    locble::Vec2 position{};
+};
+
+/// The motion tracker's output: the dead-reckoned path plus the detections
+/// it was assembled from.
+struct MotionEstimate {
+    std::vector<TimedPosition> path;  ///< starts at (0,0), time-ordered
+    StepDetection steps;
+    std::vector<Turn> turns;
+
+    /// Interpolated position at time `t` (clamped to the path's ends).
+    /// Throws std::logic_error when the path is empty.
+    locble::Vec2 position_at(double t) const;
+    double total_distance() const { return steps.total_distance_m; }
+};
+
+/// Pedestrian dead reckoning in the observer frame (Sec. 5.2): steps from
+/// the accelerometer advance the position along the current heading; the
+/// heading starts at 0 (the observer frame's +x axis *is* the initial
+/// walking direction) and changes only at detected turns, so indoor
+/// magnetic fluctuation between turns cannot bend the path.
+///
+/// `snap_right_angles` implements the paper's practical refinement: when
+/// the user is instructed to make right-angle turns during the L-shaped
+/// measurement, detected angles near +-90deg snap exactly to +-90deg.
+class DeadReckoner {
+public:
+    struct Config {
+        StepDetector::Config step{};
+        TurnDetector::Config turn{};
+        bool snap_right_angles{false};
+        double snap_tolerance_rad{0.35};  ///< ~20 deg window around +-90 deg
+    };
+
+    DeadReckoner() : DeadReckoner(Config{}) {}
+    explicit DeadReckoner(const Config& cfg) : cfg_(cfg) {}
+
+    /// Reconstruct the walk from a raw IMU capture.
+    MotionEstimate track(const locble::imu::ImuTrace& imu) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+}  // namespace locble::motion

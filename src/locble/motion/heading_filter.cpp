@@ -1,0 +1,49 @@
+#include "locble/motion/heading_filter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "locble/common/vec2.hpp"
+
+namespace locble::motion {
+
+double ComplementaryHeadingFilter::update(double t, double gyro_z,
+                                          double mag_heading) {
+    if (!initialized_) {
+        heading_ = locble::wrap_angle(mag_heading);
+        last_t_ = t;
+        initialized_ = true;
+        return heading_;
+    }
+    const double dt = std::max(t - last_t_, 0.0);
+    last_t_ = t;
+    heading_ = locble::wrap_angle(heading_ + gyro_z * dt);
+    // Leak toward the magnetometer along the short way around the circle.
+    const double err = locble::angle_diff(mag_heading, heading_);
+    heading_ = locble::wrap_angle(heading_ + err * std::min(dt / cfg_.tau_s, 1.0));
+    return heading_;
+}
+
+locble::TimeSeries ComplementaryHeadingFilter::fuse(
+    const locble::TimeSeries& gyro_z, const locble::TimeSeries& mag_heading) const {
+    if (gyro_z.size() != mag_heading.size())
+        throw std::invalid_argument("ComplementaryHeadingFilter: stream size mismatch");
+    if (gyro_z.empty())
+        throw std::invalid_argument("ComplementaryHeadingFilter: empty streams");
+    ComplementaryHeadingFilter filter(cfg_);
+    locble::TimeSeries out;
+    out.reserve(gyro_z.size());
+    for (std::size_t i = 0; i < gyro_z.size(); ++i)
+        out.push_back({gyro_z[i].t,
+                       filter.update(gyro_z[i].t, gyro_z[i].value,
+                                     mag_heading[i].value)});
+    return out;
+}
+
+void ComplementaryHeadingFilter::reset() {
+    heading_ = 0.0;
+    last_t_ = 0.0;
+    initialized_ = false;
+}
+
+}  // namespace locble::motion

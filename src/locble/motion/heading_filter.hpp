@@ -1,0 +1,48 @@
+#pragma once
+
+#include "locble/common/timeseries.hpp"
+
+namespace locble::motion {
+
+/// Complementary gyro/magnetometer heading filter (Sec. 5.2.2's sensor
+/// pairing, as a continuous estimator).
+///
+/// The magnetometer is absolute but fluctuates indoors; the gyroscope is
+/// smooth but drifts. The classic complementary filter integrates the gyro
+/// and leaks toward the magnetic heading with time constant `tau`:
+///
+///   heading += gyro_z * dt;  heading += (mag - heading) * dt / tau
+///
+/// The turn detector uses raw bumps + short-window magnetic deltas (the
+/// paper's method); this filter serves consumers that want a continuous
+/// heading stream, e.g. navigation display or the moving-target frame
+/// alignment.
+class ComplementaryHeadingFilter {
+public:
+    struct Config {
+        double tau_s{8.0};  ///< magnetometer leak time constant
+    };
+
+    ComplementaryHeadingFilter() : ComplementaryHeadingFilter(Config{}) {}
+    explicit ComplementaryHeadingFilter(const Config& cfg) : cfg_(cfg) {}
+
+    /// Update with one synchronized sample pair; returns the fused heading
+    /// (wrapped to (-pi, pi]).
+    double update(double t, double gyro_z, double mag_heading);
+
+    /// Fuse whole gyro/magnetometer streams (timestamps must match).
+    /// Throws std::invalid_argument on length mismatch or empty input.
+    locble::TimeSeries fuse(const locble::TimeSeries& gyro_z,
+                            const locble::TimeSeries& mag_heading) const;
+
+    double heading() const { return heading_; }
+    void reset();
+
+private:
+    Config cfg_;
+    double heading_{0.0};
+    double last_t_{0.0};
+    bool initialized_{false};
+};
+
+}  // namespace locble::motion

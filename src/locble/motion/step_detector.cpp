@@ -1,0 +1,78 @@
+#include "locble/motion/step_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "locble/common/stats.hpp"
+#include "locble/dsp/moving_average.hpp"
+
+namespace locble::motion {
+
+StepDetection StepDetector::detect(const locble::TimeSeries& accel_vertical) const {
+    StepDetection out;
+    if (accel_vertical.size() < 3) return out;
+
+    const std::vector<double> raw = locble::values_of(accel_vertical);
+    const auto half_window = static_cast<std::size_t>(
+        std::max(1.0, cfg_.smooth_window_s * cfg_.sample_rate_hz / 2.0));
+    const std::vector<double> smooth = locble::dsp::centered_moving_average(raw, half_window);
+
+    // Robust amplitude scale: use a high quantile of the positive part so a
+    // mostly idle trace with a short walk still thresholds on the walk.
+    std::vector<double> positive;
+    positive.reserve(smooth.size());
+    for (double v : smooth)
+        if (v > 0.0) positive.push_back(v);
+    if (positive.empty()) return out;
+    const double amplitude = locble::quantile(positive, 0.9);
+    const double threshold =
+        std::max(cfg_.threshold_fraction * amplitude, cfg_.min_amplitude);
+
+    const auto hood = static_cast<std::size_t>(
+        std::max(1.0, cfg_.neighborhood_s * cfg_.sample_rate_hz));
+    double last_step_t = -1e9;
+    std::vector<double> step_times;
+    for (std::size_t i = 0; i < smooth.size(); ++i) {
+        if (smooth[i] < threshold) continue;
+        const std::size_t lo = i >= hood ? i - hood : 0;
+        const std::size_t hi = std::min(i + hood, smooth.size() - 1);
+        bool is_peak = true;
+        for (std::size_t j = lo; j <= hi && is_peak; ++j)
+            if (smooth[j] > smooth[i]) is_peak = false;
+        if (!is_peak) continue;
+        const double t = accel_vertical[i].t;
+        if (t - last_step_t < cfg_.min_step_interval_s) continue;
+        step_times.push_back(t);
+        last_step_t = t;
+    }
+
+    if (step_times.empty()) return out;
+
+    // Step frequency from inter-peak spacing; the first step borrows the
+    // following interval (it has no predecessor).
+    for (std::size_t k = 0; k < step_times.size(); ++k) {
+        double interval;
+        if (step_times.size() == 1)
+            interval = 1.0 / cfg_.gait.frequency_for_speed(1.0);  // fallback
+        else if (k == 0)
+            interval = step_times[1] - step_times[0];
+        else
+            interval = step_times[k] - step_times[k - 1];
+        // Pauses between walking bouts produce long intervals; clamp to a
+        // plausible gait band before converting to a length.
+        const double f = std::clamp(1.0 / std::max(interval, 1e-3), 1.2, 3.0);
+        Step step;
+        step.t = step_times[k];
+        step.length_m = cfg_.gait.length_for_frequency(f);
+        out.total_distance_m += step.length_m;
+        out.steps.push_back(step);
+    }
+    if (out.steps.size() >= 2) {
+        const double span = out.steps.back().t - out.steps.front().t;
+        if (span > 0.0)
+            out.mean_frequency_hz = static_cast<double>(out.steps.size() - 1) / span;
+    }
+    return out;
+}
+
+}  // namespace locble::motion

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/common/timeseries.hpp"
+#include "locble/imu/imu_synth.hpp"
+
+namespace locble::motion {
+
+/// One detected step.
+struct Step {
+    double t{0.0};        ///< peak time (middle of the gait cycle)
+    double length_m{0.0}; ///< inferred step length
+};
+
+/// Step detection result.
+struct StepDetection {
+    std::vector<Step> steps;
+    double total_distance_m{0.0};
+    double mean_frequency_hz{0.0};
+};
+
+/// Accelerometer step counter following Sec. 5.2.1: smooth with a moving
+/// average, then detect gait-cycle peaks with a voting rule (a sample wins
+/// when it is the maximum of its neighborhood, exceeds an adaptive
+/// amplitude threshold, and respects a refractory gap to the previous
+/// step). Step length comes from the step frequency via the shared
+/// GaitModel.
+class StepDetector {
+public:
+    struct Config {
+        double sample_rate_hz{100.0};
+        double smooth_window_s{0.15};     ///< moving-average width
+        double neighborhood_s{0.25};      ///< peak voting neighborhood (each side)
+        double min_step_interval_s{0.30}; ///< refractory period (max ~3.3 Hz gait)
+        double threshold_fraction{0.45};  ///< of the trace's robust amplitude
+        double min_amplitude{0.35};       ///< absolute floor (m/s^2), rejects idle noise
+        locble::imu::GaitModel gait{};
+    };
+
+    StepDetector() : StepDetector(Config{}) {}
+    explicit StepDetector(const Config& cfg) : cfg_(cfg) {}
+
+    /// Detect steps over a full accelerometer capture (vertical axis).
+    StepDetection detect(const locble::TimeSeries& accel_vertical) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+}  // namespace locble::motion

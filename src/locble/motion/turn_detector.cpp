@@ -1,0 +1,65 @@
+#include "locble/motion/turn_detector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "locble/common/vec2.hpp"
+#include "locble/dsp/moving_average.hpp"
+
+namespace locble::motion {
+
+double mean_heading(const locble::TimeSeries& mag_heading, double t0, double t1) {
+    double sx = 0.0, sy = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : mag_heading) {
+        if (s.t < t0 || s.t > t1) continue;
+        sx += std::cos(s.value);
+        sy += std::sin(s.value);
+        ++n;
+    }
+    if (n == 0) throw std::invalid_argument("mean_heading: empty window");
+    return std::atan2(sy, sx);
+}
+
+std::vector<Turn> TurnDetector::detect(const locble::TimeSeries& gyro_z,
+                                       const locble::TimeSeries& mag_heading) const {
+    std::vector<Turn> out;
+    if (gyro_z.size() < 3 || mag_heading.empty()) return out;
+
+    const auto half_window = static_cast<std::size_t>(
+        std::max(1.0, cfg_.smooth_window_s * cfg_.sample_rate_hz / 2.0));
+    const std::vector<double> smooth =
+        locble::dsp::centered_moving_average(locble::values_of(gyro_z), half_window);
+
+    bool in_bump = false;
+    double bump_start = 0.0;
+    for (std::size_t i = 0; i < smooth.size(); ++i) {
+        const double mag = std::abs(smooth[i]);
+        const double t = gyro_z[i].t;
+        const bool last = i + 1 == smooth.size();
+        if (!in_bump && mag >= cfg_.enter_threshold) {
+            in_bump = true;
+            bump_start = t;
+        } else if (in_bump && (mag <= cfg_.exit_threshold || last)) {
+            in_bump = false;
+            const double bump_end = t;
+            if (bump_end - bump_start < cfg_.min_duration_s) continue;
+            // Heading just before vs just after the bump.
+            const double before_t0 = bump_start - cfg_.heading_window_s;
+            const double after_t1 = bump_end + cfg_.heading_window_s;
+            double h0, h1;
+            try {
+                h0 = mean_heading(mag_heading, before_t0, bump_start);
+                h1 = mean_heading(mag_heading, bump_end, after_t1);
+            } catch (const std::invalid_argument&) {
+                continue;  // bump at the trace edge without heading context
+            }
+            const double angle = locble::angle_diff(h1, h0);
+            if (std::abs(angle) < cfg_.min_angle_rad) continue;
+            out.push_back({bump_start, bump_end, angle});
+        }
+    }
+    return out;
+}
+
+}  // namespace locble::motion

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/common/timeseries.hpp"
+
+namespace locble::motion {
+
+/// One detected turn.
+struct Turn {
+    double t_begin{0.0};
+    double t_end{0.0};
+    double angle_rad{0.0};  ///< signed; + is counter-clockwise
+};
+
+/// Gyroscope + magnetometer turn detection (Sec. 5.2.2): the gyroscope
+/// identifies the "bump" (an interval of sustained yaw rate, found with a
+/// hysteresis threshold), and the magnetic heading difference across the
+/// bump gives the turn angle — the magnetometer drifts indoors but is
+/// accurate over the bump's short duration.
+class TurnDetector {
+public:
+    struct Config {
+        double sample_rate_hz{100.0};
+        double smooth_window_s{0.2};     ///< gyro smoothing before thresholding
+        double enter_threshold{0.45};    ///< rad/s to start a bump
+        double exit_threshold{0.18};     ///< rad/s to end a bump (hysteresis)
+        double min_duration_s{0.15};     ///< reject twitches
+        double min_angle_rad{0.12};      ///< reject sub-7deg corrections
+        double heading_window_s{0.4};    ///< heading averaging span at each side
+    };
+
+    TurnDetector() : TurnDetector(Config{}) {}
+    explicit TurnDetector(const Config& cfg) : cfg_(cfg) {}
+
+    /// `gyro_z` yaw rate, `mag_heading` wrapped heading (radians); both
+    /// sampled on the same clock (timestamps may differ).
+    std::vector<Turn> detect(const locble::TimeSeries& gyro_z,
+                             const locble::TimeSeries& mag_heading) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+/// Circular mean of headings in [t0, t1]; used to read the magnetometer
+/// just before/after a bump. Throws std::invalid_argument when the window
+/// contains no samples.
+double mean_heading(const locble::TimeSeries& mag_heading, double t0, double t1);
+
+}  // namespace locble::motion

@@ -1,0 +1,103 @@
+#include "locble/sim/capture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "locble/channel/fading.hpp"
+#include "locble/motion/turn_detector.hpp"
+
+namespace locble::sim {
+
+WalkCapture CaptureRunner::run(const channel::SiteModel& site,
+                               const std::vector<BeaconPlacement>& beacons,
+                               const imu::Trajectory& observer,
+                               locble::Rng& rng) const {
+    WalkCapture out;
+    out.duration_s = observer.duration();
+
+    // Ambient foot traffic for this run: short-lived light blockers at
+    // random places/times, shared by every link they cross.
+    channel::SiteModel live_site = site;
+    locble::Rng traffic_rng = rng.fork();
+    const double expected = site.ambient_crossings * out.duration_s / 10.0;
+    const int crossings = static_cast<int>(std::floor(expected)) +
+                          (traffic_rng.chance(expected - std::floor(expected)) ? 1 : 0);
+    for (int k = 0; k < crossings; ++k) {
+        channel::DiskBlocker person;
+        person.center = {traffic_rng.uniform(0.1 * site.width_m, 0.9 * site.width_m),
+                         traffic_rng.uniform(0.1 * site.height_m, 0.9 * site.height_m)};
+        person.radius = 0.3;
+        person.blockage = channel::BlockageClass::light;
+        person.attenuation_db = traffic_rng.uniform(3.0, 6.0);
+        person.t_start = traffic_rng.uniform(0.0, out.duration_s);
+        person.t_end = person.t_start + traffic_rng.uniform(1.0, 2.5);
+        person.label = "passer-by";
+        live_site.blockers.push_back(person);
+    }
+
+    // Observer IMU.
+    locble::Rng imu_rng = rng.fork();
+    out.observer_imu = imu::ImuSynthesizer(cfg_.imu).synthesize(observer, imu_rng);
+
+    const ble::Scanner scanner(cfg_.scanner);
+    // One shadowing field per capture: co-located beacons must shadow
+    // together (Sec. 6.1's clustering relies on this shared structure).
+    locble::Rng field_rng = rng.fork();
+    const auto shadowing = std::make_shared<channel::ShadowingField>(
+        channel::params_for(channel::PropagationClass::los).shadowing_decorrelation_m,
+        field_rng);
+    for (const auto& beacon : beacons) {
+        locble::Rng adv_rng = rng.fork();
+        locble::Rng scan_rng = rng.fork();
+        locble::Rng link_rng = rng.fork();
+        locble::Rng rx_rng = rng.fork();
+
+        const ble::Advertiser advertiser(beacon.id, beacon.profile);
+        const auto txs = advertiser.transmissions(0.0, out.duration_s, adv_rng);
+        const auto reports = scanner.receive(txs, scan_rng);
+
+        // Gamma at 1 m: the beacon's calibrated measured power (what the
+        // manufacturer programmed into the frame after antenna losses) plus
+        // per-unit calibration spread — so the frame field is an unbiased
+        // but imperfect prior for the true 1 m RSSI.
+        const double gamma = beacon.profile.measured_power_dbm +
+                             link_rng.gaussian(0.0, 1.2);
+        channel::LinkSimulator link(live_site, gamma, shadowing, link_rng.fork());
+
+        locble::TimeSeries rss;
+        rss.reserve(reports.size());
+        for (const auto& rep : reports) {
+            const locble::Vec2 tx_pos = beacon.motion
+                                            ? beacon.motion->pose_at(rep.t).position
+                                            : beacon.position;
+            // Hand micro-motion: a held phone wobbles a centimetre or two
+            // even when the user stands still, so fades never freeze.
+            locble::Vec2 rx_pos = observer.pose_at(rep.t).position;
+            rx_pos += {rx_rng.gaussian(0.0, 0.01), rx_rng.gaussian(0.0, 0.01)};
+            double rssi = link.rssi(tx_pos, rx_pos, rep.t, rep.channel);
+            // Per-packet transmit wobble.
+            rssi += rx_rng.gaussian(0.0, beacon.profile.tx_power_jitter_db);
+            rssi = channel::apply_receiver(rssi, cfg_.scanner.receiver, rx_rng);
+            rss.push_back({rep.t, rssi});
+        }
+        out.rss[beacon.id] = std::move(rss);
+
+        if (beacon.motion) {
+            locble::Rng target_imu_rng = rng.fork();
+            out.target_imu[beacon.id] =
+                imu::ImuSynthesizer(cfg_.imu).synthesize(*beacon.motion, target_imu_rng);
+        }
+    }
+    return out;
+}
+
+double initial_mag_heading(const imu::ImuTrace& imu) {
+    if (imu.mag_heading.empty())
+        throw std::invalid_argument("initial_mag_heading: empty magnetometer stream");
+    const double t0 = imu.mag_heading.front().t;
+    return motion::mean_heading(imu.mag_heading, t0, t0 + 0.5);
+}
+
+}  // namespace locble::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "locble/ble/advertiser.hpp"
+#include "locble/ble/scanner.hpp"
+#include "locble/channel/propagation.hpp"
+#include "locble/common/rng.hpp"
+#include "locble/common/timeseries.hpp"
+#include "locble/imu/imu_synth.hpp"
+#include "locble/imu/trajectory.hpp"
+
+namespace locble::sim {
+
+/// One beacon deployed in a site.
+struct BeaconPlacement {
+    std::uint64_t id{1};
+    locble::Vec2 position{};  ///< used when `motion` is empty
+    ble::AdvertiserProfile profile{};
+    /// A moving target device (e.g. a phone advertising); positions come
+    /// from this trajectory when set.
+    std::optional<imu::Trajectory> motion;
+};
+
+/// Everything a phone records during one measurement walk: per-beacon RSS
+/// streams (as the BLE API delivers them) and the observer's IMU capture.
+/// For moving targets, the target's own IMU capture is included (it is
+/// transferred to the observer after the measurement, Sec. 5).
+struct WalkCapture {
+    std::map<std::uint64_t, locble::TimeSeries> rss;
+    imu::ImuTrace observer_imu;
+    std::map<std::uint64_t, imu::ImuTrace> target_imu;
+    double duration_s{0.0};
+};
+
+/// Simulates one measurement walk end to end: advertisers emit PDUs on the
+/// hop sequence, the scanner duty-cycles and loses packets, each delivered
+/// report is assigned an RSSI by the per-link channel simulator, and the
+/// receiver profile adds chipset offset/noise/quantization. The observer's
+/// IMU streams are synthesized from the same trajectory.
+class CaptureRunner {
+public:
+    struct Config {
+        ble::Scanner::Config scanner{};
+        imu::ImuSynthesizer::Config imu{};
+    };
+
+    CaptureRunner() : CaptureRunner(Config{}) {}
+    explicit CaptureRunner(const Config& cfg) : cfg_(cfg) {}
+
+    WalkCapture run(const channel::SiteModel& site,
+                    const std::vector<BeaconPlacement>& beacons,
+                    const imu::Trajectory& observer, locble::Rng& rng) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+/// Estimated initial heading of a device from the first half second of its
+/// magnetometer stream — used to align two devices' dead-reckoning frames
+/// in the moving-target mode. Throws std::invalid_argument on an empty
+/// stream.
+double initial_mag_heading(const imu::ImuTrace& imu);
+
+}  // namespace locble::sim

@@ -1,0 +1,69 @@
+#include "locble/sim/heatmap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "locble/channel/fading.hpp"
+
+namespace locble::sim {
+
+double RssiHeatmap::coverage(double floor_dbm) const {
+    if (rssi_dbm.empty()) return 0.0;
+    std::size_t above = 0;
+    for (double v : rssi_dbm)
+        if (v >= floor_dbm) ++above;
+    return static_cast<double>(above) / static_cast<double>(rssi_dbm.size());
+}
+
+std::string RssiHeatmap::ascii() const {
+    static const char* kRamp = " .:-=+*#%@";
+    double lo = 1e300, hi = -1e300;
+    for (double v : rssi_dbm) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string out;
+    out.reserve((cols + 1) * rows);
+    for (std::size_t r = rows; r-- > 0;) {  // north up
+        for (std::size_t c = 0; c < cols; ++c) {
+            const double v = at(c, r);
+            const double f = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+            out += kRamp[static_cast<std::size_t>(f * 9.0)];
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+RssiHeatmap rssi_heatmap(const channel::SiteModel& site, const locble::Vec2& beacon,
+                         double gamma_dbm, double cell_m, locble::Rng& rng) {
+    if (cell_m <= 0.0) throw std::invalid_argument("rssi_heatmap: cell size <= 0");
+    RssiHeatmap map;
+    map.cell_m = cell_m;
+    map.cols = static_cast<std::size_t>(std::ceil(site.width_m / cell_m));
+    map.rows = static_cast<std::size_t>(std::ceil(site.height_m / cell_m));
+    map.rssi_dbm.resize(map.cols * map.rows);
+
+    const channel::ShadowingField field(
+        channel::params_for(channel::PropagationClass::los).shadowing_decorrelation_m,
+        rng.fork());
+
+    for (std::size_t r = 0; r < map.rows; ++r) {
+        for (std::size_t c = 0; c < map.cols; ++c) {
+            const locble::Vec2 p = map.center(c, r);
+            const auto blockage =
+                channel::classify_path(p, beacon, 0.0, site.walls, site.blockers);
+            const auto params = channel::params_for(blockage.propagation);
+            const channel::LogDistanceModel model{gamma_dbm, params.exponent};
+            double v = model.rssi_at(locble::Vec2::distance(p, beacon));
+            v -= blockage.total_attenuation_db;
+            v += field.link_shadow_db(beacon, p,
+                                      params.shadowing_sigma_db * site.shadowing_scale);
+            map.rssi_dbm[r * map.cols + c] = v;
+        }
+    }
+    return map;
+}
+
+}  // namespace locble::sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "locble/channel/propagation.hpp"
+#include "locble/common/rng.hpp"
+
+namespace locble::sim {
+
+/// Expected-RSSI coverage map of one beacon over a site — a planning/
+/// debugging aid: where is the beacon hearable, and where does blockage
+/// carve shadows? Each cell holds the *mean* RSSI (fast fading averaged
+/// out) a receiver standing there would see.
+struct RssiHeatmap {
+    double cell_m{0.5};
+    std::size_t cols{0};
+    std::size_t rows{0};
+    std::vector<double> rssi_dbm;  ///< row-major, rows * cols
+
+    double at(std::size_t col, std::size_t row) const {
+        return rssi_dbm.at(row * cols + col);
+    }
+    /// Cell center in site coordinates.
+    locble::Vec2 center(std::size_t col, std::size_t row) const {
+        return {(static_cast<double>(col) + 0.5) * cell_m,
+                (static_cast<double>(row) + 0.5) * cell_m};
+    }
+    /// Fraction of cells above an RSSI floor (coverage at a sensitivity).
+    double coverage(double floor_dbm) const;
+
+    /// ASCII rendering (one char per cell, stronger = denser), for quick
+    /// terminal inspection.
+    std::string ascii() const;
+};
+
+/// Compute the map: per cell, the deterministic path-loss + blockage level
+/// plus the site's shadowing field (fast fading averages to ~0 dB).
+/// `gamma_dbm` is the beacon's calibrated 1 m power. Throws
+/// std::invalid_argument for a non-positive cell size.
+RssiHeatmap rssi_heatmap(const channel::SiteModel& site, const locble::Vec2& beacon,
+                         double gamma_dbm, double cell_m, locble::Rng& rng);
+
+}  // namespace locble::sim

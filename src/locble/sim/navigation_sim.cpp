@@ -1,0 +1,89 @@
+#include "locble/sim/navigation_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "locble/core/navigation.hpp"
+#include "locble/core/proximity_assist.hpp"
+
+namespace locble::sim {
+
+NavigationRun NavigationSimulator::run(const Scenario& sc,
+                                       const BeaconPlacement& target,
+                                       const locble::Vec2& start,
+                                       double initial_heading, locble::Rng& rng) const {
+    NavigationRun out;
+    locble::Vec2 position = start;
+    double heading = initial_heading;
+
+    auto clamp_inside = [&](locble::Vec2 p) {
+        p.x = std::clamp(p.x, 0.3, sc.site.width_m - 0.3);
+        p.y = std::clamp(p.y, 0.3, sc.site.height_m - 0.3);
+        return p;
+    };
+
+    for (int round = 0; round < cfg_.max_rounds; ++round) {
+        NavigationRecord rec;
+        rec.distance_to_target_m = locble::Vec2::distance(position, target.position);
+
+        // Measure with an L-shaped walk anchored at the current pose.
+        const LShapeSpec spec =
+            cfg_.measurement.lshape ? *cfg_.measurement.lshape : sc.lshape;
+        const imu::Trajectory walk = imu::make_l_shape(position, heading, spec.leg1_m,
+                                                       spec.leg2_m, spec.turn_rad);
+        const MeasurementOutcome m =
+            measure_stationary_with_walk(sc, target, walk, cfg_.measurement, rng);
+        const locble::Vec2 walk_end = walk.pose_at(walk.duration()).position;
+
+        if (!m.ok) {
+            // No fit: probe forward a little and try again.
+            rec.measured = false;
+            out.rounds.push_back(rec);
+            position = clamp_inside(walk_end + locble::unit_from_angle(heading) * 1.5);
+            continue;
+        }
+        rec.measured = true;
+        locble::Vec2 estimate_site = m.estimate_site;
+        if (cfg_.use_proximity_assist && m.detail.fit) {
+            // Refine close-in estimates with the proximity range read off
+            // the capture's tail (the observer's final seconds).
+            const core::ProximityAssist assist;
+            const double tail_t0 = m.rss.empty() ? 0.0 : m.rss.back().t - 1.5;
+            const locble::Vec2 end_obs_frame = sim::site_to_observer(
+                walk.pose_at(walk.duration()).position, position, heading);
+            const auto refined = assist.refine(
+                *m.detail.fit, slice(m.rss, tail_t0, 1e18), end_obs_frame);
+            if (refined.engaged)
+                estimate_site = observer_to_site(refined.location, position, heading);
+        }
+        rec.estimate_error_m = locble::Vec2::distance(estimate_site, target.position);
+        out.rounds.push_back(rec);
+
+        // Follow the guidance from the walk's end toward the estimate.
+        const core::Navigator navigator(estimate_site, cfg_.arrive_distance_m);
+        const core::Guidance g = navigator.guide(walk_end, heading);
+        // A single long-range estimate can coincidentally land next to the
+        // walk's end; trust "arrived" only after a confirming second round.
+        if (g.arrived && round > 0) {
+            position = walk_end;
+            break;
+        }
+        const double stride = g.distance_m * cfg_.approach_fraction;
+        const double aim = locble::wrap_angle(heading + g.bearing_rad);
+        locble::Vec2 next = walk_end + locble::unit_from_angle(aim) * stride;
+        // Dead-reckoning error accumulates with distance walked.
+        const double noise = cfg_.reckoning_noise_frac * stride;
+        next += {rng.gaussian(0.0, noise), rng.gaussian(0.0, noise)};
+        position = clamp_inside(next);
+        heading = aim;
+        // Keep re-measuring until a *fresh* estimate confirms arrival — a
+        // stale long-range estimate must not end the session (Fig. 12(b):
+        // accuracy improves as the observer approaches).
+    }
+
+    out.final_distance_m = locble::Vec2::distance(position, target.position);
+    out.reached = out.final_distance_m <= cfg_.arrive_distance_m + 1.5;
+    return out;
+}
+
+}  // namespace locble::sim

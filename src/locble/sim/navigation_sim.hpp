@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "locble/sim/harness.hpp"
+
+namespace locble::sim {
+
+/// One measure-and-approach round during navigation.
+struct NavigationRecord {
+    double distance_to_target_m{0.0};  ///< true distance when measuring
+    double estimate_error_m{0.0};      ///< error of that round's estimate
+    bool measured{false};
+};
+
+/// Outcome of one navigation session (Sec. 7.3 / Fig. 10(b), Fig. 12(b)).
+struct NavigationRun {
+    std::vector<NavigationRecord> rounds;
+    double final_distance_m{0.0};  ///< navigation destination vs true beacon
+    bool reached{false};
+};
+
+/// Simulates LocBLE's navigation mode: measure with an L-shaped walk,
+/// follow the guidance toward the estimate (with dead-reckoning noise),
+/// re-measure, repeat until the guidance says "arrived" or rounds run out.
+class NavigationSimulator {
+public:
+    struct Config {
+        MeasurementConfig measurement{};
+        int max_rounds{6};
+        double approach_fraction{0.7};   ///< walked share of remaining distance
+        double arrive_distance_m{1.0};   ///< guidance arrival radius
+        double reckoning_noise_frac{0.04};  ///< DR error per metre walked
+        /// Sec. 9.2's last-metre refinement: blend the proximity-derived
+        /// range into close-in estimates before following them.
+        bool use_proximity_assist{false};
+    };
+
+    NavigationSimulator() : NavigationSimulator(Config{}) {}
+    explicit NavigationSimulator(const Config& cfg) : cfg_(cfg) {}
+
+    NavigationRun run(const Scenario& sc, const BeaconPlacement& target,
+                      const locble::Vec2& start, double initial_heading,
+                      locble::Rng& rng) const;
+
+    const Config& config() const { return cfg_; }
+
+private:
+    Config cfg_;
+};
+
+}  // namespace locble::sim

@@ -1,0 +1,257 @@
+#include "locble/sim/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace locble::sim {
+
+namespace {
+
+using channel::BlockageClass;
+using channel::DiskBlocker;
+using channel::SiteModel;
+using channel::Wall;
+using locble::Vec2;
+
+Wall light_wall(Vec2 a, Vec2 b, std::string label, double atten = 3.5) {
+    return {a, b, BlockageClass::light, atten, std::move(label)};
+}
+
+Wall heavy_wall(Vec2 a, Vec2 b, std::string label, double atten = 9.0) {
+    return {a, b, BlockageClass::heavy, atten, std::move(label)};
+}
+
+DiskBlocker furniture(Vec2 c, double r, std::string label, double atten = 2.5) {
+    return {c, r, BlockageClass::light, atten, 0.0, 1e18, std::move(label)};
+}
+
+DiskBlocker pillar(Vec2 c, double r, std::string label, double atten = 10.0) {
+    return {c, r, BlockageClass::heavy, atten, 0.0, 1e18, std::move(label)};
+}
+
+// Target distances per environment follow Sec. 7.4.1: 4.5, 6.4, 6.7, 6.8,
+// 9.1 and 7.9 m for environments #1-#6.
+
+Scenario meeting_room() {
+    Scenario s;
+    s.index = 1;
+    s.name = "Meeting room";
+    s.site.name = s.name;
+    s.site.width_m = 5.0;
+    s.site.height_m = 5.0;
+    // Furniture sits below antenna height off the walk path: the paper's
+    // best-case LOS environment.
+    s.site.blockers.push_back(furniture({1.6, 3.9}, 0.4, "side table", 1.0));
+    s.site.interference_noise_db = 0.5;
+    s.site.clutter_factor = 1.0;
+    s.site.shadowing_scale = 0.7;
+    s.site.ambient_crossings = 1.0;
+    s.default_beacon = {4.5, 3.4};  // 4.5 m from the start
+    s.observer_start = {0.4, 0.6};
+    s.observer_heading = 0.0;
+    s.lshape = {3.0, 2.5, 1.5707963267948966};  // fits the 5x5 room
+    s.paper_accuracy_m = 0.8;
+    s.paper_ci_m = 0.2;
+    return s;
+}
+
+Scenario hallway() {
+    Scenario s;
+    s.index = 2;
+    s.name = "Hallway";
+    s.site.name = s.name;
+    s.site.width_m = 8.0;
+    s.site.height_m = 3.0;
+    // Corridor: waveguide multipath but a clear line of sight.
+    s.site.clutter_factor = 1.4;
+    s.site.interference_noise_db = 0.7;
+    s.site.shadowing_scale = 0.8;
+    s.site.ambient_crossings = 2.0;
+    s.default_beacon = {6.9, 1.5};  // ~6.4 m from the start
+    s.observer_start = {0.5, 0.7};
+    s.observer_heading = 0.0;
+    s.lshape = {4.0, 1.8, 1.5707963267948966};  // corridor limits the lateral leg
+    s.paper_accuracy_m = 1.4;
+    s.paper_ci_m = 0.3;
+    return s;
+}
+
+Scenario bedroom() {
+    Scenario s;
+    s.index = 3;
+    s.name = "Bedroom";
+    s.site.name = s.name;
+    s.site.width_m = 7.0;
+    s.site.height_m = 7.0;
+    s.site.walls.push_back(light_wall({3.5, 0.0}, {3.5, 4.2}, "wooden partition", 3.0));
+    s.site.blockers.push_back(furniture({5.2, 2.2}, 0.6, "bed", 1.5));
+    s.site.clutter_factor = 1.2;
+    s.site.interference_noise_db = 0.6;
+    s.site.shadowing_scale = 0.9;
+    s.site.ambient_crossings = 1.0;
+    s.default_beacon = {6.2, 4.6};  // ~6.7 m, behind the partition
+    s.observer_start = {0.6, 0.8};
+    s.observer_heading = 0.0;
+    s.paper_accuracy_m = 1.4;
+    s.paper_ci_m = 0.4;
+    return s;
+}
+
+Scenario living_room() {
+    Scenario s;
+    s.index = 4;
+    s.name = "Living room";
+    s.site.name = s.name;
+    s.site.width_m = 7.0;
+    s.site.height_m = 7.0;
+    s.site.blockers.push_back(furniture({3.2, 3.0}, 0.7, "sofa", 2.0));
+    s.site.blockers.push_back(furniture({2.0, 5.2}, 0.4, "shelf", 2.5));
+    s.site.clutter_factor = 1.3;
+    s.site.interference_noise_db = 0.8;
+    s.site.shadowing_scale = 0.9;
+    s.site.ambient_crossings = 1.5;
+    s.default_beacon = {6.0, 4.6};  // ~6.8 m
+    s.observer_start = {0.5, 0.7};
+    s.observer_heading = 0.0;
+    s.paper_accuracy_m = 1.6;
+    s.paper_ci_m = 0.3;
+    return s;
+}
+
+Scenario restaurant() {
+    Scenario s;
+    s.index = 5;
+    s.name = "Restaurant";
+    s.site.name = s.name;
+    s.site.width_m = 9.0;
+    s.site.height_m = 10.0;
+    for (int i = 0; i < 3; ++i)
+        s.site.blockers.push_back(furniture({2.2 + 1.8 * i, 3.6 + 0.8 * (i % 2)}, 0.4,
+                                            "table " + std::to_string(i + 1), 1.5));
+    s.site.blockers.push_back(furniture({4.5, 6.5}, 0.3, "diner", 3.0));
+    s.site.clutter_factor = 1.2;
+    s.site.interference_noise_db = 0.9;
+    s.site.shadowing_scale = 1.0;
+    s.site.ambient_crossings = 2.5;
+    s.default_beacon = {7.6, 7.3};  // ~9.1 m
+    s.observer_start = {0.8, 1.0};
+    s.observer_heading = 0.6;
+    s.paper_accuracy_m = 1.6;
+    s.paper_ci_m = 0.4;
+    return s;
+}
+
+Scenario store() {
+    Scenario s;
+    s.index = 6;
+    s.name = "Store";
+    s.site.name = s.name;
+    s.site.width_m = 9.0;
+    s.site.height_m = 10.0;
+    // Metal shelving: the target's aisle is one rack row deep from the
+    // walk; highly reflective clutter (Sec. 7.4.1 calls this the hard
+    // indoor case alongside the labs).
+    s.site.walls.push_back(heavy_wall({2.0, 3.0}, {7.0, 3.0}, "rack row 1", 5.0));
+    s.site.walls.push_back(heavy_wall({2.0, 6.0}, {5.0, 6.0}, "rack row 2", 5.0));
+    s.site.clutter_factor = 1.6;
+    s.site.interference_noise_db = 1.1;
+    s.site.shadowing_scale = 1.1;
+    s.site.ambient_crossings = 4.0;
+    s.default_beacon = {6.3, 8.5};  // ~7.9 m, one rack row crossed
+    s.observer_start = {3.5, 1.5};
+    s.observer_heading = 0.0;
+    s.lshape = {4.0, 3.0, 1.5707963267948966};  // along the aisle, turn past the racks
+    s.paper_accuracy_m = 1.8;
+    s.paper_ci_m = 0.6;
+    return s;
+}
+
+Scenario labs() {
+    Scenario s;
+    s.index = 7;
+    s.name = "Labs";
+    s.site.name = s.name;
+    s.site.width_m = 8.0;
+    s.site.height_m = 10.0;
+    // Concrete wall block in the transmission path (Sec. 7.7).
+    s.site.walls.push_back(heavy_wall({0.0, 5.0}, {5.5, 5.0}, "concrete wall", 9.0));
+    s.site.walls.push_back(heavy_wall({6.5, 2.0}, {6.5, 7.0}, "server racks", 9.0));
+    s.site.clutter_factor = 2.0;
+    s.site.interference_noise_db = 1.2;
+    s.site.shadowing_scale = 1.2;
+    s.site.ambient_crossings = 2.0;
+    s.default_beacon = {4.0, 8.2};
+    s.observer_start = {1.0, 1.0};
+    s.observer_heading = 0.0;
+    s.paper_accuracy_m = 2.3;
+    s.paper_ci_m = 0.5;
+    return s;
+}
+
+Scenario hall() {
+    Scenario s;
+    s.index = 8;
+    s.name = "Hall";
+    s.site.name = s.name;
+    s.site.width_m = 9.0;
+    s.site.height_m = 11.0;
+    // A construction site in between (Sec. 7.7).
+    s.site.walls.push_back(
+        heavy_wall({3.0, 5.5}, {6.5, 5.5}, "construction hoarding", 8.0));
+    s.site.blockers.push_back(pillar({2.2, 5.6}, 0.45, "pillar"));
+    s.site.clutter_factor = 1.6;
+    s.site.interference_noise_db = 1.0;
+    s.site.shadowing_scale = 1.1;
+    s.site.ambient_crossings = 3.0;
+    s.default_beacon = {5.4, 9.0};
+    s.observer_start = {1.0, 1.2};
+    s.observer_heading = 0.4;
+    s.paper_accuracy_m = 2.1;
+    s.paper_ci_m = 0.5;
+    return s;
+}
+
+Scenario parking_lot() {
+    Scenario s;
+    s.index = 9;
+    s.name = "Parking lot";
+    s.site.name = s.name;
+    s.site.width_m = 16.0;
+    s.site.height_m = 15.0;
+    // Outdoor: open space, little multipath, little interference.
+    s.site.clutter_factor = 0.6;
+    s.site.interference_noise_db = 0.3;
+    s.site.channel_offset_spread_db = 0.8;
+    s.site.ambient_crossings = 0.5;
+    s.site.shadowing_scale = 0.25;
+    s.default_beacon = {7.0, 6.5};
+    s.observer_start = {2.0, 2.0};
+    s.observer_heading = 0.5;
+    s.paper_accuracy_m = 1.2;
+    s.paper_ci_m = 0.5;
+    return s;
+}
+
+}  // namespace
+
+Scenario scenario(int index) {
+    switch (index) {
+        case 1: return meeting_room();
+        case 2: return hallway();
+        case 3: return bedroom();
+        case 4: return living_room();
+        case 5: return restaurant();
+        case 6: return store();
+        case 7: return labs();
+        case 8: return hall();
+        case 9: return parking_lot();
+        default: throw std::out_of_range("scenario: index must be 1..9");
+    }
+}
+
+std::vector<Scenario> all_scenarios() {
+    std::vector<Scenario> out;
+    for (int i = 1; i <= 9; ++i) out.push_back(scenario(i));
+    return out;
+}
+
+}  // namespace locble::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "locble/channel/propagation.hpp"
+#include "locble/common/vec2.hpp"
+
+namespace locble::sim {
+
+/// The paper's measurement walk: an L of two legs with a right-angle turn
+/// (Sec. 5.1); leg lengths are bounded by each site's walkable space.
+struct LShapeSpec {
+    double leg1_m{3.5};
+    double leg2_m{3.0};
+    double turn_rad{1.5707963267948966};  ///< +90 deg
+};
+
+/// One of the paper's experimental environments (Table 1): the site's
+/// physical model plus the default measurement geometry used in Sec. 7.4.
+struct Scenario {
+    int index{0};
+    std::string name;
+    channel::SiteModel site;
+    locble::Vec2 default_beacon;   ///< default target placement
+    locble::Vec2 observer_start;   ///< default walk origin
+    double observer_heading{0.0};  ///< initial walking direction (rad)
+    LShapeSpec lshape{};           ///< walk that fits this site
+    double paper_accuracy_m{0.0};  ///< Table 1's reported mean accuracy
+    double paper_ci_m{0.0};        ///< Table 1's 75% confidence interval
+};
+
+/// Build environment #1..#9 from Table 1 (meeting room, hallway, bedroom,
+/// living room, restaurant, store, labs, hall, parking lot). Throws
+/// std::out_of_range for other indices.
+Scenario scenario(int index);
+
+/// All nine environments in order.
+std::vector<Scenario> all_scenarios();
+
+}  // namespace locble::sim

@@ -1,0 +1,102 @@
+#include "locble/sim/trace_io.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "locble/common/csv.hpp"
+
+namespace locble::sim {
+
+namespace {
+
+CsvTable imu_to_csv(const imu::ImuTrace& trace, std::uint64_t id) {
+    CsvTable t;
+    t.header = {"device_id", "t", "accel", "gyro_z", "heading"};
+    for (std::size_t i = 0; i < trace.accel_vertical.size(); ++i) {
+        const double tt = trace.accel_vertical[i].t;
+        t.rows.push_back({static_cast<double>(id), tt, trace.accel_vertical[i].value,
+                          i < trace.gyro_z.size() ? trace.gyro_z[i].value : 0.0,
+                          i < trace.mag_heading.size() ? trace.mag_heading[i].value
+                                                       : 0.0});
+    }
+    return t;
+}
+
+imu::ImuTrace imu_from_rows(const CsvTable& t, std::uint64_t id) {
+    imu::ImuTrace out;
+    const std::size_t id_col = t.column("device_id");
+    const std::size_t t_col = t.column("t");
+    const std::size_t a_col = t.column("accel");
+    const std::size_t g_col = t.column("gyro_z");
+    const std::size_t h_col = t.column("heading");
+    for (const auto& row : t.rows) {
+        if (static_cast<std::uint64_t>(row[id_col]) != id) continue;
+        out.accel_vertical.push_back({row[t_col], row[a_col]});
+        out.gyro_z.push_back({row[t_col], row[g_col]});
+        out.mag_heading.push_back({row[t_col], row[h_col]});
+    }
+    return out;
+}
+
+}  // namespace
+
+void save_capture(const std::string& prefix, const WalkCapture& capture) {
+    CsvTable rss;
+    rss.header = {"t", "beacon_id", "rssi"};
+    for (const auto& [id, series] : capture.rss)
+        for (const auto& s : series)
+            rss.rows.push_back({s.t, static_cast<double>(id), s.value});
+    std::sort(rss.rows.begin(), rss.rows.end(),
+              [](const auto& a, const auto& b) { return a[0] < b[0]; });
+    write_csv_file(prefix + "_rss.csv", rss);
+
+    write_csv_file(prefix + "_imu.csv", imu_to_csv(capture.observer_imu, 0));
+
+    if (!capture.target_imu.empty()) {
+        CsvTable targets;
+        targets.header = {"device_id", "t", "accel", "gyro_z", "heading"};
+        for (const auto& [id, trace] : capture.target_imu) {
+            const CsvTable one = imu_to_csv(trace, id);
+            targets.rows.insert(targets.rows.end(), one.rows.begin(), one.rows.end());
+        }
+        write_csv_file(prefix + "_target_imu.csv", targets);
+    }
+}
+
+WalkCapture load_capture(const std::string& prefix) {
+    WalkCapture out;
+    const CsvTable rss = read_csv_file(prefix + "_rss.csv");
+    const std::size_t t_col = rss.column("t");
+    const std::size_t id_col = rss.column("beacon_id");
+    const std::size_t v_col = rss.column("rssi");
+    for (const auto& row : rss.rows)
+        out.rss[static_cast<std::uint64_t>(row[id_col])].push_back(
+            {row[t_col], row[v_col]});
+    for (auto& [id, series] : out.rss) {
+        (void)id;
+        std::sort(series.begin(), series.end(),
+                  [](const Sample& a, const Sample& b) { return a.t < b.t; });
+        if (!series.empty()) out.duration_s = std::max(out.duration_s, series.back().t);
+    }
+
+    const CsvTable imu = read_csv_file(prefix + "_imu.csv");
+    out.observer_imu = imu_from_rows(imu, 0);
+    if (!out.observer_imu.accel_vertical.empty())
+        out.duration_s =
+            std::max(out.duration_s, out.observer_imu.accel_vertical.back().t);
+
+    const std::string target_path = prefix + "_target_imu.csv";
+    if (std::filesystem::exists(target_path)) {
+        const CsvTable targets = read_csv_file(target_path);
+        const std::size_t tid_col = targets.column("device_id");
+        std::vector<std::uint64_t> ids;
+        for (const auto& row : targets.rows) {
+            const auto id = static_cast<std::uint64_t>(row[tid_col]);
+            if (std::find(ids.begin(), ids.end(), id) == ids.end()) ids.push_back(id);
+        }
+        for (auto id : ids) out.target_imu[id] = imu_from_rows(targets, id);
+    }
+    return out;
+}
+
+}  // namespace locble::sim

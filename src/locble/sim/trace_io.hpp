@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "locble/sim/capture.hpp"
+
+namespace locble::sim {
+
+/// Record/replay of measurement walks as CSV bundles.
+///
+/// A capture saved to `<prefix>` produces:
+///   <prefix>_rss.csv      — t, beacon_id, rssi       (all beacons, sorted)
+///   <prefix>_imu.csv      — t, accel, gyro_z, heading (observer)
+///   <prefix>_target_imu.csv (only when moving targets were captured)
+///
+/// The format is deliberately plain so traces can be plotted or diffed with
+/// standard tools, and so a real phone capture can be converted into the
+/// same shape and replayed through the pipeline offline.
+
+/// Write `capture` to `<prefix>_*.csv`; throws std::runtime_error on IO
+/// failure.
+void save_capture(const std::string& prefix, const WalkCapture& capture);
+
+/// Read a capture bundle back. Missing target-IMU file is fine (stationary
+/// capture); missing RSS/IMU files throw std::runtime_error.
+WalkCapture load_capture(const std::string& prefix);
+
+}  // namespace locble::sim

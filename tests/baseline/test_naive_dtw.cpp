@@ -1,0 +1,49 @@
+#include "locble/baseline/naive_dtw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "locble/common/rng.hpp"
+
+namespace locble::baseline {
+namespace {
+
+TEST(NaiveDtwMatcherTest, MatchesIdentical) {
+    std::vector<double> s;
+    for (int i = 0; i < 40; ++i) s.push_back(std::sin(0.2 * i));
+    EXPECT_TRUE(NaiveDtwMatcher().match(s, s));
+}
+
+TEST(NaiveDtwMatcherTest, MatchesNoisyCopy) {
+    locble::Rng rng(1);
+    std::vector<double> a, b;
+    for (int i = 0; i < 40; ++i) {
+        const double v = std::sin(0.2 * i);
+        a.push_back(v + rng.gaussian(0.0, 0.1));
+        b.push_back(v + rng.gaussian(0.0, 0.1));
+    }
+    EXPECT_TRUE(NaiveDtwMatcher().match(a, b));
+}
+
+TEST(NaiveDtwMatcherTest, RejectsDifferentTrend) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 40; ++i) {
+        a.push_back(std::sin(0.2 * i));
+        b.push_back(4.0 * std::sin(0.9 * i + 2.0));
+    }
+    EXPECT_FALSE(NaiveDtwMatcher().match(a, b));
+}
+
+TEST(NaiveDtwMatcherTest, EmptyInputsNoMatch) {
+    EXPECT_FALSE(NaiveDtwMatcher().match({}, {}));
+}
+
+TEST(NaiveDtwMatcherTest, TruncatesToCommonLength) {
+    std::vector<double> a(30, 0.0), b(50, 0.0);
+    EXPECT_TRUE(NaiveDtwMatcher().match(a, b));
+}
+
+}  // namespace
+}  // namespace locble::baseline

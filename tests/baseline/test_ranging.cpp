@@ -1,0 +1,95 @@
+#include "locble/baseline/ranging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "locble/common/rng.hpp"
+
+namespace locble::baseline {
+namespace {
+
+locble::TimeSeries constant_rss(double value, std::size_t n) {
+    locble::TimeSeries ts;
+    for (std::size_t i = 0; i < n; ++i) ts.push_back({0.1 * i, value});
+    return ts;
+}
+
+TEST(FixedModelRangerTest, ExactAtCalibratedPower) {
+    FixedModelRanger::Config cfg;
+    cfg.measured_power_dbm = -59.0;
+    cfg.exponent = 2.0;
+    const FixedModelRanger ranger(cfg);
+    EXPECT_NEAR(ranger.estimate_distance(constant_rss(-59.0, 20)), 1.0, 1e-9);
+    EXPECT_NEAR(ranger.estimate_distance(constant_rss(-79.0, 20)), 10.0, 1e-9);
+}
+
+TEST(FixedModelRangerTest, AveragesRecentWindow) {
+    FixedModelRanger::Config cfg;
+    cfg.average_window = 5;
+    const FixedModelRanger ranger(cfg);
+    // Old garbage followed by stable recent samples: only recent ones count.
+    locble::TimeSeries ts = constant_rss(-100.0, 10);
+    for (int i = 0; i < 5; ++i) ts.push_back({1.0 + 0.1 * i, -59.0});
+    EXPECT_NEAR(ranger.estimate_distance(ts), 1.0, 1e-9);
+}
+
+TEST(FixedModelRangerTest, EmptySeriesThrows) {
+    EXPECT_THROW(FixedModelRanger().estimate_distance({}), std::invalid_argument);
+}
+
+TEST(FixedModelRangerTest, WrongExponentBiasesEstimate) {
+    // True environment n=3 but the fixed model assumes 2.2: distances are
+    // overestimated — the core weakness LocBLE's adaptive fit removes.
+    FixedModelRanger::Config cfg;
+    cfg.measured_power_dbm = -59.0;
+    cfg.exponent = 2.2;
+    const FixedModelRanger ranger(cfg);
+    const double true_d = 6.0;
+    const double rss = -59.0 - 10.0 * 3.0 * std::log10(true_d);
+    const double est = ranger.estimate_distance(constant_rss(rss, 20));
+    EXPECT_GT(est, true_d * 1.5);
+}
+
+TEST(FixedModelRangerTest, CurveFitMonotone) {
+    const FixedModelRanger ranger;
+    double prev = 0.0;
+    for (double rss = -50.0; rss >= -90.0; rss -= 5.0) {
+        const double d = ranger.estimate_distance_curvefit(constant_rss(rss, 10));
+        EXPECT_GT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(FixedModelRangerTest, CurveFitNearFieldBranch) {
+    FixedModelRanger::Config cfg;
+    cfg.measured_power_dbm = -59.0;
+    const FixedModelRanger ranger(cfg);
+    // Stronger than calibrated power -> ratio < 1 -> sub-metre estimate.
+    EXPECT_LT(ranger.estimate_distance_curvefit(constant_rss(-50.0, 10)), 1.0);
+}
+
+TEST(ProximityZoneTest, ZoneBoundaries) {
+    EXPECT_EQ(FixedModelRanger::zone_for(0.2), ProximityZone::immediate);
+    EXPECT_EQ(FixedModelRanger::zone_for(0.5), ProximityZone::near);
+    EXPECT_EQ(FixedModelRanger::zone_for(3.9), ProximityZone::near);
+    EXPECT_EQ(FixedModelRanger::zone_for(4.0), ProximityZone::far);
+    EXPECT_EQ(FixedModelRanger::zone_for(15.0), ProximityZone::far);
+}
+
+TEST(ProximityZoneTest, InvalidDistanceUnknown) {
+    EXPECT_EQ(FixedModelRanger::zone_for(-1.0), ProximityZone::unknown);
+    EXPECT_EQ(FixedModelRanger::zone_for(std::nan("")), ProximityZone::unknown);
+    EXPECT_EQ(FixedModelRanger::zone_for(std::numeric_limits<double>::infinity()),
+              ProximityZone::unknown);
+}
+
+TEST(ProximityZoneTest, Names) {
+    EXPECT_EQ(std::string(to_string(ProximityZone::immediate)), "immediate");
+    EXPECT_EQ(std::string(to_string(ProximityZone::unknown)), "unknown");
+}
+
+}  // namespace
+}  // namespace locble::baseline

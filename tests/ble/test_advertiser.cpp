@@ -1,0 +1,96 @@
+#include "locble/ble/advertiser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace locble::ble {
+namespace {
+
+TEST(AdvertiserTest, EventRateMatchesInterval) {
+    locble::Rng rng(1);
+    AdvertiserProfile p;
+    p.interval_s = 0.1;
+    const Advertiser adv(1, p);
+    const auto txs = adv.transmissions(0.0, 10.0, rng);
+    // ~95 events (interval + advDelay jitter), 3 channels each.
+    EXPECT_NEAR(static_cast<double>(txs.size()), 3.0 * 10.0 / 0.105, 15.0);
+}
+
+TEST(AdvertiserTest, HopsAllThreeChannelsPerEvent) {
+    locble::Rng rng(2);
+    const Advertiser adv(1, AdvertiserProfile{});
+    const auto txs = adv.transmissions(0.0, 1.0, rng);
+    ASSERT_GE(txs.size(), 6u);
+    EXPECT_EQ(txs[0].channel, AdvChannel::ch37);
+    EXPECT_EQ(txs[1].channel, AdvChannel::ch38);
+    EXPECT_EQ(txs[2].channel, AdvChannel::ch39);
+    EXPECT_EQ(txs[3].channel, AdvChannel::ch37);
+    // Inter-channel spacing within one event is sub-millisecond.
+    EXPECT_LT(txs[1].t - txs[0].t, 0.001);
+}
+
+TEST(AdvertiserTest, TimesSortedAndInRange) {
+    locble::Rng rng(3);
+    const Advertiser adv(4, AdvertiserProfile{});
+    const auto txs = adv.transmissions(2.0, 5.0, rng);
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+        EXPECT_GE(txs[i].t, 2.0);
+        EXPECT_LT(txs[i].t, 5.0);
+        if (i) EXPECT_GE(txs[i].t, txs[i - 1].t);
+    }
+}
+
+TEST(AdvertiserTest, AdvDelayJitterPresent) {
+    locble::Rng rng(4);
+    AdvertiserProfile p;
+    p.interval_s = 0.1;
+    const Advertiser adv(1, p);
+    const auto txs = adv.transmissions(0.0, 30.0, rng);
+    // Gather event start times (channel 37 transmissions).
+    std::vector<double> gaps;
+    double prev = -1.0;
+    for (const auto& tx : txs) {
+        if (tx.channel != AdvChannel::ch37) continue;
+        if (prev >= 0.0) gaps.push_back(tx.t - prev);
+        prev = tx.t;
+    }
+    ASSERT_GT(gaps.size(), 50u);
+    // All gaps in [interval, interval + 10 ms]; not all identical.
+    double mn = gaps[0], mx = gaps[0];
+    for (double g : gaps) {
+        EXPECT_GE(g, 0.1 - 1e-9);
+        EXPECT_LE(g, 0.111);
+        mn = std::min(mn, g);
+        mx = std::max(mx, g);
+    }
+    EXPECT_GT(mx - mn, 0.001);
+}
+
+TEST(AdvertiserTest, CarriesBeaconPayload) {
+    locble::Rng rng(5);
+    const Advertiser adv(77, estimote_profile());
+    const auto txs = adv.transmissions(0.0, 0.5, rng);
+    ASSERT_FALSE(txs.empty());
+    const auto frame = decode_ibeacon(txs[0].pdu.payload);
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(txs[0].advertiser_id, 77u);
+}
+
+TEST(AdvertiserProfiles, DistinctHardwareCharacteristics) {
+    const auto est = estimote_profile();
+    const auto rad = radbeacon_profile();
+    const auto ios = ios_device_profile();
+    // Smart-device beacons are noisier than dedicated ones (Sec. 7.6.3).
+    EXPECT_GT(ios.tx_power_jitter_db, est.tx_power_jitter_db);
+    EXPECT_GT(ios.tx_power_jitter_db, rad.tx_power_jitter_db);
+    EXPECT_EQ(rad.format, BeaconFormat::altbeacon);
+    EXPECT_EQ(est.format, BeaconFormat::ibeacon);
+}
+
+TEST(AdvertiserTest, EmptyWindowYieldsNothing) {
+    locble::Rng rng(6);
+    const Advertiser adv(1, AdvertiserProfile{});
+    EXPECT_TRUE(adv.transmissions(1.0, 1.0, rng).empty());
+}
+
+}  // namespace
+}  // namespace locble::ble

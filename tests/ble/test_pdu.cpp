@@ -1,0 +1,110 @@
+#include "locble/ble/pdu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace locble::ble {
+namespace {
+
+TEST(PduType, ConnectabilityMatchesSpec) {
+    EXPECT_TRUE(is_connectable(PduType::adv_ind));
+    EXPECT_TRUE(is_connectable(PduType::adv_direct_ind));
+    EXPECT_FALSE(is_connectable(PduType::adv_nonconn_ind));
+    EXPECT_FALSE(is_connectable(PduType::adv_scan_ind));
+    EXPECT_FALSE(is_connectable(PduType::scan_rsp));
+}
+
+TEST(DeviceAddressTest, StringRoundTrip) {
+    const auto a = DeviceAddress::from_string("c4:01:22:ab:cd:ef");
+    EXPECT_EQ(a.str(), "c4:01:22:ab:cd:ef");
+}
+
+TEST(DeviceAddressTest, BadStringThrows) {
+    EXPECT_THROW(DeviceAddress::from_string("nonsense"), std::runtime_error);
+    EXPECT_THROW(DeviceAddress::from_string(""), std::runtime_error);
+}
+
+TEST(DeviceAddressTest, FromIdDeterministicAndDistinct) {
+    const auto a1 = DeviceAddress::from_id(1);
+    const auto a1b = DeviceAddress::from_id(1);
+    const auto a2 = DeviceAddress::from_id(2);
+    EXPECT_EQ(a1, a1b);
+    EXPECT_NE(a1, a2);
+    // Static random address prefix bits set.
+    EXPECT_EQ(a1.bytes[0] & 0xC0, 0xC0);
+}
+
+TEST(AdvertisingPduTest, SerializeParseRoundTrip) {
+    AdvertisingPdu pdu;
+    pdu.type = PduType::adv_nonconn_ind;
+    pdu.tx_addr_random = true;
+    pdu.address = DeviceAddress::from_id(7);
+    pdu.payload = {0x02, 0x01, 0x06};
+
+    const auto bytes = pdu.serialize();
+    const AdvertisingPdu back = AdvertisingPdu::parse(bytes);
+    EXPECT_EQ(back.type, pdu.type);
+    EXPECT_EQ(back.tx_addr_random, pdu.tx_addr_random);
+    EXPECT_EQ(back.address, pdu.address);
+    EXPECT_EQ(back.payload, pdu.payload);
+}
+
+TEST(AdvertisingPduTest, HeaderEncodesTypeAndTxAdd) {
+    AdvertisingPdu pdu;
+    pdu.type = PduType::adv_ind;
+    pdu.tx_addr_random = false;
+    const auto bytes = pdu.serialize();
+    EXPECT_EQ(bytes[0] & 0x0F, 0x00);
+    EXPECT_EQ(bytes[0] & 0x40, 0x00);
+    pdu.tx_addr_random = true;
+    EXPECT_EQ(pdu.serialize()[0] & 0x40, 0x40);
+}
+
+TEST(AdvertisingPduTest, LengthFieldCoversAddressAndPayload) {
+    AdvertisingPdu pdu;
+    pdu.payload = {1, 2, 3, 4, 5};
+    const auto bytes = pdu.serialize();
+    EXPECT_EQ(bytes[1], 6 + 5);
+    EXPECT_EQ(bytes.size(), 2u + 6u + 5u);
+}
+
+TEST(AdvertisingPduTest, OversizePayloadRejected) {
+    AdvertisingPdu pdu;
+    pdu.payload.assign(32, 0x00);
+    EXPECT_THROW(pdu.serialize(), std::runtime_error);
+}
+
+TEST(AdvertisingPduTest, ParseRejectsTruncatedOrInconsistent) {
+    EXPECT_THROW(AdvertisingPdu::parse({0x02, 0x06}), std::runtime_error);
+    // Length byte says 10 but only 6 bytes follow.
+    std::vector<std::uint8_t> bad{0x02, 10, 1, 2, 3, 4, 5, 6};
+    EXPECT_THROW(AdvertisingPdu::parse(bad), std::runtime_error);
+    // Length below the 6-byte AdvA minimum.
+    std::vector<std::uint8_t> short_len{0x02, 5, 1, 2, 3, 4, 5, 6};
+    EXPECT_THROW(AdvertisingPdu::parse(short_len), std::runtime_error);
+}
+
+TEST(AdStructures, RoundTrip) {
+    const std::vector<AdStructure> ads{{kAdTypeFlags, {0x06}},
+                                       {kAdTypeManufacturerData, {0x4C, 0x00, 0xAA}}};
+    const auto payload = build_ad_payload(ads);
+    const auto back = parse_ad_structures(payload);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].type, kAdTypeFlags);
+    EXPECT_EQ(back[0].data, std::vector<std::uint8_t>{0x06});
+    EXPECT_EQ(back[1].data.size(), 3u);
+}
+
+TEST(AdStructures, MalformedLengthsRejected) {
+    EXPECT_THROW(parse_ad_structures({0x00}), std::runtime_error);         // zero len
+    EXPECT_THROW(parse_ad_structures({0x05, 0x01, 0x06}), std::runtime_error);  // truncated
+}
+
+TEST(AdStructures, PayloadLimitEnforced) {
+    std::vector<AdStructure> ads{{0xFF, std::vector<std::uint8_t>(31, 0)}};
+    EXPECT_THROW(build_ad_payload(ads), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace locble::ble

@@ -1,0 +1,104 @@
+#include "locble/ble/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace locble::ble {
+namespace {
+
+std::vector<Transmission> make_txs(double t0, double t1, std::uint64_t id,
+                                   locble::Rng& rng) {
+    const Advertiser adv(id, AdvertiserProfile{});
+    return adv.transmissions(t0, t1, rng);
+}
+
+TEST(ScannerTest, ContinuousScanDeliversAboutOnePerEvent) {
+    locble::Rng rng(1);
+    const auto txs = make_txs(0.0, 30.0, 1, rng);
+    Scanner::Config cfg;
+    cfg.receiver.loss_probability = 0.0;
+    const Scanner scanner(cfg);
+    locble::Rng rx_rng(2);
+    const auto reports = scanner.receive(txs, rx_rng);
+    // With window == interval and rotation, exactly the one matching-channel
+    // transmission of each event is captured: ~1/3 of all transmissions.
+    EXPECT_NEAR(static_cast<double>(reports.size()),
+                static_cast<double>(txs.size()) / 3.0, 12.0);
+}
+
+TEST(ScannerTest, LossReducesDeliveries) {
+    locble::Rng rng(3);
+    const auto txs = make_txs(0.0, 60.0, 1, rng);
+    Scanner::Config lossless;
+    lossless.receiver.loss_probability = 0.0;
+    Scanner::Config lossy;
+    lossy.receiver.loss_probability = 0.5;
+    locble::Rng a(4), b(4);
+    const auto clean = Scanner(lossless).receive(txs, a);
+    const auto dropped = Scanner(lossy).receive(txs, b);
+    EXPECT_LT(static_cast<double>(dropped.size()),
+              0.65 * static_cast<double>(clean.size()));
+    EXPECT_GT(static_cast<double>(dropped.size()),
+              0.35 * static_cast<double>(clean.size()));
+}
+
+TEST(ScannerTest, DutyCyclingDropsOutOfWindowPackets) {
+    locble::Rng rng(5);
+    const auto txs = make_txs(0.0, 30.0, 1, rng);
+    Scanner::Config half;
+    half.scan_interval_s = 0.1;
+    half.scan_window_s = 0.05;  // radio on half the time
+    half.receiver.loss_probability = 0.0;
+    Scanner::Config full;
+    full.receiver.loss_probability = 0.0;
+    locble::Rng a(6), b(6);
+    const auto half_reports = Scanner(half).receive(txs, a);
+    const auto full_reports = Scanner(full).receive(txs, b);
+    EXPECT_LT(half_reports.size(), full_reports.size());
+    EXPECT_GT(half_reports.size(), full_reports.size() / 4);
+}
+
+TEST(ScannerTest, ReportsPreserveIdentity) {
+    locble::Rng rng(7);
+    const auto txs = make_txs(0.0, 5.0, 42, rng);
+    Scanner::Config cfg;
+    cfg.receiver.loss_probability = 0.0;
+    locble::Rng rx(8);
+    const auto reports = Scanner(cfg).receive(txs, rx);
+    ASSERT_FALSE(reports.empty());
+    for (const auto& r : reports) {
+        EXPECT_EQ(r.advertiser_id, 42u);
+        EXPECT_EQ(r.address, DeviceAddress::from_id(42));
+        EXPECT_FALSE(r.payload.empty());
+    }
+}
+
+TEST(ScannerTest, EmptyInput) {
+    locble::Rng rng(9);
+    const Scanner scanner{Scanner::Config{}};
+    EXPECT_TRUE(scanner.receive({}, rng).empty());
+}
+
+TEST(ScannerTest, ConfigValidation) {
+    Scanner::Config bad;
+    bad.scan_interval_s = 0.0;
+    EXPECT_THROW(Scanner{bad}, std::invalid_argument);
+    Scanner::Config window_too_big;
+    window_too_big.scan_window_s = 0.2;
+    window_too_big.scan_interval_s = 0.1;
+    EXPECT_THROW(Scanner{window_too_big}, std::invalid_argument);
+}
+
+TEST(ReceiverProfiles, DistinctOffsets) {
+    // Fig. 2: different phones report shifted RSSI for the same signal.
+    const auto a = iphone5s_receiver();
+    const auto b = nexus5x_receiver();
+    const auto c = nexus6_receiver();
+    EXPECT_NE(a.rssi_offset_db, b.rssi_offset_db);
+    EXPECT_NE(b.rssi_offset_db, c.rssi_offset_db);
+    EXPECT_NE(a.rssi_offset_db, c.rssi_offset_db);
+}
+
+}  // namespace
+}  // namespace locble::ble

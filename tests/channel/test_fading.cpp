@@ -1,0 +1,105 @@
+#include "locble/channel/fading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/common/stats.hpp"
+#include "locble/common/units.hpp"
+
+namespace locble::channel {
+namespace {
+
+TEST(FadingProcessTest, StationaryLinkBarelyChanges) {
+    FadingProcess f(9.0, 0.06, locble::Rng(1));
+    const double first = f.step(0.0);
+    for (int i = 0; i < 50; ++i) EXPECT_NEAR(f.step(0.0), first, 1e-9);
+}
+
+TEST(FadingProcessTest, MovementDecorrelates) {
+    FadingProcess f(9.0, 0.06, locble::Rng(2));
+    locble::RunningStats deltas;
+    double prev = f.step(0.0);
+    for (int i = 0; i < 200; ++i) {
+        const double v = f.step(0.12);  // two coherence distances per step
+        deltas.add(std::abs(v - prev));
+        prev = v;
+    }
+    EXPECT_GT(deltas.mean(), 0.3);  // fades move when the user moves
+}
+
+TEST(FadingProcessTest, RicianMeanPowerNearUnity) {
+    // Average linear power over many decorrelated samples ~ 1 (0 dB).
+    FadingProcess f(6.0, 0.06, locble::Rng(3));
+    double power_sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        power_sum += locble::db_to_ratio(f.step(1.0));
+    EXPECT_NEAR(power_sum / n, 1.0, 0.08);
+}
+
+TEST(FadingProcessTest, RayleighFadesDeeperThanRician) {
+    FadingProcess rician(9.0, 0.06, locble::Rng(4));
+    FadingProcess rayleigh(-100.0, 0.06, locble::Rng(4));
+    locble::RunningStats rs_rician, rs_rayleigh;
+    for (int i = 0; i < 5000; ++i) {
+        rs_rician.add(rician.step(1.0));
+        rs_rayleigh.add(rayleigh.step(1.0));
+    }
+    EXPECT_GT(rs_rician.min(), rs_rayleigh.min());       // fewer deep fades
+    EXPECT_LT(rs_rician.stddev(), rs_rayleigh.stddev());  // tighter spread
+}
+
+TEST(FadingProcessTest, DeepFadeFloorApplied) {
+    FadingProcess f(-100.0, 0.06, locble::Rng(5));
+    for (int i = 0; i < 20000; ++i) EXPECT_GE(f.step(1.0), -60.0 - 1e-9);
+}
+
+TEST(ShadowingProcessTest, StationaryHoldsValue) {
+    ShadowingProcess s(3.0, 4.0, locble::Rng(6));
+    const double first = s.step(0.0);
+    for (int i = 0; i < 20; ++i) EXPECT_NEAR(s.step(0.0), first, 1e-9);
+}
+
+TEST(ShadowingProcessTest, LongRunStdMatchesSigma) {
+    ShadowingProcess s(3.0, 4.0, locble::Rng(7));
+    locble::RunningStats rs;
+    for (int i = 0; i < 30000; ++i) rs.add(s.step(8.0));  // decorrelated draws
+    EXPECT_NEAR(rs.stddev(), 3.0, 0.2);
+    EXPECT_NEAR(rs.mean(), 0.0, 0.15);
+}
+
+TEST(ShadowingProcessTest, CorrelatedOverShortMoves) {
+    ShadowingProcess s(3.0, 4.0, locble::Rng(8));
+    // 5 cm per step << 4 m decorrelation distance: per-step innovation std is
+    // sigma * sqrt(1 - rho^2) ~= 0.47 dB, far below the 3 dB marginal std.
+    double prev = s.step(0.0);
+    locble::RunningStats step_sizes;
+    for (int i = 0; i < 500; ++i) {
+        const double v = s.step(0.05);
+        step_sizes.add(std::abs(v - prev));
+        prev = v;
+    }
+    EXPECT_LT(step_sizes.mean(), 0.8);
+}
+
+TEST(ChannelOffsetsTest, ZeroMeanAcrossChannels) {
+    locble::Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        const auto o = draw_channel_offsets(1.5, rng);
+        EXPECT_NEAR(o[0] + o[1] + o[2], 0.0, 1e-9);
+    }
+}
+
+TEST(ChannelOffsetsTest, SpreadScalesWithParameter) {
+    locble::Rng a(10), b(10);
+    locble::RunningStats small, large;
+    for (int i = 0; i < 500; ++i) {
+        for (double v : draw_channel_offsets(0.5, a)) small.add(v);
+        for (double v : draw_channel_offsets(3.0, b)) large.add(v);
+    }
+    EXPECT_LT(small.stddev(), large.stddev() / 2.0);
+}
+
+}  // namespace
+}  // namespace locble::channel

@@ -1,0 +1,110 @@
+#include "locble/channel/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace locble::channel {
+namespace {
+
+TEST(MakeRoomTest, SolidRoomHasFourWalls) {
+    RoomSpec spec;
+    spec.origin = {1.0, 1.0};
+    spec.width = 4.0;
+    spec.height = 3.0;
+    const auto walls = make_room(spec);
+    EXPECT_EQ(walls.size(), 4u);
+}
+
+TEST(MakeRoomTest, DoorSplitsItsWall) {
+    RoomSpec spec;
+    spec.origin = {0.0, 0.0};
+    spec.width = 4.0;
+    spec.height = 3.0;
+    spec.door_offset[0] = 1.5;  // bottom wall door
+    const auto walls = make_room(spec);
+    EXPECT_EQ(walls.size(), 5u);
+}
+
+TEST(MakeRoomTest, DoorAtWallStartEmitsSingleSegment) {
+    RoomSpec spec;
+    spec.door_offset[3] = 0.0;  // left wall, door flush with the corner
+    const auto walls = make_room(spec);
+    EXPECT_EQ(walls.size(), 4u);  // zero-length stub suppressed
+}
+
+TEST(MakeRoomTest, PathThroughDoorIsClear) {
+    RoomSpec spec;
+    spec.origin = {2.0, 2.0};
+    spec.width = 4.0;
+    spec.height = 4.0;
+    spec.door_offset[0] = 1.5;  // door on the bottom wall at x in [3.5, 4.4]
+    const auto walls = make_room(spec);
+
+    // Through the door: LOS; through the wall next to it: blocked.
+    const auto through_door =
+        classify_path({4.0, 0.5}, {4.0, 4.0}, 0.0, walls, {});
+    const auto through_wall =
+        classify_path({2.5, 0.5}, {2.5, 4.0}, 0.0, walls, {});
+    EXPECT_EQ(through_door.propagation, PropagationClass::los);
+    EXPECT_EQ(through_wall.propagation, PropagationClass::nlos);
+}
+
+TEST(MakeRoomTest, Validation) {
+    RoomSpec bad;
+    bad.width = -1.0;
+    EXPECT_THROW(make_room(bad), std::invalid_argument);
+    RoomSpec wide_door;
+    wide_door.width = 2.0;
+    wide_door.door_offset[0] = 1.5;
+    wide_door.door_width = 1.0;  // 1.5 + 1.0 > 2.0
+    EXPECT_THROW(make_room(wide_door), std::invalid_argument);
+}
+
+TEST(MakeShelfRowTest, SegmentsAndGaps) {
+    const auto shelves =
+        make_shelf_row({0.0, 3.0}, {10.0, 3.0}, 4, 0.25, 7.0, "rack");
+    ASSERT_EQ(shelves.size(), 4u);
+    // Each shelf spans 75% of its 2.5 m pitch.
+    for (const auto& w : shelves) {
+        EXPECT_NEAR(locble::Vec2::distance(w.a, w.b), 2.5 * 0.75, 1e-9);
+        EXPECT_EQ(w.blockage, BlockageClass::heavy);
+    }
+    // A path through an aisle gap is clear.
+    const auto gap = classify_path({2.1, 0.0}, {2.1, 6.0}, 0.0, shelves, {});
+    EXPECT_EQ(gap.propagation, PropagationClass::los);
+    // A path through a shelf is not.
+    const auto blocked = classify_path({1.0, 0.0}, {1.0, 6.0}, 0.0, shelves, {});
+    EXPECT_EQ(blocked.propagation, PropagationClass::nlos);
+}
+
+TEST(MakeShelfRowTest, Validation) {
+    EXPECT_THROW(make_shelf_row({0, 0}, {1, 0}, 0, 0.2, 5.0, "x"),
+                 std::invalid_argument);
+    EXPECT_THROW(make_shelf_row({0, 0}, {1, 0}, 2, 1.0, 5.0, "x"),
+                 std::invalid_argument);
+}
+
+TEST(ScatterFurnitureTest, StaysInsideMargins) {
+    locble::Rng rng(5);
+    const auto furniture = scatter_furniture(8.0, 6.0, 12, 1.0, rng);
+    ASSERT_EQ(furniture.size(), 12u);
+    for (const auto& d : furniture) {
+        EXPECT_GE(d.center.x, 1.0);
+        EXPECT_LE(d.center.x, 7.0);
+        EXPECT_GE(d.center.y, 1.0);
+        EXPECT_LE(d.center.y, 5.0);
+        EXPECT_EQ(d.blockage, BlockageClass::light);
+    }
+}
+
+TEST(ScatterFurnitureTest, DeterministicPerSeed) {
+    locble::Rng a(9), b(9);
+    const auto fa = scatter_furniture(8.0, 6.0, 5, 0.5, a);
+    const auto fb = scatter_furniture(8.0, 6.0, 5, 0.5, b);
+    for (std::size_t i = 0; i < fa.size(); ++i)
+        EXPECT_EQ(fa[i].center, fb[i].center);
+}
+
+}  // namespace
+}  // namespace locble::channel

@@ -1,0 +1,105 @@
+#include "locble/channel/obstacles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace locble::channel {
+namespace {
+
+using locble::Vec2;
+
+TEST(SegmentsIntersect, CrossingSegments) {
+    EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, ParallelNonTouching) {
+    EXPECT_FALSE(segments_intersect({0, 0}, {2, 0}, {0, 1}, {2, 1}));
+}
+
+TEST(SegmentsIntersect, TouchingAtEndpoint) {
+    EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, CollinearOverlap) {
+    EXPECT_TRUE(segments_intersect({0, 0}, {3, 0}, {1, 0}, {2, 0}));
+}
+
+TEST(SegmentsIntersect, CollinearDisjoint) {
+    EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(SegmentsIntersect, NearMiss) {
+    EXPECT_FALSE(segments_intersect({0, 0}, {2, 2}, {0, 2.01}, {2, 4}));
+}
+
+TEST(SegmentHitsDisk, ThroughCenter) {
+    EXPECT_TRUE(segment_hits_disk({0, 0}, {4, 0}, {2, 0}, 0.5));
+}
+
+TEST(SegmentHitsDisk, GrazingEdge) {
+    EXPECT_TRUE(segment_hits_disk({0, 0}, {4, 0}, {2, 0.5}, 0.5));
+    EXPECT_FALSE(segment_hits_disk({0, 0}, {4, 0}, {2, 0.51}, 0.5));
+}
+
+TEST(SegmentHitsDisk, DiskBeyondSegmentEnd) {
+    EXPECT_FALSE(segment_hits_disk({0, 0}, {1, 0}, {3, 0}, 0.5));
+    // But touching the nearest endpoint counts.
+    EXPECT_TRUE(segment_hits_disk({0, 0}, {1, 0}, {1.4, 0}, 0.5));
+}
+
+TEST(SegmentHitsDisk, DegenerateSegmentIsPoint) {
+    EXPECT_TRUE(segment_hits_disk({1, 1}, {1, 1}, {1, 1.2}, 0.3));
+    EXPECT_FALSE(segment_hits_disk({1, 1}, {1, 1}, {2, 2}, 0.3));
+}
+
+TEST(ClassifyPath, ClearPathIsLos) {
+    const auto b = classify_path({0, 0}, {5, 5}, 0.0, {}, {});
+    EXPECT_EQ(b.propagation, PropagationClass::los);
+    EXPECT_DOUBLE_EQ(b.total_attenuation_db, 0.0);
+}
+
+TEST(ClassifyPath, LightWallMakesPlos) {
+    const std::vector<Wall> walls{
+        {{2, -1}, {2, 1}, BlockageClass::light, 3.0, "glass"}};
+    const auto b = classify_path({0, 0}, {4, 0}, 0.0, walls, {});
+    EXPECT_EQ(b.propagation, PropagationClass::plos);
+    EXPECT_DOUBLE_EQ(b.total_attenuation_db, 3.0);
+    EXPECT_EQ(b.light_crossings, 1);
+}
+
+TEST(ClassifyPath, HeavyWallMakesNlos) {
+    const std::vector<Wall> walls{
+        {{2, -1}, {2, 1}, BlockageClass::heavy, 12.0, "concrete"}};
+    const auto b = classify_path({0, 0}, {4, 0}, 0.0, walls, {});
+    EXPECT_EQ(b.propagation, PropagationClass::nlos);
+    EXPECT_EQ(b.heavy_crossings, 1);
+}
+
+TEST(ClassifyPath, HeavyDominatesLight) {
+    const std::vector<Wall> walls{
+        {{1, -1}, {1, 1}, BlockageClass::light, 3.0, "glass"},
+        {{2, -1}, {2, 1}, BlockageClass::heavy, 12.0, "concrete"}};
+    const auto b = classify_path({0, 0}, {4, 0}, 0.0, walls, {});
+    EXPECT_EQ(b.propagation, PropagationClass::nlos);
+    EXPECT_DOUBLE_EQ(b.total_attenuation_db, 15.0);
+}
+
+TEST(ClassifyPath, TimedBlockerOnlyWhenActive) {
+    std::vector<DiskBlocker> blockers{
+        {{2.0, 0.0}, 0.4, BlockageClass::light, 3.0, 5.0, 8.0, "person"}};
+    EXPECT_EQ(classify_path({0, 0}, {4, 0}, 2.0, {}, blockers).propagation,
+              PropagationClass::los);
+    EXPECT_EQ(classify_path({0, 0}, {4, 0}, 6.0, {}, blockers).propagation,
+              PropagationClass::plos);
+    EXPECT_EQ(classify_path({0, 0}, {4, 0}, 9.0, {}, blockers).propagation,
+              PropagationClass::los);
+}
+
+TEST(ClassifyPath, PathMissingObstaclesStaysLos) {
+    const std::vector<Wall> walls{
+        {{2, 1}, {2, 3}, BlockageClass::heavy, 12.0, "wall"}};
+    const auto b = classify_path({0, 0}, {4, 0}, 0.0, walls, {});
+    EXPECT_EQ(b.propagation, PropagationClass::los);
+}
+
+}  // namespace
+}  // namespace locble::channel

@@ -1,0 +1,68 @@
+#include "locble/channel/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace locble::channel {
+namespace {
+
+TEST(LogDistanceModelTest, GammaIsRssiAtOneMetre) {
+    const LogDistanceModel m{-59.0, 2.0};
+    EXPECT_DOUBLE_EQ(m.rssi_at(1.0), -59.0);
+}
+
+TEST(LogDistanceModelTest, TenMetresLosesTenNDb) {
+    const LogDistanceModel m{-59.0, 2.0};
+    EXPECT_NEAR(m.rssi_at(10.0), -79.0, 1e-9);
+    const LogDistanceModel steep{-59.0, 3.3};
+    EXPECT_NEAR(steep.rssi_at(10.0), -92.0, 1e-9);
+}
+
+TEST(LogDistanceModelTest, InverseRoundTrip) {
+    const LogDistanceModel m{-62.0, 2.7};
+    for (double d : {0.5, 1.0, 3.7, 9.2, 15.0}) {
+        EXPECT_NEAR(m.distance_for(m.rssi_at(d)), d, 1e-9) << "d=" << d;
+    }
+}
+
+TEST(LogDistanceModelTest, NearFieldClamped) {
+    const LogDistanceModel m{-59.0, 2.0};
+    EXPECT_DOUBLE_EQ(m.rssi_at(0.0), m.rssi_at(0.1));
+    EXPECT_DOUBLE_EQ(m.rssi_at(0.05), m.rssi_at(0.1));
+}
+
+TEST(LogDistanceModelTest, MonotoneDecreasing) {
+    const LogDistanceModel m{-59.0, 2.5};
+    double prev = m.rssi_at(0.2);
+    for (double d = 0.4; d < 20.0; d += 0.2) {
+        EXPECT_LT(m.rssi_at(d), prev);
+        prev = m.rssi_at(d);
+    }
+}
+
+TEST(PropagationClassTest, Names) {
+    EXPECT_EQ(std::string(to_string(PropagationClass::los)), "LOS");
+    EXPECT_EQ(std::string(to_string(PropagationClass::plos)), "p-LOS");
+    EXPECT_EQ(std::string(to_string(PropagationClass::nlos)), "NLOS");
+}
+
+TEST(PropagationParamsTest, SeverityOrdering) {
+    const auto los = params_for(PropagationClass::los);
+    const auto plos = params_for(PropagationClass::plos);
+    const auto nlos = params_for(PropagationClass::nlos);
+    // Path loss exponent grows with blockage severity.
+    EXPECT_LT(los.exponent, plos.exponent);
+    EXPECT_LT(plos.exponent, nlos.exponent);
+    // So do attenuation and shadowing spread.
+    EXPECT_LT(los.extra_attenuation_db, plos.extra_attenuation_db);
+    EXPECT_LT(plos.extra_attenuation_db, nlos.extra_attenuation_db);
+    EXPECT_LT(los.shadowing_sigma_db, nlos.shadowing_sigma_db);
+    // Rician K degrades toward Rayleigh.
+    EXPECT_GT(los.rician_k_db, plos.rician_k_db);
+    EXPECT_GT(plos.rician_k_db, nlos.rician_k_db);
+}
+
+}  // namespace
+}  // namespace locble::channel

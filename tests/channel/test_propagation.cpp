@@ -1,0 +1,148 @@
+#include "locble/channel/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/common/stats.hpp"
+
+namespace locble::channel {
+namespace {
+
+SiteModel open_site() {
+    SiteModel s;
+    s.width_m = 20.0;
+    s.height_m = 20.0;
+    s.interference_noise_db = 0.0;
+    s.channel_offset_spread_db = 0.0;
+    return s;
+}
+
+TEST(LinkSimulatorTest, RssiDecaysWithDistance) {
+    const SiteModel site = open_site();
+    LinkSimulator link(site, -59.0, locble::Rng(1));
+    // Average many samples at 2 m vs 10 m.
+    locble::RunningStats near_rssi, far_rssi;
+    for (int i = 0; i < 300; ++i)
+        near_rssi.add(link.rssi({0, 0}, {2.0 + 0.001 * i, 0}, 0.1 * i,
+                                ble::AdvChannel::ch37));
+    for (int i = 0; i < 300; ++i)
+        far_rssi.add(link.rssi({0, 0}, {10.0 + 0.001 * i, 0}, 30.0 + 0.1 * i,
+                               ble::AdvChannel::ch37));
+    // LOS exponent 2: ~14 dB drop from 2 m to 10 m.
+    EXPECT_NEAR(near_rssi.mean() - far_rssi.mean(), 14.0, 4.0);
+}
+
+TEST(LinkSimulatorTest, ClassTracksGeometry) {
+    SiteModel site = open_site();
+    site.walls.push_back(
+        {{5.0, -5.0}, {5.0, 5.0}, BlockageClass::heavy, 12.0, "wall"});
+    LinkSimulator link(site, -59.0, locble::Rng(2));
+    link.rssi({0, 0}, {3, 0}, 0.0, ble::AdvChannel::ch37);
+    EXPECT_EQ(link.last_class(), PropagationClass::los);
+    link.rssi({0, 0}, {8, 0}, 1.0, ble::AdvChannel::ch37);
+    EXPECT_EQ(link.last_class(), PropagationClass::nlos);
+}
+
+TEST(LinkSimulatorTest, BlockageCostsPower) {
+    SiteModel blocked = open_site();
+    blocked.walls.push_back(
+        {{2.0, -5.0}, {2.0, 5.0}, BlockageClass::heavy, 12.0, "wall"});
+    const SiteModel clear = open_site();
+    LinkSimulator link_clear(clear, -59.0, locble::Rng(3));
+    LinkSimulator link_blocked(blocked, -59.0, locble::Rng(3));
+    locble::RunningStats rs_clear, rs_blocked;
+    for (int i = 0; i < 400; ++i) {
+        const locble::Vec2 rx{4.0 + 0.002 * i, 0.0};
+        rs_clear.add(link_clear.rssi({0, 0}, rx, 0.1 * i, ble::AdvChannel::ch38));
+        rs_blocked.add(link_blocked.rssi({0, 0}, rx, 0.1 * i, ble::AdvChannel::ch38));
+    }
+    // Wall insertion loss + steeper NLOS exponent: >= 10 dB weaker.
+    EXPECT_LT(rs_blocked.mean(), rs_clear.mean() - 10.0);
+}
+
+TEST(LinkSimulatorTest, StationaryLinkIsSteady) {
+    const SiteModel site = open_site();
+    LinkSimulator link(site, -59.0, locble::Rng(4));
+    locble::RunningStats rs;
+    for (int i = 0; i < 200; ++i)
+        rs.add(link.rssi({0, 0}, {5, 0}, 0.1 * i, ble::AdvChannel::ch37));
+    // No movement: fading/shadowing frozen, so variance is tiny.
+    EXPECT_LT(rs.stddev(), 0.5);
+}
+
+TEST(LinkSimulatorTest, MovingLinkFluctuates) {
+    const SiteModel site = open_site();
+    LinkSimulator link(site, -59.0, locble::Rng(5));
+    locble::RunningStats rs;
+    for (int i = 0; i < 200; ++i) {
+        // Walk tangentially (constant distance 5 m) so path loss is constant
+        // and all variation comes from fading.
+        const double angle = 0.02 * i;
+        const locble::Vec2 rx{5.0 * std::cos(angle), 5.0 * std::sin(angle)};
+        rs.add(link.rssi({0, 0}, rx, 0.1 * i, ble::AdvChannel::ch37));
+    }
+    EXPECT_GT(rs.stddev(), 1.0);
+}
+
+TEST(LinkSimulatorTest, ChannelOffsetsDifferentiateChannels) {
+    SiteModel site = open_site();
+    site.channel_offset_spread_db = 3.0;
+    LinkSimulator link(site, -59.0, locble::Rng(6));
+    locble::RunningStats ch37, ch39;
+    for (int i = 0; i < 300; ++i) {
+        ch37.add(link.rssi({0, 0}, {5, 0}, 0.1 * i, ble::AdvChannel::ch37));
+        ch39.add(link.rssi({0, 0}, {5, 0}, 0.1 * i, ble::AdvChannel::ch39));
+    }
+    EXPECT_GT(std::abs(ch37.mean() - ch39.mean()), 0.5);
+}
+
+TEST(ApplyReceiverTest, OffsetShiftsReading) {
+    ble::ReceiverProfile rx;
+    rx.rssi_offset_db = -6.0;
+    rx.rssi_noise_db = 0.0;
+    rx.quantization_db = 0.0;
+    locble::Rng rng(7);
+    EXPECT_DOUBLE_EQ(apply_receiver(-70.0, rx, rng), -76.0);
+}
+
+TEST(ApplyReceiverTest, QuantizationSnapsToGrid) {
+    ble::ReceiverProfile rx;
+    rx.rssi_offset_db = 0.0;
+    rx.rssi_noise_db = 0.0;
+    rx.quantization_db = 1.0;
+    locble::Rng rng(8);
+    EXPECT_DOUBLE_EQ(apply_receiver(-70.4, rx, rng), -70.0);
+    EXPECT_DOUBLE_EQ(apply_receiver(-70.6, rx, rng), -71.0);
+}
+
+TEST(ApplyReceiverTest, NoiseHasConfiguredSpread) {
+    ble::ReceiverProfile rx;
+    rx.rssi_noise_db = 2.0;
+    rx.quantization_db = 0.0;
+    locble::Rng rng(9);
+    locble::RunningStats rs;
+    for (int i = 0; i < 20000; ++i) rs.add(apply_receiver(-70.0, rx, rng));
+    EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+    EXPECT_NEAR(rs.mean(), -70.0, 0.1);
+}
+
+TEST(RssiFromClassTest, NlosWeakerThanLos) {
+    const LogDistanceModel base{-59.0, 2.0};
+    const auto los_params = params_for(PropagationClass::los);
+    const auto nlos_params = params_for(PropagationClass::nlos);
+    FadingProcess f1(los_params.rician_k_db, 0.06, locble::Rng(10));
+    FadingProcess f2(nlos_params.rician_k_db, 0.06, locble::Rng(10));
+    ShadowingProcess s1(los_params.shadowing_sigma_db, 4.0, locble::Rng(11));
+    ShadowingProcess s2(nlos_params.shadowing_sigma_db, 4.0, locble::Rng(11));
+    locble::RunningStats rs_los, rs_nlos;
+    for (int i = 0; i < 500; ++i) {
+        rs_los.add(rssi_from_class(base, 5.0, los_params, f1, s1, 0.1));
+        rs_nlos.add(rssi_from_class(base, 5.0, nlos_params, f2, s2, 0.1));
+    }
+    EXPECT_LT(rs_nlos.mean(), rs_los.mean() - 8.0);
+    EXPECT_GT(rs_nlos.stddev(), rs_los.stddev());
+}
+
+}  // namespace
+}  // namespace locble::channel

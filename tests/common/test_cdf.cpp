@@ -1,0 +1,61 @@
+#include "locble/common/cdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace locble {
+namespace {
+
+TEST(EmpiricalCdfTest, AtBoundaries) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    const EmpiricalCdf cdf(v);
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, PercentilesAndSummary) {
+    const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+    const EmpiricalCdf cdf(v);
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 4.0);
+    EXPECT_DOUBLE_EQ(cdf.median(), 2.5);
+    EXPECT_DOUBLE_EQ(cdf.mean(), 2.5);
+    EXPECT_EQ(cdf.count(), 4u);
+}
+
+TEST(EmpiricalCdfTest, EmptyThrows) {
+    const std::vector<double> empty;
+    EXPECT_THROW(EmpiricalCdf{empty}, std::invalid_argument);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone) {
+    const std::vector<double> v{5.0, 1.0, 2.0, 9.0, 3.0, 3.0};
+    const EmpiricalCdf cdf(v);
+    const auto curve = cdf.curve(15);
+    ASSERT_EQ(curve.size(), 15u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].first, curve[i - 1].first);
+        EXPECT_GE(curve[i].second, curve[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, FormatTableContainsSeriesNames) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{2.0, 4.0};
+    const std::vector<double> percentiles{0.5, 0.75};
+    const std::string table = format_cdf_table(
+        {{"first", EmpiricalCdf(a)}, {"second", EmpiricalCdf(b)}}, percentiles);
+    EXPECT_NE(table.find("first"), std::string::npos);
+    EXPECT_NE(table.find("second"), std::string::npos);
+    EXPECT_NE(table.find("p50"), std::string::npos);
+    EXPECT_NE(table.find("p75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace locble

@@ -1,0 +1,61 @@
+#include "locble/common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace locble {
+namespace {
+
+TEST(Csv, RoundTripThroughText) {
+    CsvTable t;
+    t.header = {"t", "rssi"};
+    t.rows = {{0.0, -60.5}, {0.1, -61.25}};
+    const CsvTable parsed = parse_csv(to_csv(t));
+    ASSERT_EQ(parsed.header, t.header);
+    ASSERT_EQ(parsed.rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(parsed.rows[1][1], -61.25);
+}
+
+TEST(Csv, ColumnLookup) {
+    CsvTable t;
+    t.header = {"a", "b"};
+    t.rows = {{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(t.column("b"), 1u);
+    EXPECT_EQ(t.column_values("b"), (std::vector<double>{2.0, 4.0}));
+    EXPECT_THROW(t.column("missing"), std::out_of_range);
+}
+
+TEST(Csv, RejectsRaggedRows) {
+    EXPECT_THROW(parse_csv("a,b\n1.0\n"), std::runtime_error);
+}
+
+TEST(Csv, RejectsNonNumericCell) {
+    EXPECT_THROW(parse_csv("a\nhello\n"), std::runtime_error);
+    EXPECT_THROW(parse_csv("a\n1.5x\n"), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines) {
+    const CsvTable t = parse_csv("a,b\n\n1,2\n\n3,4\n");
+    EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(Csv, FileRoundTrip) {
+    CsvTable t;
+    t.header = {"x"};
+    t.rows = {{42.0}};
+    const std::string path = testing::TempDir() + "/locble_csv_test.csv";
+    write_csv_file(path, t);
+    const CsvTable back = read_csv_file(path);
+    ASSERT_EQ(back.rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(back.rows[0][0], 42.0);
+    std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+    EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace locble

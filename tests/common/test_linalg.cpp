@@ -1,0 +1,93 @@
+#include "locble/common/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "locble/common/rng.hpp"
+
+namespace locble {
+namespace {
+
+TEST(SolveLinear, TwoByTwo) {
+    // x + y = 3, x - y = 1 -> x = 2, y = 1
+    const auto x = solve_linear({{1.0, 1.0}, {1.0, -1.0}}, {3.0, 1.0});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, RequiresPivoting) {
+    // Leading zero forces a row swap.
+    const auto x = solve_linear({{0.0, 1.0}, {1.0, 0.0}}, {5.0, 7.0});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularThrows) {
+    EXPECT_THROW(solve_linear({{1.0, 2.0}, {2.0, 4.0}}, {1.0, 2.0}),
+                 std::runtime_error);
+}
+
+TEST(SolveLinear, ShapeValidation) {
+    EXPECT_THROW(solve_linear({}, {}), std::invalid_argument);
+    EXPECT_THROW(solve_linear({{1.0, 2.0}}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(solve_linear({{1.0}}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, ExactSystemRecovered) {
+    // y = 2 a + 3 b with 4 consistent rows.
+    const Matrix x{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}};
+    const std::vector<double> y{2.0, 3.0, 5.0, 7.0};
+    const auto beta = least_squares(x, y);
+    ASSERT_EQ(beta.size(), 2u);
+    EXPECT_NEAR(beta[0], 2.0, 1e-10);
+    EXPECT_NEAR(beta[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedNoisyFit) {
+    Rng rng(1);
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniform(-5.0, 5.0);
+        const double b = rng.uniform(-5.0, 5.0);
+        x.push_back({a, b, 1.0});
+        y.push_back(1.5 * a - 2.5 * b + 4.0 + rng.gaussian(0.0, 0.01));
+    }
+    const auto beta = least_squares(x, y);
+    EXPECT_NEAR(beta[0], 1.5, 0.01);
+    EXPECT_NEAR(beta[1], -2.5, 0.01);
+    EXPECT_NEAR(beta[2], 4.0, 0.01);
+}
+
+TEST(LeastSquares, BadlyScaledColumnsStillSolve) {
+    // One column ~1e7 larger than the other; scaling keeps this solvable.
+    Matrix x;
+    std::vector<double> y;
+    for (int i = 1; i <= 50; ++i) {
+        const double a = 1e7 * i;
+        const double b = 0.001 * i * i;
+        x.push_back({a, b});
+        y.push_back(3.0 * a + 2000.0 * b);
+    }
+    const auto beta = least_squares(x, y);
+    EXPECT_NEAR(beta[0], 3.0, 1e-6);
+    EXPECT_NEAR(beta[1], 2000.0, 1e-3);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+    // Second column is a multiple of the first.
+    const Matrix x{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+    const std::vector<double> y{1.0, 2.0, 3.0};
+    EXPECT_THROW(least_squares(x, y), std::runtime_error);
+}
+
+TEST(LeastSquares, ShapeValidation) {
+    EXPECT_THROW(least_squares({}, {}), std::invalid_argument);
+    EXPECT_THROW(least_squares({{1.0, 2.0}}, {1.0}), std::invalid_argument);  // n < m
+    EXPECT_THROW(least_squares({{1.0}, {2.0}}, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locble

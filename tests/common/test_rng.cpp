@@ -1,0 +1,83 @@
+#include "locble/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "locble/common/stats.hpp"
+
+namespace locble {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+    Rng rng(99);
+    RunningStats rs;
+    for (int i = 0; i < 20000; ++i) rs.add(rng.gaussian(5.0, 2.0));
+    EXPECT_NEAR(rs.mean(), 5.0, 0.1);
+    EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, RayleighMean) {
+    // Rayleigh mean = sigma * sqrt(pi/2) ~= 1.2533 sigma.
+    Rng rng(5);
+    RunningStats rs;
+    for (int i = 0; i < 20000; ++i) rs.add(rng.rayleigh(1.0));
+    EXPECT_NEAR(rs.mean(), 1.2533, 0.05);
+}
+
+TEST(RngTest, ChanceProbability) {
+    Rng rng(3);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (rng.chance(0.3)) ++hits;
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+    Rng a(42), b(42);
+    Rng fa = a.fork();
+    Rng fb = b.fork();
+    // Forks of identical generators agree...
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(fa.uniform(0.0, 1.0), fb.uniform(0.0, 1.0));
+    // ...and differ from their parents' subsequent stream.
+    EXPECT_NE(a.uniform(0.0, 1.0), fa.uniform(0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace locble

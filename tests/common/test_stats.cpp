@@ -1,0 +1,140 @@
+#include "locble/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace locble {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+    const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(variance(v), 1.25);
+}
+
+TEST(Stats, EmptyInputThrows) {
+    const std::vector<double> empty;
+    EXPECT_THROW(mean(empty), std::invalid_argument);
+    EXPECT_THROW(variance(empty), std::invalid_argument);
+    EXPECT_THROW(summarize(empty), std::invalid_argument);
+    EXPECT_THROW(quantile(empty, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, QuantileInterpolation) {
+    const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 17.5);
+}
+
+TEST(Stats, QuantileRejectsBadQ) {
+    const std::vector<double> v{1.0};
+    EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+    EXPECT_THROW(quantile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+    const std::vector<double> v{40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+}
+
+TEST(Stats, SummarizeSymmetricData) {
+    const std::vector<double> v{-2.0, -1.0, 0.0, 1.0, 2.0};
+    const WindowSummary s = summarize(v);
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.variance, 2.0);
+    EXPECT_NEAR(s.skewness, 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min, -2.0);
+    EXPECT_DOUBLE_EQ(s.max, 2.0);
+    EXPECT_DOUBLE_EQ(s.median, 0.0);
+    EXPECT_DOUBLE_EQ(s.q1, -1.0);
+    EXPECT_DOUBLE_EQ(s.q3, 1.0);
+}
+
+TEST(Stats, SkewnessSignReflectsTail) {
+    // Long right tail -> positive skew.
+    const std::vector<double> right{1.0, 1.0, 1.0, 1.0, 10.0};
+    EXPECT_GT(summarize(right).skewness, 0.5);
+    const std::vector<double> left{10.0, 10.0, 10.0, 10.0, 1.0};
+    EXPECT_LT(summarize(left).skewness, -0.5);
+}
+
+TEST(Stats, ConstantWindowHasZeroHigherMoments) {
+    const std::vector<double> v{5.0, 5.0, 5.0};
+    const WindowSummary s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.variance, 0.0);
+    EXPECT_DOUBLE_EQ(s.skewness, 0.0);
+    EXPECT_DOUBLE_EQ(s.kurtosis, 0.0);
+}
+
+TEST(Stats, KurtosisOfUniformNegative) {
+    // Uniform distributions have negative excess kurtosis (-1.2).
+    std::vector<double> v;
+    for (int i = 0; i < 10000; ++i) v.push_back(static_cast<double>(i));
+    EXPECT_NEAR(summarize(v).kurtosis, -1.2, 0.01);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+    const std::vector<double> v{3.0, -1.0, 4.0, 1.0, 5.0, -9.0, 2.0};
+    RunningStats rs;
+    for (double x : v) rs.add(x);
+    EXPECT_EQ(rs.count(), v.size());
+    EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+    EXPECT_NEAR(rs.variance(), variance(v), 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), -9.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+    RunningStats rs;
+    rs.add(1.0);
+    rs.add(3.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.sample_variance(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClearsState) {
+    RunningStats rs;
+    rs.add(1.0);
+    rs.reset();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Stats, RmseBasics) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(rmse(a, b), 0.0);
+    const std::vector<double> c{2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(rmse(a, c), 1.0);
+}
+
+TEST(Stats, RmseValidatesShapes) {
+    const std::vector<double> a{1.0, 2.0};
+    const std::vector<double> b{1.0};
+    EXPECT_THROW(rmse(a, b), std::invalid_argument);
+    const std::vector<double> empty;
+    EXPECT_THROW(rmse(empty, empty), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+    const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> b{2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+    std::vector<double> neg(b.rbegin(), b.rend());
+    EXPECT_NEAR(pearson(a, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+    const std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> c{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(pearson(a, c), 0.0);
+}
+
+}  // namespace
+}  // namespace locble

@@ -1,0 +1,49 @@
+#include "locble/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace locble {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+    TextTable t({"env", "error"});
+    t.add_row({"meeting room", "0.85"});
+    t.add_row("hallway", {1.42});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("env"), std::string::npos);
+    EXPECT_NE(s.find("meeting room"), std::string::npos);
+    EXPECT_NE(s.find("1.42"), std::string::npos);
+    // Header separator row present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsWidthMismatch) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+    EXPECT_THROW(t.add_row("label", {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(TextTableTest, FmtPrecision) {
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 0), "1");
+    EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+    TextTable t({"x", "yyyyy"});
+    t.add_row({"aaaa", "1"});
+    const std::string s = t.str();
+    // Every line has the same length when columns are padded.
+    std::size_t first_len = s.find('\n');
+    std::size_t pos = first_len + 1;
+    while (pos < s.size()) {
+        const std::size_t next = s.find('\n', pos);
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+}  // namespace
+}  // namespace locble

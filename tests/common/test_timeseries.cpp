@@ -1,0 +1,101 @@
+#include "locble/common/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace locble {
+namespace {
+
+TimeSeries ramp() {
+    // value == 10 * t on t = 0, 0.5, 1.0, 1.5, 2.0
+    TimeSeries ts;
+    for (int i = 0; i <= 4; ++i) ts.push_back({0.5 * i, 5.0 * i});
+    return ts;
+}
+
+TEST(TimeSeriesTest, ValuesAndTimes) {
+    const TimeSeries ts = ramp();
+    EXPECT_EQ(values_of(ts), (std::vector<double>{0.0, 5.0, 10.0, 15.0, 20.0}));
+    EXPECT_EQ(times_of(ts), (std::vector<double>{0.0, 0.5, 1.0, 1.5, 2.0}));
+}
+
+TEST(TimeSeriesTest, InterpolateInside) {
+    const TimeSeries ts = ramp();
+    EXPECT_DOUBLE_EQ(interpolate(ts, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(interpolate(ts, 1.0), 10.0);
+    EXPECT_DOUBLE_EQ(interpolate(ts, 1.75), 17.5);
+}
+
+TEST(TimeSeriesTest, InterpolateClampsOutside) {
+    const TimeSeries ts = ramp();
+    EXPECT_DOUBLE_EQ(interpolate(ts, -1.0), 0.0);
+    EXPECT_DOUBLE_EQ(interpolate(ts, 99.0), 20.0);
+}
+
+TEST(TimeSeriesTest, InterpolateEmptyThrows) {
+    const TimeSeries empty;
+    EXPECT_THROW(interpolate(empty, 0.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, ResampleUniformGrid) {
+    const TimeSeries ts = ramp();
+    const TimeSeries r = resample(ts, 4.0);  // dt = 0.25
+    ASSERT_EQ(r.size(), 9u);
+    EXPECT_DOUBLE_EQ(r[1].t, 0.25);
+    EXPECT_DOUBLE_EQ(r[1].value, 2.5);
+    EXPECT_DOUBLE_EQ(r.back().t, 2.0);
+}
+
+TEST(TimeSeriesTest, ResampleRejectsBadRate) {
+    const TimeSeries ts = ramp();
+    EXPECT_THROW(resample(ts, 0.0), std::invalid_argument);
+    EXPECT_THROW(resample(TimeSeries{}, 1.0), std::invalid_argument);
+}
+
+TEST(TimeSeriesTest, ResampleAtTargets) {
+    const TimeSeries ts = ramp();
+    const std::vector<double> targets{0.1, 0.9, 3.0};
+    const TimeSeries r = resample_at(ts, targets);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_NEAR(r[0].value, 1.0, 1e-12);
+    EXPECT_NEAR(r[1].value, 9.0, 1e-12);
+    EXPECT_DOUBLE_EQ(r[2].value, 20.0);  // clamped
+}
+
+TEST(TimeSeriesTest, SliceInclusive) {
+    const TimeSeries ts = ramp();
+    const TimeSeries s = slice(ts, 0.5, 1.5);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.front().t, 0.5);
+    EXPECT_DOUBLE_EQ(s.back().t, 1.5);
+}
+
+TEST(TimeSeriesTest, DifferentiateRamp) {
+    const TimeSeries d = differentiate(ramp());
+    ASSERT_EQ(d.size(), 4u);
+    for (const auto& s : d) EXPECT_DOUBLE_EQ(s.value, 5.0);
+    EXPECT_DOUBLE_EQ(d.front().t, 0.5);  // stamped at the later sample
+}
+
+TEST(TimeSeriesTest, DifferentiateShortSeries) {
+    EXPECT_TRUE(differentiate(TimeSeries{}).empty());
+    EXPECT_TRUE(differentiate(TimeSeries{{0.0, 1.0}}).empty());
+}
+
+TEST(TimeSeriesTest, DecimateHalvesRate) {
+    TimeSeries ts;
+    for (int i = 0; i < 20; ++i) ts.push_back({0.1 * i, static_cast<double>(i)});
+    const TimeSeries d = decimate(ts, 5.0);  // from 10 Hz to 5 Hz
+    ASSERT_FALSE(d.empty());
+    for (std::size_t i = 1; i < d.size(); ++i)
+        EXPECT_GE(d[i].t - d[i - 1].t, 0.2 - 1e-9);
+    EXPECT_NEAR(static_cast<double>(d.size()), 10.0, 1.0);
+}
+
+TEST(TimeSeriesTest, DecimateRejectsBadRate) {
+    EXPECT_THROW(decimate(ramp(), -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locble

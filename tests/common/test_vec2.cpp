@@ -1,0 +1,96 @@
+#include "locble/common/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace locble {
+namespace {
+
+TEST(Vec2, ArithmeticOperators) {
+    const Vec2 a{1.0, 2.0};
+    const Vec2 b{3.0, -1.0};
+    EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+    EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+    EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+    EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+    EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+    EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+    Vec2 v{1.0, 1.0};
+    v += {2.0, 3.0};
+    EXPECT_EQ(v, Vec2(3.0, 4.0));
+    v -= {1.0, 1.0};
+    EXPECT_EQ(v, Vec2(2.0, 3.0));
+}
+
+TEST(Vec2, NormAndDistance) {
+    const Vec2 v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+    EXPECT_DOUBLE_EQ(Vec2::distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(Vec2, DotAndCross) {
+    const Vec2 a{1.0, 0.0};
+    const Vec2 b{0.0, 1.0};
+    EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+    EXPECT_DOUBLE_EQ(a.cross(b), 1.0);  // b is CCW of a
+    EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+    EXPECT_EQ(Vec2(0.0, 0.0).normalized(), Vec2(0.0, 0.0));
+    const Vec2 n = Vec2{0.0, 5.0}.normalized();
+    EXPECT_DOUBLE_EQ(n.x, 0.0);
+    EXPECT_DOUBLE_EQ(n.y, 1.0);
+}
+
+TEST(Vec2, RotationQuarterTurn) {
+    const Vec2 v{1.0, 0.0};
+    const Vec2 r = v.rotated(std::numbers::pi / 2.0);
+    EXPECT_NEAR(r.x, 0.0, 1e-12);
+    EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2, RotationRoundTrip) {
+    const Vec2 v{2.5, -1.75};
+    const Vec2 r = v.rotated(0.7).rotated(-0.7);
+    EXPECT_NEAR(r.x, v.x, 1e-12);
+    EXPECT_NEAR(r.y, v.y, 1e-12);
+}
+
+TEST(Vec2, AngleOfAxes) {
+    EXPECT_NEAR(Vec2(1.0, 0.0).angle(), 0.0, 1e-12);
+    EXPECT_NEAR(Vec2(0.0, 1.0).angle(), std::numbers::pi / 2.0, 1e-12);
+    EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), std::numbers::pi, 1e-12);
+}
+
+TEST(Angles, WrapAngleStaysInRange) {
+    for (double a = -20.0; a <= 20.0; a += 0.37) {
+        const double w = wrap_angle(a);
+        EXPECT_GT(w, -std::numbers::pi - 1e-12);
+        EXPECT_LE(w, std::numbers::pi + 1e-12);
+        // Same direction modulo 2 pi.
+        EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+        EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+    }
+}
+
+TEST(Angles, AngleDiffShortestPath) {
+    EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+    // Crossing the +-pi seam takes the short way.
+    EXPECT_NEAR(angle_diff(std::numbers::pi - 0.05, -std::numbers::pi + 0.05), -0.1,
+                1e-9);
+}
+
+TEST(Angles, UnitFromAngle) {
+    const Vec2 u = unit_from_angle(std::numbers::pi / 4.0);
+    EXPECT_NEAR(u.x, std::sqrt(0.5), 1e-12);
+    EXPECT_NEAR(u.y, std::sqrt(0.5), 1e-12);
+}
+
+}  // namespace
+}  // namespace locble

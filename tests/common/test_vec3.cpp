@@ -1,0 +1,44 @@
+#include "locble/common/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+namespace locble {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+    const Vec3 a{1.0, 2.0, 3.0};
+    const Vec3 b{0.5, -1.0, 2.0};
+    EXPECT_EQ(a + b, Vec3(1.5, 1.0, 5.0));
+    EXPECT_EQ(a - b, Vec3(0.5, 3.0, 1.0));
+    EXPECT_EQ(a * 2.0, Vec3(2.0, 4.0, 6.0));
+    EXPECT_EQ(2.0 * a, a * 2.0);
+    EXPECT_EQ(a / 2.0, Vec3(0.5, 1.0, 1.5));
+}
+
+TEST(Vec3Test, NormAndDistance) {
+    const Vec3 v{2.0, 3.0, 6.0};
+    EXPECT_DOUBLE_EQ(v.norm(), 7.0);
+    EXPECT_DOUBLE_EQ(v.norm2(), 49.0);
+    EXPECT_DOUBLE_EQ(Vec3::distance({0, 0, 0}, v), 7.0);
+}
+
+TEST(Vec3Test, DotProduct) {
+    EXPECT_DOUBLE_EQ(Vec3(1, 2, 3).dot({4, 5, 6}), 32.0);
+    EXPECT_DOUBLE_EQ(Vec3(1, 0, 0).dot({0, 1, 0}), 0.0);
+}
+
+TEST(Vec3Test, XyProjectionAndLift) {
+    const Vec2 planar{3.0, 4.0};
+    const Vec3 lifted{planar, 1.5};
+    EXPECT_EQ(lifted.xy(), planar);
+    EXPECT_DOUBLE_EQ(lifted.z, 1.5);
+}
+
+TEST(Vec3Test, CompoundAdd) {
+    Vec3 v{1, 1, 1};
+    v += {1, 2, 3};
+    EXPECT_EQ(v, Vec3(2, 3, 4));
+}
+
+}  // namespace
+}  // namespace locble

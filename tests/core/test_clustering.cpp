@@ -1,0 +1,190 @@
+#include "locble/core/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/channel/fading.hpp"
+#include "locble/channel/obstacles.hpp"
+#include "locble/common/rng.hpp"
+
+namespace locble::core {
+namespace {
+
+/// Shared-environment trace generator: every beacon's RSS sees the same
+/// shadowing field and the same passer-by blockage events (as the channel
+/// simulator produces), plus per-device offset and independent noise —
+/// the setting Sec. 6.1's clustering operates in.
+struct MiniWorld {
+    locble::Rng rng;
+    channel::ShadowingField field;
+    std::vector<channel::DiskBlocker> people;
+
+    explicit MiniWorld(std::uint64_t seed)
+        : rng(seed), field(2.0, locble::Rng(seed * 7 + 1)) {
+        for (int k = 0; k < 3; ++k) {
+            channel::DiskBlocker p;
+            p.center = {rng.uniform(2.0, 6.0), rng.uniform(1.0, 6.0)};
+            p.radius = 0.3;
+            p.blockage = channel::BlockageClass::light;
+            p.attenuation_db = rng.uniform(3.0, 6.0);
+            p.t_start = rng.uniform(0.0, 6.5);
+            p.t_end = p.t_start + rng.uniform(1.0, 2.5);
+            people.push_back(p);
+        }
+    }
+
+    locble::TimeSeries trace(const locble::Vec2& pos, double offset_db,
+                             std::uint64_t noise_seed) {
+        locble::Rng noise(noise_seed);
+        locble::TimeSeries ts;
+        double t = 0.0;
+        for (int i = 0; i < 80; ++i, t += 0.1) {
+            const locble::Vec2 obs = i < 40
+                                         ? locble::Vec2{0.1 * i, 0.0}
+                                         : locble::Vec2{4.0, 0.075 * (i - 40)};
+            const double l = std::max(locble::Vec2::distance(pos, obs), 0.1);
+            const auto blockage = channel::classify_path(obs, pos, t, {}, people);
+            ts.push_back({t, -59.0 + offset_db - 20.0 * std::log10(l) -
+                                 blockage.total_attenuation_db +
+                                 field.link_shadow_db(pos, obs, 2.0) +
+                                 noise.gaussian(0.0, 0.6)});
+        }
+        return ts;
+    }
+};
+
+ClusterCandidate candidate(MiniWorld& world, std::uint64_t id, const locble::Vec2& pos,
+                           double offset, double confidence,
+                           const locble::Vec2& fit_loc) {
+    ClusterCandidate c;
+    c.id = id;
+    c.rss = world.trace(pos, offset, id * 31 + 5);
+    c.fit.location = fit_loc;
+    c.fit.confidence = confidence;
+    return c;
+}
+
+TEST(ClusteringCalibratorTest, CoLocatedBeaconsUsuallyJoinCluster) {
+    // Across seeds, co-located beacons (0.3 m apart, different chipset
+    // offsets) should usually pass the DTW vote.
+    int joined = 0, runs = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        MiniWorld world(seed);
+        const auto target = candidate(world, 1, {6.0, 5.0}, 0.0, 0.6, {6.1, 5.1});
+        const std::vector<ClusterCandidate> neighbors{
+            candidate(world, 2, {6.2, 5.1}, -4.0, 0.7, {6.0, 4.8})};
+        const auto result = ClusteringCalibrator().calibrate(target, neighbors);
+        joined += static_cast<int>(result.members.size() == 2);
+        ++runs;
+    }
+    EXPECT_GE(joined, 7) << "of " << runs;
+}
+
+TEST(ClusteringCalibratorTest, DistantBeaconUsuallyRejectedByDtw) {
+    // A beacon far away sees different events/shadowing; even when its fit
+    // is forged to sit near the target's (so the distance gate passes), the
+    // DTW vote should usually reject it.
+    int rejected = 0, runs = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        MiniWorld world(seed);
+        const auto target = candidate(world, 1, {6.0, 5.0}, 0.0, 0.6, {6.1, 5.1});
+        const std::vector<ClusterCandidate> neighbors{
+            candidate(world, 2, {1.0, 8.0}, 2.0, 0.7, {6.0, 4.9})};
+        const auto result = ClusteringCalibrator().calibrate(target, neighbors);
+        rejected += static_cast<int>(result.rejected == 1);
+        ++runs;
+    }
+    EXPECT_GE(rejected, 6) << "of " << runs;
+}
+
+TEST(ClusteringCalibratorTest, DistanceGateRejectsFarFits) {
+    // Sec. 6 preconditions clustering on "similar location estimation":
+    // a neighbor whose own fit is far away never enters the cluster.
+    MiniWorld world(3);
+    const auto target = candidate(world, 1, {6.0, 5.0}, 0.0, 0.6, {6.1, 5.1});
+    const std::vector<ClusterCandidate> neighbors{
+        candidate(world, 2, {6.2, 5.1}, 0.0, 0.9, {1.0, 8.0})};  // fit far away
+    const auto result = ClusteringCalibrator().calibrate(target, neighbors);
+    EXPECT_EQ(result.members.size(), 1u);
+    EXPECT_EQ(result.rejected, 1u);
+    EXPECT_NEAR(result.calibrated.x, 6.1, 1e-9);
+    EXPECT_NEAR(result.calibrated.y, 5.1, 1e-9);
+}
+
+TEST(ClusteringCalibratorTest, WeightedSumFollowsConfidence) {
+    MiniWorld world(4);
+    const auto target = candidate(world, 1, {6.0, 5.0}, 0.0, 0.2, {5.0, 5.0});
+    std::vector<ClusterCandidate> neighbors{
+        candidate(world, 2, {6.05, 5.02}, -2.0, 0.8, {7.0, 5.0})};
+    const auto result = ClusteringCalibrator().calibrate(target, neighbors);
+    if (result.members.size() == 2) {
+        // Weighted mean of 5.0 (w 0.2) and 7.0 (w 0.8) = 6.6.
+        EXPECT_NEAR(result.calibrated.x, 6.6, 0.01);
+        EXPECT_DOUBLE_EQ(result.combined_confidence, 0.8);
+    } else {
+        // DTW vote may reject in a bad seed; then calibration is identity.
+        EXPECT_NEAR(result.calibrated.x, 5.0, 0.01);
+    }
+}
+
+TEST(ClusteringCalibratorTest, EmptyNeighborListIsIdentity) {
+    MiniWorld world(5);
+    const auto target = candidate(world, 1, {6.0, 5.0}, 0.0, 0.6, {6.2, 5.1});
+    const auto result = ClusteringCalibrator().calibrate(target, {});
+    EXPECT_EQ(result.members.size(), 1u);
+    EXPECT_NEAR(result.calibrated.x, 6.2, 1e-9);
+}
+
+TEST(ClusteringCalibratorTest, TooShortNeighborTraceRejected) {
+    MiniWorld world(6);
+    const auto target = candidate(world, 1, {6.0, 5.0}, 0.0, 0.6, {6.2, 5.1});
+    ClusterCandidate stub;
+    stub.id = 9;
+    stub.rss = {{0.0, -70.0}};  // single sample
+    stub.fit.location = {6.2, 5.1};
+    stub.fit.confidence = 0.9;
+    const auto result = ClusteringCalibrator().calibrate(target, {stub});
+    EXPECT_EQ(result.rejected, 1u);
+}
+
+TEST(TrendSignalTest, RemovesDeviceOffset) {
+    // Identical geometry and noise stream, +-8 dB chipset offsets: the trend
+    // signals must agree exactly.
+    MiniWorld world(7);
+    const auto a = world.trace({6.0, 5.0}, 8.0, 42);
+    const auto b = world.trace({6.0, 5.0}, -8.0, 42);
+    const auto times = locble::times_of(a);
+    const auto ta = ClusteringCalibrator::trend_signal(a, times, 4, 5);
+    const auto tb = ClusteringCalibrator::trend_signal(b, times, 4, 5);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_NEAR(ta[i], tb[i], 1e-9);
+}
+
+TEST(TrendSignalTest, ZScored) {
+    MiniWorld world(8);
+    const auto a = world.trace({6.0, 5.0}, 0.0, 9);
+    const auto times = locble::times_of(a);
+    const auto trend = ClusteringCalibrator::trend_signal(a, times, 4, 5);
+    ASSERT_EQ(trend.size(), times.size() - 5);
+    double mean = 0.0, var = 0.0;
+    for (double v : trend) mean += v;
+    mean /= static_cast<double>(trend.size());
+    for (double v : trend) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(trend.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+}
+
+TEST(TrendSignalTest, HandlesResampling) {
+    MiniWorld world(9);
+    const auto a = world.trace({6.0, 5.0}, 0.0, 10);
+    locble::TimeSeries slower;
+    for (std::size_t i = 0; i < a.size(); i += 2) slower.push_back(a[i]);
+    const auto times = locble::times_of(a);
+    const auto trend = ClusteringCalibrator::trend_signal(slower, times, 4, 5);
+    EXPECT_EQ(trend.size(), times.size() - 5);
+}
+
+}  // namespace
+}  // namespace locble::core

@@ -1,0 +1,184 @@
+#include "locble/core/envaware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "locble/channel/fading.hpp"
+#include "locble/channel/propagation.hpp"
+#include "locble/core/features.hpp"
+#include "locble/ml/decision_tree.hpp"
+
+namespace locble::core {
+namespace {
+
+using channel::PropagationClass;
+
+const ml::Dataset& corpus() {
+    static const ml::Dataset data = [] {
+        locble::Rng rng(77);
+        EnvDatasetConfig cfg;
+        cfg.traces_per_class = 40;
+        return generate_env_dataset(cfg, rng);
+    }();
+    return data;
+}
+
+/// A raw 2 s RSS window drawn from one propagation class.
+std::vector<double> make_window(PropagationClass cls, locble::Rng& rng) {
+    const auto params = channel::params_for(cls);
+    channel::FadingProcess fading(params.rician_k_db, params.coherence_distance_m,
+                                  rng.fork());
+    channel::ShadowingProcess shadowing(params.shadowing_sigma_db,
+                                        params.shadowing_decorrelation_m, rng.fork());
+    const channel::LogDistanceModel base{-59.0, params.exponent};
+    std::vector<double> w;
+    for (int i = 0; i < 20; ++i)
+        w.push_back(channel::rssi_from_class(base, 5.0, params, fading, shadowing, 0.12));
+    return w;
+}
+
+TEST(EnvDatasetTest, BalancedAndWellFormed) {
+    const auto& d = corpus();
+    d.validate();
+    EXPECT_EQ(d.dims(), kEnvFeatureDims);
+    std::size_t counts[3] = {0, 0, 0};
+    for (int y : d.y) counts[y]++;
+    EXPECT_EQ(counts[0], counts[1]);
+    EXPECT_EQ(counts[1], counts[2]);
+    EXPECT_GT(counts[0], 100u);  // 40 traces x 6 windows each
+}
+
+TEST(EnvAwareTest, HeldOutAccuracyNearPaper) {
+    // Paper: 94.7% precision / 94.5% recall on the 3-class problem.
+    EnvAware env;
+    locble::Rng rng(5);
+    const auto report = evaluate_envaware(env, corpus(), 0.3, rng);
+    EXPECT_GT(report.macro_precision, 0.85);
+    EXPECT_GT(report.macro_recall, 0.85);
+}
+
+TEST(EnvAwareTest, ClassifyBeforeTrainThrows) {
+    EnvAware env;
+    const std::vector<double> window(20, -70.0);
+    EXPECT_THROW(env.classify(window), std::logic_error);
+}
+
+TEST(EnvAwareTest, ClassifiesFreshClassWindows) {
+    EnvAware env;
+    env.train(corpus());
+    locble::Rng rng(13);
+    int correct = 0, total = 0;
+    for (int rep = 0; rep < 30; ++rep) {
+        for (auto cls : {PropagationClass::los, PropagationClass::plos,
+                         PropagationClass::nlos}) {
+            if (env.classify(make_window(cls, rng)) == cls) ++correct;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.8);
+}
+
+TEST(EnvAwareTest, ObserveDebouncesAdjacentClassChange) {
+    EnvAware env;
+    env.train(corpus());
+    locble::Rng rng(10);
+
+    env.reset_stream();
+    for (int i = 0; i < 3; ++i) env.observe(make_window(PropagationClass::los, rng));
+
+    // Feed p-LOS windows (adjacent class); the flip must take at least 2
+    // windows (debounce) and must eventually happen.
+    int flips = 0;
+    int windows_needed = 0;
+    for (int i = 0; i < 10; ++i) {
+        const auto obs = env.observe(make_window(PropagationClass::plos, rng));
+        ++windows_needed;
+        if (obs.changed) {
+            ++flips;
+            EXPECT_EQ(obs.regime, obs.window_class);
+            break;
+        }
+    }
+    EXPECT_EQ(flips, 1);
+    EXPECT_GE(windows_needed, 2);
+}
+
+TEST(EnvAwareTest, AbruptTwoClassJumpFlipsImmediately) {
+    // "Abrupt environmental changes" (LOS <-> NLOS) must not wait out the
+    // debounce — the walk is short and the stale model poisons the fit.
+    EnvAware env;
+    env.train(corpus());
+    locble::Rng rng(12);
+    env.reset_stream();
+    for (int i = 0; i < 3; ++i) env.observe(make_window(PropagationClass::los, rng));
+    int windows_needed = 0;
+    for (int i = 0; i < 6; ++i) {
+        ++windows_needed;
+        if (env.observe(make_window(PropagationClass::nlos, rng)).changed) break;
+    }
+    // Usually flips on the very first clean NLOS window (a misclassified
+    // p-LOS verdict can add one more).
+    EXPECT_LE(windows_needed, 3);
+}
+
+TEST(EnvAwareTest, SingleAdjacentOutlierRarelyFlipsRegime) {
+    // One p-LOS window (a passer-by) inside a LOS stream: the debounce
+    // should suppress the flip. Classification is imperfect, so allow the
+    // occasional seed where a misread window (e.g. NLOS) forces one.
+    EnvAware env;
+    env.train(corpus());
+    int flips = 0;
+    const int seeds = 10;
+    for (std::uint64_t seed = 14; seed < 14 + seeds; ++seed) {
+        locble::Rng rng(seed);
+        env.reset_stream();
+        for (int i = 0; i < 3; ++i) env.observe(make_window(PropagationClass::los, rng));
+        bool flipped = env.observe(make_window(PropagationClass::plos, rng)).changed;
+        for (int i = 0; i < 3; ++i)
+            flipped |= env.observe(make_window(PropagationClass::los, rng)).changed;
+        flips += flipped;
+    }
+    EXPECT_LE(flips, 3) << "of " << seeds;
+}
+
+TEST(EnvAwareTest, ResetStreamForgetsRegime) {
+    EnvAware env;
+    env.train(corpus());
+    const std::vector<double> quiet(20, -60.0);
+    env.observe(quiet);
+    env.reset_stream();
+    EXPECT_FALSE(env.observe(quiet).changed);
+}
+
+TEST(EnvAwareTest, SvmCompetitiveWithShallowTree) {
+    // The paper picked the linear SVM over tree classifiers; verify it is
+    // at least competitive on our corpus.
+    locble::Rng rng(11);
+    auto [train, test] = ml::train_test_split(corpus(), 0.3, rng);
+
+    EnvAware env;
+    env.train(train);
+    std::vector<int> svm_pred;
+    for (const auto& row : test.x)
+        svm_pred.push_back(env.svm().predict(env.scaler().transform(row)));
+    const auto svm_report = ml::evaluate_classification(test.y, svm_pred);
+
+    ml::DecisionTree::Config tree_cfg;
+    tree_cfg.max_depth = 4;
+    ml::DecisionTree tree(tree_cfg);
+    tree.fit(train);
+    const auto tree_report = ml::evaluate_classification(test.y, tree.predict(test));
+
+    EXPECT_GE(svm_report.accuracy, tree_report.accuracy - 0.05);
+}
+
+TEST(EnvAwareTest, UntrainedRequiredByPipelineContract) {
+    EnvAware env;
+    EXPECT_FALSE(env.trained());
+    env.train(corpus());
+    EXPECT_TRUE(env.trained());
+}
+
+}  // namespace
+}  // namespace locble::core

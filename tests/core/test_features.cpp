@@ -1,0 +1,54 @@
+#include "locble/core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace locble::core {
+namespace {
+
+TEST(FeaturesTest, DimensionIsNine) {
+    static_assert(kEnvFeatureDims == 9);
+    const std::vector<double> window{-70.0, -71.0, -69.5, -72.0, -70.5};
+    EXPECT_EQ(extract_env_features_vec(window).size(), kEnvFeatureDims);
+}
+
+TEST(FeaturesTest, OrderingMatchesPaperList) {
+    // mean, variance, skewness, min, q1, median, q3, max, kurtosis
+    const std::vector<double> window{1.0, 2.0, 3.0, 4.0, 5.0};
+    const auto f = extract_env_features(window);
+    EXPECT_DOUBLE_EQ(f[0], 3.0);   // mean
+    EXPECT_DOUBLE_EQ(f[1], 2.0);   // population variance
+    EXPECT_DOUBLE_EQ(f[2], 0.0);   // skewness (symmetric)
+    EXPECT_DOUBLE_EQ(f[3], 1.0);   // min
+    EXPECT_DOUBLE_EQ(f[4], 2.0);   // q1
+    EXPECT_DOUBLE_EQ(f[5], 3.0);   // median
+    EXPECT_DOUBLE_EQ(f[6], 4.0);   // q3
+    EXPECT_DOUBLE_EQ(f[7], 5.0);   // max
+}
+
+TEST(FeaturesTest, EmptyWindowThrows) {
+    EXPECT_THROW(extract_env_features(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(FeaturesTest, ConstantWindowFinite) {
+    const std::vector<double> window(20, -65.0);
+    const auto f = extract_env_features(window);
+    EXPECT_DOUBLE_EQ(f[0], -65.0);
+    EXPECT_DOUBLE_EQ(f[1], 0.0);
+    EXPECT_DOUBLE_EQ(f[2], 0.0);  // no NaN from zero variance
+    EXPECT_DOUBLE_EQ(f[8], 0.0);
+}
+
+TEST(FeaturesTest, VarianceSeparatesCalmFromFading) {
+    std::vector<double> calm, fading;
+    for (int i = 0; i < 20; ++i) {
+        calm.push_back(-65.0 + 0.2 * (i % 2));
+        fading.push_back(-75.0 + 6.0 * (i % 3 - 1));
+    }
+    EXPECT_LT(extract_env_features(calm)[1], extract_env_features(fading)[1]);
+}
+
+}  // namespace
+}  // namespace locble::core

@@ -1,0 +1,109 @@
+#include "locble/core/location_solver3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/common/rng.hpp"
+
+namespace locble::core {
+namespace {
+
+using locble::Vec3;
+
+/// Samples for a stationary 3-D target while the observer walks an L and
+/// (optionally) pumps the phone vertically.
+std::vector<FusedSample3> samples_3d(const Vec3& target, double gamma, double n,
+                                     bool vertical_pump, double noise_db,
+                                     std::uint64_t seed) {
+    locble::Rng rng(seed);
+    std::vector<FusedSample3> out;
+    double t = 0.0;
+    for (int i = 0; i < 70; ++i, t += 0.1) {
+        const locble::Vec2 obs =
+            i < 40 ? locble::Vec2{0.1 * i, 0.0} : locble::Vec2{4.0, 0.1 * (i - 40)};
+        const double obs_z =
+            vertical_pump ? 0.9 * std::sin(2.0 * std::numbers::pi * 0.25 * t) : 0.0;
+        FusedSample3 s;
+        s.t = t;
+        s.p = -obs.x;
+        s.q = -obs.y;
+        s.r = -obs_z;
+        const Vec3 d{target.x - obs.x, target.y - obs.y, target.z - obs_z};
+        s.rssi = gamma - 10.0 * n * std::log10(std::max(d.norm(), 0.1)) +
+                 (noise_db > 0 ? rng.gaussian(0.0, noise_db) : 0.0);
+        out.push_back(s);
+    }
+    return out;
+}
+
+TEST(LocationSolver3Test, RecoversHeightWithVerticalExcitation) {
+    const Vec3 target{4.0, 3.0, 1.6};
+    const auto samples = samples_3d(target, -59.0, 2.0, true, 0.0, 1);
+    const auto fit = LocationSolver3().solve(samples);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_TRUE(fit->z_observable);
+    EXPECT_NEAR(fit->location.x, target.x, 0.4);
+    EXPECT_NEAR(fit->location.y, target.y, 0.8);
+    // z observability is weak (vertical baseline ~1.8 m vs 5 m range); the
+    // solver must pull z off the floor toward the true height.
+    EXPECT_GT(std::abs(fit->location.z), 0.5);
+    EXPECT_NEAR(std::abs(fit->location.z), target.z, 1.0);
+}
+
+TEST(LocationSolver3Test, FlatWalkPinsZ) {
+    const Vec3 target{4.0, 3.0, 1.6};
+    const auto samples = samples_3d(target, -59.0, 2.0, false, 0.0, 2);
+    const auto fit = LocationSolver3().solve(samples);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_FALSE(fit->z_observable);
+    EXPECT_DOUBLE_EQ(fit->location.z, 0.0);
+    // Horizontal position still recovered (the target's height folds into
+    // slightly biased x/y, the documented 2-D behaviour).
+    EXPECT_NEAR(fit->location.xy().norm(), target.xy().norm(), 1.2);
+}
+
+TEST(LocationSolver3Test, NoisyVerticalRecovery) {
+    const Vec3 target{4.0, 2.0, 1.2};
+    double err = 0.0;
+    int n = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const auto samples = samples_3d(target, -59.0, 2.0, true, 1.0, seed);
+        const auto fit = LocationSolver3().solve(samples);
+        ASSERT_TRUE(fit.has_value());
+        Vec3 est = fit->location;
+        est.z = std::abs(est.z);  // z sign is weakly observable; compare height
+        err += Vec3::distance(est, target);
+        ++n;
+    }
+    EXPECT_LT(err / n, 1.5);
+}
+
+TEST(LocationSolver3Test, TooFewSamplesRejected) {
+    const auto samples = samples_3d({4.0, 2.0, 1.0}, -59.0, 2.0, true, 0.0, 3);
+    LocationSolver3::Config cfg;
+    cfg.base.min_samples = 200;
+    EXPECT_FALSE(LocationSolver3(cfg).solve(samples).has_value());
+}
+
+TEST(LocationSolver3Test, GammaBandRespected) {
+    const Vec3 target{4.0, 3.0, 1.0};
+    const auto samples = samples_3d(target, -59.0, 2.0, true, 0.5, 4);
+    SolveHints hints;
+    hints.gamma_band_dbm = {{-64.0, -54.0}};
+    const auto fit = LocationSolver3().solve(samples, hints);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_GE(fit->gamma_dbm, -64.0 - 1e-9);
+    EXPECT_LE(fit->gamma_dbm, -54.0 + 1e-9);
+}
+
+TEST(ResidualStats3Test, PerfectModelZeroResidual) {
+    const Vec3 target{3.0, 2.0, 1.0};
+    const auto samples = samples_3d(target, -59.0, 2.0, true, 0.0, 5);
+    const auto stats = residual_stats3(samples, target, 2.0, -59.0);
+    EXPECT_NEAR(stats.rms_db, 0.0, 1e-9);
+    EXPECT_NEAR(stats.confidence, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace locble::core

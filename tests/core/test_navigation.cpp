@@ -1,0 +1,53 @@
+#include "locble/core/navigation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace locble::core {
+namespace {
+
+using locble::Vec2;
+
+TEST(NavigatorTest, DistanceAndBearingAhead) {
+    const Navigator nav({5.0, 0.0});
+    const Guidance g = nav.guide({0.0, 0.0}, 0.0);
+    EXPECT_DOUBLE_EQ(g.distance_m, 5.0);
+    EXPECT_NEAR(g.bearing_rad, 0.0, 1e-12);
+    EXPECT_FALSE(g.arrived);
+}
+
+TEST(NavigatorTest, BearingRelativeToHeading) {
+    const Navigator nav({0.0, 5.0});
+    // Target due +y; user facing +x: turn left 90 degrees.
+    const Guidance g = nav.guide({0.0, 0.0}, 0.0);
+    EXPECT_NEAR(g.bearing_rad, std::numbers::pi / 2.0, 1e-12);
+    // Facing +y already: no turn.
+    const Guidance g2 = nav.guide({0.0, 0.0}, std::numbers::pi / 2.0);
+    EXPECT_NEAR(g2.bearing_rad, 0.0, 1e-12);
+}
+
+TEST(NavigatorTest, BearingWrapsShortestWay) {
+    const Navigator nav({-5.0, -0.1});
+    const Guidance g = nav.guide({0.0, 0.0}, std::numbers::pi * 0.9);
+    EXPECT_LT(std::abs(g.bearing_rad), std::numbers::pi / 2.0);
+}
+
+TEST(NavigatorTest, ArrivalInsideRadius) {
+    const Navigator nav({1.0, 0.0}, 0.5);
+    EXPECT_FALSE(nav.guide({0.0, 0.0}, 0.0).arrived);
+    const Guidance g = nav.guide({0.8, 0.0}, 0.0);
+    EXPECT_TRUE(g.arrived);
+    EXPECT_DOUBLE_EQ(g.bearing_rad, 0.0);
+}
+
+TEST(NavigatorTest, UpdateTargetMidRoute) {
+    Navigator nav({10.0, 0.0});
+    EXPECT_DOUBLE_EQ(nav.guide({0.0, 0.0}, 0.0).distance_m, 10.0);
+    nav.update_target({2.0, 0.0});
+    EXPECT_DOUBLE_EQ(nav.guide({0.0, 0.0}, 0.0).distance_m, 2.0);
+    EXPECT_EQ(nav.target(), Vec2(2.0, 0.0));
+}
+
+}  // namespace
+}  // namespace locble::core

@@ -1,0 +1,128 @@
+// Pipeline configuration-flag behaviour: the regime-band coupling and the
+// restart/segmentation logic exposed for the Fig. 5 ablations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/common/rng.hpp"
+#include "locble/core/pipeline.hpp"
+
+namespace locble::core {
+namespace {
+
+using locble::Vec2;
+
+motion::MotionEstimate ideal_l_motion() {
+    motion::MotionEstimate m;
+    for (int i = 0; i <= 40; ++i) m.path.push_back({0.1 * i, {0.1 * i, 0.0}});
+    for (int i = 0; i <= 30; ++i) m.path.push_back({5.0 + 0.1 * i, {4.0, 0.1 * i}});
+    return m;
+}
+
+/// RSS with an abrupt insertion-loss step at t = `step_t` — the signature
+/// of walking out from behind a wall.
+locble::TimeSeries stepped_rss(const Vec2& target, double loss_db, double step_t,
+                               std::uint64_t seed) {
+    const auto motion = ideal_l_motion();
+    locble::Rng rng(seed);
+    locble::TimeSeries ts;
+    for (double t = 0.0; t <= 8.0; t += 0.1) {
+        const Vec2 obs = motion.position_at(t);
+        const double l = std::max(Vec2::distance(target, obs), 0.1);
+        double v = -59.0 - 20.0 * std::log10(l) + rng.gaussian(0.0, 1.0);
+        if (t < step_t) v -= loss_db;
+        ts.push_back({t, v});
+    }
+    return ts;
+}
+
+const EnvAware& tiny_envaware() {
+    static const EnvAware instance = [] {
+        locble::Rng rng(55);
+        EnvDatasetConfig cfg;
+        cfg.traces_per_class = 20;
+        EnvAware env;
+        env.train(generate_env_dataset(cfg, rng));
+        return env;
+    }();
+    return instance;
+}
+
+TEST(PipelineFlagsTest, RestartOpensGammaSegments) {
+    LocBle::Config cfg;
+    cfg.gamma_prior_dbm = -59.0;
+    const LocBle pipeline(cfg, tiny_envaware());
+    const auto rss = stepped_rss({5.0, 2.0}, 12.0, 4.0, 1);
+    const auto result = pipeline.locate(rss, ideal_l_motion());
+    ASSERT_TRUE(result.fit.has_value());
+    if (result.regression_restarts > 0) {
+        // A detected change must materialize as an extra Gamma segment.
+        EXPECT_GE(result.fit->segment_gammas.size(), 2u);
+    }
+}
+
+TEST(PipelineFlagsTest, RestartDisabledKeepsSingleSegment) {
+    LocBle::Config cfg;
+    cfg.gamma_prior_dbm = -59.0;
+    cfg.restart_on_change = false;
+    const LocBle pipeline(cfg, tiny_envaware());
+    const auto rss = stepped_rss({5.0, 2.0}, 12.0, 4.0, 1);
+    const auto result = pipeline.locate(rss, ideal_l_motion());
+    ASSERT_TRUE(result.fit.has_value());
+    EXPECT_EQ(result.regression_restarts, 0);
+    EXPECT_EQ(result.fit->segment_gammas.size(), 1u);
+}
+
+TEST(PipelineFlagsTest, SmallLevelWobbleDoesNotSegment) {
+    // A 1 dB step is below the 4 dB segmentation gate even if the
+    // classifier wobbles.
+    LocBle::Config cfg;
+    cfg.gamma_prior_dbm = -59.0;
+    const LocBle pipeline(cfg, tiny_envaware());
+    const auto rss = stepped_rss({5.0, 2.0}, 1.0, 4.0, 2);
+    const auto result = pipeline.locate(rss, ideal_l_motion());
+    ASSERT_TRUE(result.fit.has_value());
+    EXPECT_EQ(result.regression_restarts, 0);
+}
+
+TEST(PipelineFlagsTest, RegimeBandsCanBeDisabled) {
+    LocBle::Config with;
+    with.gamma_prior_dbm = -59.0;
+    LocBle::Config without = with;
+    without.use_regime_bands = false;
+    const auto rss = stepped_rss({5.0, 2.0}, 0.0, 0.0, 3);
+    const auto rw = LocBle(with, tiny_envaware()).locate(rss, ideal_l_motion());
+    const auto rwo = LocBle(without, tiny_envaware()).locate(rss, ideal_l_motion());
+    ASSERT_TRUE(rw.fit.has_value());
+    ASSERT_TRUE(rwo.fit.has_value());
+    // Both must produce sane fixes; only the search bands differ.
+    EXPECT_LT(Vec2::distance(rw.fit->location, {5.0, 2.0}), 2.5);
+    EXPECT_LT(Vec2::distance(rwo.fit->location, {5.0, 2.0}), 2.5);
+}
+
+TEST(PipelineFlagsTest, SegmentedFitBeatsUnsegmentedOnHardTransition) {
+    // On a 12 dB insertion-loss transition, letting the pipeline segment
+    // should at least not hurt vs a single-Gamma fit of the mixed data.
+    const Vec2 target{5.0, 2.0};
+    double seg_err = 0.0, flat_err = 0.0;
+    int n = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto rss = stepped_rss(target, 12.0, 4.0, seed);
+        LocBle::Config seg_cfg;
+        seg_cfg.gamma_prior_dbm = -59.0;
+        LocBle::Config flat_cfg = seg_cfg;
+        flat_cfg.restart_on_change = false;
+        const auto rs = LocBle(seg_cfg, tiny_envaware()).locate(rss, ideal_l_motion());
+        const auto rf = LocBle(flat_cfg, tiny_envaware()).locate(rss, ideal_l_motion());
+        if (!rs.fit || !rf.fit) continue;
+        seg_err += Vec2::distance(rs.fit->location, target);
+        flat_err += Vec2::distance(rf.fit->location, target);
+        ++n;
+    }
+    ASSERT_GE(n, 8);
+    EXPECT_LE(seg_err, flat_err + 0.5 * n);  // allow per-run 0.5 m slack
+}
+
+}  // namespace
+}  // namespace locble::core

@@ -1,0 +1,95 @@
+#include "locble/core/proximity_assist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace locble::core {
+namespace {
+
+locble::TimeSeries rss_at_range(double range_m, double mp = -59.0, double n = 2.2,
+                                std::size_t count = 15) {
+    locble::TimeSeries ts;
+    const double v = mp - 10.0 * n * std::log10(std::max(range_m, 0.1));
+    for (std::size_t i = 0; i < count; ++i) ts.push_back({0.1 * i, v});
+    return ts;
+}
+
+LocationFit fit_at(const locble::Vec2& loc) {
+    LocationFit f;
+    f.location = loc;
+    f.confidence = 0.8;
+    return f;
+}
+
+TEST(ProximityAssistTest, DisengagedFarAway) {
+    const ProximityAssist assist;
+    const auto fit = fit_at({6.0, 2.0});
+    const auto out = assist.refine(fit, rss_at_range(6.3), {0.0, 0.0});
+    EXPECT_FALSE(out.engaged);
+    EXPECT_EQ(out.location, fit.location);
+    EXPECT_EQ(out.zone, baseline::ProximityZone::far);
+}
+
+TEST(ProximityAssistTest, EngagesWhenBothClose) {
+    const ProximityAssist assist;
+    // Regression says 1.8 m, proximity RSS says ~1.0 m: blend inward.
+    const auto fit = fit_at({1.8, 0.0});
+    const auto out = assist.refine(fit, rss_at_range(1.0), {0.0, 0.0});
+    EXPECT_TRUE(out.engaged);
+    const double refined_range = out.location.norm();
+    EXPECT_LT(refined_range, 1.8);
+    EXPECT_GT(refined_range, 0.9);
+    // Bearing preserved.
+    EXPECT_NEAR(out.location.y, 0.0, 1e-9);
+    EXPECT_GT(out.location.x, 0.0);
+}
+
+TEST(ProximityAssistTest, ProximityAloneDoesNotEngage) {
+    // A deep fade can fake a close proximity reading; the regression says
+    // the target is far, so nothing happens.
+    const ProximityAssist assist;
+    const auto fit = fit_at({5.0, 3.0});
+    const auto out = assist.refine(fit, rss_at_range(0.8), {0.0, 0.0});
+    EXPECT_FALSE(out.engaged);
+    EXPECT_EQ(out.location, fit.location);
+}
+
+TEST(ProximityAssistTest, RegressionAloneDoesNotEngage) {
+    const ProximityAssist assist;
+    const auto fit = fit_at({1.2, 0.5});
+    const auto out = assist.refine(fit, rss_at_range(7.0), {0.0, 0.0});
+    EXPECT_FALSE(out.engaged);
+}
+
+TEST(ProximityAssistTest, RangeMeasuredFromObserverPosition) {
+    // Observer has walked to (3, 0); target estimate (4.5, 0) is 1.5 m away
+    // from *them*, not from the origin.
+    const ProximityAssist assist;
+    const auto fit = fit_at({4.5, 0.0});
+    const auto out = assist.refine(fit, rss_at_range(1.0), {3.0, 0.0});
+    EXPECT_TRUE(out.engaged);
+    EXPECT_LT(locble::Vec2::distance(out.location, {3.0, 0.0}), 1.5);
+}
+
+TEST(ProximityAssistTest, EmptyRssIsIdentity) {
+    const ProximityAssist assist;
+    const auto fit = fit_at({1.0, 0.0});
+    const auto out = assist.refine(fit, {}, {0.0, 0.0});
+    EXPECT_FALSE(out.engaged);
+    EXPECT_EQ(out.location, fit.location);
+}
+
+TEST(ProximityAssistTest, CloserProximityBlendsHarder) {
+    const ProximityAssist assist;
+    const auto fit = fit_at({2.0, 0.0});
+    const auto near_out = assist.refine(fit, rss_at_range(0.4), {0.0, 0.0});
+    const auto mid_out = assist.refine(fit, rss_at_range(1.6), {0.0, 0.0});
+    ASSERT_TRUE(near_out.engaged);
+    ASSERT_TRUE(mid_out.engaged);
+    // The very-close reading pulls the estimate farther inward.
+    EXPECT_LT(near_out.location.norm(), mid_out.location.norm());
+}
+
+}  // namespace
+}  // namespace locble::core

@@ -1,0 +1,109 @@
+#include "locble/core/straight_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <stdexcept>
+
+namespace locble::core {
+namespace {
+
+LocationFit ambiguous_at(double x, double h) {
+    LocationFit f;
+    f.location = {x, h};
+    f.ambiguous = true;
+    f.confidence = 0.7;
+    return f;
+}
+
+TEST(MirrorHypothesisTrackerTest, RequiresAmbiguousFit) {
+    LocationFit f;
+    f.ambiguous = false;
+    EXPECT_THROW(MirrorHypothesisTracker{f}, std::invalid_argument);
+}
+
+TEST(MirrorHypothesisTrackerTest, StartsWithBothMirrors) {
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    EXPECT_FALSE(t.resolved());
+    const auto h = t.hypotheses();
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_EQ(h[0], locble::Vec2(4.0, 2.0));
+    EXPECT_EQ(h[1], locble::Vec2(4.0, -2.0));
+    EXPECT_EQ(t.best(), locble::Vec2(4.0, 2.0));  // +h convention
+}
+
+TEST(MirrorHypothesisTrackerTest, OnAxisTargetIsAlreadyResolved) {
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 0.0));
+    EXPECT_TRUE(t.resolved());
+    EXPECT_EQ(t.hypotheses().size(), 1u);
+}
+
+TEST(MirrorHypothesisTrackerTest, SecondFitFromRotatedFrameResolves) {
+    // Truth at (4, 2). Second measurement taken after walking to (4, 0) and
+    // turning to face +y (heading pi/2): in that frame the target is at
+    // (2, 0) — no mirror confusion about it.
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    LocationFit second;
+    second.location = {2.0, 0.0};
+    second.ambiguous = false;
+    t.update_with_fit(second, {4.0, 0.0}, std::numbers::pi / 2.0);
+    EXPECT_TRUE(t.resolved());
+    EXPECT_EQ(t.best(), locble::Vec2(4.0, 2.0));
+}
+
+TEST(MirrorHypothesisTrackerTest, AmbiguousSecondFitCanStillDiscriminate) {
+    // Second ambiguous fit from a rotated frame: its own mirror pair lands
+    // near only one of our hypotheses.
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    LocationFit second;
+    second.location = {1.9, 0.3};  // near-frame coordinates
+    second.ambiguous = true;
+    t.update_with_fit(second, {4.0, 0.0}, std::numbers::pi / 2.0);
+    // Candidates map to ~(3.7, 1.9) and ~(4.3, 1.9): both near (4, 2), far
+    // from (4, -2) -> resolved toward +h.
+    EXPECT_TRUE(t.resolved());
+    EXPECT_EQ(t.best(), locble::Vec2(4.0, 2.0));
+}
+
+TEST(MirrorHypothesisTrackerTest, EquidistantEvidenceIsIgnored) {
+    // A new estimate on the walk axis is equidistant from both mirrors and
+    // must not resolve anything.
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    LocationFit second;
+    second.location = {5.0, 0.0};
+    second.ambiguous = false;
+    t.update_with_fit(second, {0.0, 0.0}, 0.0);
+    EXPECT_FALSE(t.resolved());
+}
+
+TEST(MirrorHypothesisTrackerTest, FallingRssKillsApproachedMirror) {
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    // Walked 2 m toward the -h mirror; RSS dropped 3 dB -> that mirror dies.
+    t.update_with_rss_trend({4.0, -2.0}, 2.0, -3.0);
+    EXPECT_TRUE(t.resolved());
+    EXPECT_EQ(t.best(), locble::Vec2(4.0, 2.0));
+}
+
+TEST(MirrorHypothesisTrackerTest, RisingRssIsNotEvidence) {
+    // Approaching either mirror raises RSS if the target is anywhere ahead;
+    // only a *drop* is discriminative.
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    t.update_with_rss_trend({4.0, 2.0}, 2.0, +4.0);
+    EXPECT_FALSE(t.resolved());
+}
+
+TEST(MirrorHypothesisTrackerTest, TinyMovesCarryNoTrendInformation) {
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    t.update_with_rss_trend({4.0, -2.0}, 0.2, -5.0);
+    EXPECT_FALSE(t.resolved());
+}
+
+TEST(MirrorHypothesisTrackerTest, NeverKillsLastHypothesis) {
+    MirrorHypothesisTracker t(ambiguous_at(4.0, 2.0));
+    t.update_with_rss_trend({4.0, 2.0}, 2.0, -3.0);   // kills +h
+    t.update_with_rss_trend({4.0, -2.0}, 2.0, -3.0);  // must keep something
+    EXPECT_EQ(t.hypotheses().size(), 1u);
+}
+
+}  // namespace
+}  // namespace locble::core

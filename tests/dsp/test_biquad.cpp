@@ -1,0 +1,69 @@
+#include "locble/dsp/biquad.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/dsp/butterworth.hpp"
+
+namespace locble::dsp {
+namespace {
+
+TEST(BiquadTest, IdentityByDefault) {
+    Biquad b;
+    EXPECT_DOUBLE_EQ(b.process(1.5), 1.5);
+    EXPECT_DOUBLE_EQ(b.process(-2.0), -2.0);
+    EXPECT_DOUBLE_EQ(b.dc_gain(), 1.0);
+}
+
+TEST(BiquadTest, PureGainSection) {
+    Biquad b({2.0, 0.0, 0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(b.process(3.0), 6.0);
+    EXPECT_DOUBLE_EQ(b.dc_gain(), 2.0);
+}
+
+TEST(BiquadTest, FirDifferenceImplementsEquation) {
+    // y[n] = x[n] - x[n-1]
+    Biquad b({1.0, -1.0, 0.0, 0.0, 0.0});
+    EXPECT_DOUBLE_EQ(b.process(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(b.process(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.process(4.0), 3.0);
+}
+
+TEST(BiquadTest, ResetClearsHistory) {
+    Biquad b({1.0, -1.0, 0.0, 0.0, 0.0});
+    b.process(10.0);
+    b.reset();
+    EXPECT_DOUBLE_EQ(b.process(1.0), 1.0);
+}
+
+TEST(BiquadTest, PrimeEliminatesTransient) {
+    // A one-pole smoother primed at x0 must output exactly x0 * dc_gain.
+    Biquad b({0.25, 0.0, 0.0, -0.75, 0.0});  // y = 0.25 x + 0.75 y[n-1], DC gain 1
+    b.prime(-70.0);
+    for (int i = 0; i < 5; ++i) EXPECT_NEAR(b.process(-70.0), -70.0, 1e-12);
+}
+
+TEST(BiquadCascadeTest, EmptyCascadeIsIdentity) {
+    BiquadCascade c;
+    EXPECT_DOUBLE_EQ(c.process(3.5), 3.5);
+    EXPECT_DOUBLE_EQ(c.dc_gain(), 1.0);
+    EXPECT_EQ(c.order(), 0u);
+}
+
+TEST(BiquadCascadeTest, PrimePropagatesThroughSections) {
+    auto c = design_butterworth_lowpass(6, 1.0, 10.0);
+    c.prime(42.0);
+    for (int i = 0; i < 10; ++i) EXPECT_NEAR(c.process(42.0), 42.0, 1e-9);
+}
+
+TEST(BiquadCascadeTest, ResetAllSections) {
+    auto c = design_butterworth_lowpass(4, 1.0, 10.0);
+    for (int i = 0; i < 20; ++i) c.process(100.0);
+    c.reset();
+    // After reset the first output of a low-pass is small (no history).
+    EXPECT_LT(std::abs(c.process(1.0)), 1.0);
+}
+
+}  // namespace
+}  // namespace locble::dsp

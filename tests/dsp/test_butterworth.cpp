@@ -1,0 +1,117 @@
+#include "locble/dsp/butterworth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+namespace locble::dsp {
+namespace {
+
+/// Magnitude response of a cascade at frequency f (Hz) for sample rate fs.
+double magnitude_at(const BiquadCascade& cascade, double f, double fs) {
+    const std::complex<double> z = std::polar(1.0, 2.0 * std::numbers::pi * f / fs);
+    std::complex<double> h = 1.0;
+    for (const auto& s : cascade.sections()) {
+        const auto& c = s.coeffs();
+        h *= (c.b0 + c.b1 / z + c.b2 / (z * z)) / (1.0 + c.a1 / z + c.a2 / (z * z));
+    }
+    return std::abs(h);
+}
+
+TEST(Butterworth, UnityDcGain) {
+    for (int order : {1, 2, 3, 4, 6, 8}) {
+        const auto f = design_butterworth_lowpass(order, 1.0, 10.0);
+        EXPECT_NEAR(f.dc_gain(), 1.0, 1e-9) << "order " << order;
+    }
+}
+
+TEST(Butterworth, MinusThreeDbAtCutoff) {
+    for (int order : {2, 4, 6}) {
+        const auto f = design_butterworth_lowpass(order, 1.0, 10.0);
+        const double mag = magnitude_at(f, 1.0, 10.0);
+        EXPECT_NEAR(20.0 * std::log10(mag), -3.0103, 0.05) << "order " << order;
+    }
+}
+
+TEST(Butterworth, MonotoneRolloff) {
+    const auto f = design_butterworth_lowpass(6, 1.0, 10.0);
+    double prev = magnitude_at(f, 0.05, 10.0);
+    for (double freq = 0.1; freq < 4.9; freq += 0.1) {
+        const double mag = magnitude_at(f, freq, 10.0);
+        EXPECT_LE(mag, prev + 1e-9) << "at " << freq << " Hz";
+        prev = mag;
+    }
+}
+
+TEST(Butterworth, SixthOrderRolloffRate) {
+    // 6th order: about -36 dB/octave past cutoff. The bilinear transform
+    // compresses frequencies toward Nyquist, so the digital slope is a bit
+    // steeper than analog; assert it is 6th-order steep, not 2nd-order.
+    const auto f = design_butterworth_lowpass(6, 0.5, 10.0);
+    const double m1 = 20.0 * std::log10(magnitude_at(f, 1.0, 10.0));
+    const double m2 = 20.0 * std::log10(magnitude_at(f, 2.0, 10.0));
+    EXPECT_GT(m1 - m2, 32.0);
+    EXPECT_LT(m1 - m2, 50.0);
+}
+
+TEST(Butterworth, SectionCounts) {
+    EXPECT_EQ(design_butterworth_lowpass(3, 1.0, 10.0).sections().size(), 2u);
+    EXPECT_EQ(design_butterworth_lowpass(6, 1.0, 10.0).sections().size(), 3u);
+    EXPECT_EQ(design_butterworth_lowpass(1, 1.0, 10.0).sections().size(), 1u);
+}
+
+TEST(Butterworth, InvalidParamsThrow) {
+    EXPECT_THROW(design_butterworth_lowpass(0, 1.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(design_butterworth_lowpass(4, 0.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(design_butterworth_lowpass(4, 5.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(design_butterworth_lowpass(4, -1.0, 10.0), std::invalid_argument);
+}
+
+TEST(Butterworth, StableImpulseResponse) {
+    auto f = design_butterworth_lowpass(6, 1.0, 10.0);
+    f.process(1.0);
+    double late_energy = 0.0;
+    for (int i = 0; i < 500; ++i) {
+        const double v = f.process(0.0);
+        if (i > 400) late_energy += v * v;
+    }
+    EXPECT_LT(late_energy, 1e-12);
+}
+
+TEST(Butterworth, FilterSignalSuppressesToneKeepsMean) {
+    std::vector<double> input;
+    for (int i = 0; i < 400; ++i)
+        input.push_back(-70.0 +
+                        5.0 * std::sin(2.0 * std::numbers::pi * 4.0 * i / 10.0));
+    const auto filt = design_butterworth_lowpass(6, 0.7, 10.0);
+    const auto out = filter_signal(filt, input);
+    ASSERT_EQ(out.size(), input.size());
+    for (std::size_t i = 100; i < out.size(); ++i) EXPECT_NEAR(out[i], -70.0, 0.2);
+}
+
+TEST(Butterworth, FiltFiltZeroPhaseOnRamp) {
+    std::vector<double> input;
+    for (int i = 0; i < 200; ++i) input.push_back(0.05 * i);
+    const auto filt = design_butterworth_lowpass(4, 1.0, 10.0);
+    const auto out = filtfilt(filt, input);
+    ASSERT_EQ(out.size(), input.size());
+    for (std::size_t i = 30; i + 30 < out.size(); ++i)
+        EXPECT_NEAR(out[i], input[i], 0.05);
+}
+
+TEST(Butterworth, CausalFilterLagsBehindStep) {
+    // The 6th-order BF visibly delays a step: that is the delay AKF fixes.
+    std::vector<double> input(100, -80.0);
+    std::fill(input.begin() + 50, input.end(), -60.0);
+    const auto filt = design_butterworth_lowpass(6, 0.7, 10.0);
+    const auto out = filter_signal(filt, input);
+    EXPECT_LT(out[53], -75.0);       // barely moved right after the step
+    EXPECT_NEAR(out.back(), -60.0, 0.5);  // converges eventually
+}
+
+}  // namespace
+}  // namespace locble::dsp

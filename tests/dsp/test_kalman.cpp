@@ -1,0 +1,117 @@
+#include "locble/dsp/kalman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "locble/common/rng.hpp"
+#include "locble/common/stats.hpp"
+
+namespace locble::dsp {
+namespace {
+
+TEST(ScalarKalmanTest, FirstMeasurementInitializesState) {
+    ScalarKalman kf(0.01, 1.0);
+    EXPECT_FALSE(kf.initialized());
+    EXPECT_DOUBLE_EQ(kf.update(-65.0), -65.0);
+    EXPECT_TRUE(kf.initialized());
+}
+
+TEST(ScalarKalmanTest, ConvergesToConstant) {
+    ScalarKalman kf(0.001, 4.0);
+    locble::Rng rng(1);
+    double last = 0.0;
+    for (int i = 0; i < 300; ++i) last = kf.update(-70.0 + rng.gaussian(0.0, 2.0));
+    EXPECT_NEAR(last, -70.0, 0.5);
+}
+
+TEST(ScalarKalmanTest, SmoothsNoise) {
+    ScalarKalman kf(0.01, 9.0);
+    locble::Rng rng(2);
+    locble::RunningStats in_dev, out_dev;
+    for (int i = 0; i < 2000; ++i) {
+        const double z = rng.gaussian(-70.0, 3.0);
+        const double y = kf.update(z);
+        in_dev.add(z);
+        out_dev.add(y);
+    }
+    EXPECT_LT(out_dev.stddev(), in_dev.stddev() / 2.0);
+}
+
+TEST(ScalarKalmanTest, CovarianceShrinksWithEvidence) {
+    ScalarKalman kf(0.0, 1.0, 10.0);
+    kf.update(0.0);
+    const double p1 = kf.covariance();
+    for (int i = 0; i < 20; ++i) kf.update(0.0);
+    EXPECT_LT(kf.covariance(), p1);
+}
+
+TEST(ScalarKalmanTest, ResetForgetsState) {
+    ScalarKalman kf(0.01, 1.0);
+    kf.update(5.0);
+    kf.reset();
+    EXPECT_FALSE(kf.initialized());
+    EXPECT_DOUBLE_EQ(kf.update(9.0), 9.0);
+}
+
+TEST(ScalarKalmanTest, LowerRMeasurementPullsHarder) {
+    ScalarKalman a(0.01, 100.0);
+    ScalarKalman b(0.01, 100.0);
+    a.update(0.0);
+    b.update(0.0);
+    a.update_with_r(10.0, 0.01);   // trusted measurement
+    b.update_with_r(10.0, 100.0);  // distrusted measurement
+    EXPECT_GT(a.state(), b.state());
+}
+
+TEST(AdaptiveKalmanTest, TracksStepFasterThanPlainLowNoiseTrust) {
+    // Feed a step through both the AKF (raw + delayed filtered input) and a
+    // conservative plain Kalman; the AKF must reach the new level sooner.
+    AdaptiveKalman akf;
+    ScalarKalman plain(0.02, 16.0);
+    std::vector<double> raw(200, -80.0);
+    std::fill(raw.begin() + 100, raw.end(), -60.0);
+
+    // Simulated "filtered" input lags by 12 samples (like the 6th-order BF).
+    auto filtered_at = [&](std::size_t i) {
+        return i < 112 ? -80.0 : -60.0;
+    };
+
+    int akf_reach = -1, plain_reach = -1;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        const double a = akf.update(raw[i], filtered_at(i));
+        const double p = plain.update(raw[i]);
+        if (akf_reach < 0 && i >= 100 && a > -65.0) akf_reach = static_cast<int>(i);
+        if (plain_reach < 0 && i >= 100 && p > -65.0) plain_reach = static_cast<int>(i);
+    }
+    ASSERT_GT(akf_reach, 0);
+    ASSERT_GT(plain_reach, 0);
+    EXPECT_LT(akf_reach, plain_reach);
+}
+
+TEST(AdaptiveKalmanTest, SmootherThanRawOnStationaryNoise) {
+    AdaptiveKalman akf;
+    locble::Rng rng(3);
+    locble::RunningStats in_dev, out_dev;
+    // Stationary level with noise; "filtered" = true level.
+    for (int i = 0; i < 1000; ++i) {
+        const double z = rng.gaussian(-70.0, 3.0);
+        const double y = akf.update(z, -70.0);
+        if (i > 50) {
+            in_dev.add(z);
+            out_dev.add(y);
+        }
+    }
+    EXPECT_LT(out_dev.stddev(), in_dev.stddev() / 2.0);
+}
+
+TEST(AdaptiveKalmanTest, ResetRestartsCleanly) {
+    AdaptiveKalman akf;
+    akf.update(-60.0, -60.0);
+    akf.reset();
+    EXPECT_DOUBLE_EQ(akf.update(-90.0, -90.0), -90.0);
+}
+
+}  // namespace
+}  // namespace locble::dsp

@@ -1,0 +1,68 @@
+#include "locble/dsp/moving_average.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace locble::dsp {
+namespace {
+
+TEST(MovingAverageTest, WarmupAveragesAvailableSamples) {
+    MovingAverage ma(3);
+    EXPECT_DOUBLE_EQ(ma.process(3.0), 3.0);
+    EXPECT_DOUBLE_EQ(ma.process(5.0), 4.0);
+    EXPECT_DOUBLE_EQ(ma.process(7.0), 5.0);
+}
+
+TEST(MovingAverageTest, SlidesWindow) {
+    MovingAverage ma(2);
+    ma.process(1.0);
+    ma.process(3.0);
+    EXPECT_DOUBLE_EQ(ma.process(5.0), 4.0);  // (3+5)/2
+    EXPECT_DOUBLE_EQ(ma.process(7.0), 6.0);  // (5+7)/2
+}
+
+TEST(MovingAverageTest, ZeroWindowThrows) {
+    EXPECT_THROW(MovingAverage(0), std::invalid_argument);
+}
+
+TEST(MovingAverageTest, ResetClears) {
+    MovingAverage ma(4);
+    ma.process(10.0);
+    ma.reset();
+    EXPECT_DOUBLE_EQ(ma.process(2.0), 2.0);
+}
+
+TEST(CenteredMovingAverageTest, ConstantSignalUnchanged) {
+    const std::vector<double> v(10, 3.0);
+    const auto out = centered_moving_average(v, 2);
+    ASSERT_EQ(out.size(), v.size());
+    for (double x : out) EXPECT_DOUBLE_EQ(x, 3.0);
+}
+
+TEST(CenteredMovingAverageTest, PreservesPeakLocation) {
+    // Triangular peak at index 10: smoothing must not move the maximum.
+    std::vector<double> v(21, 0.0);
+    for (int i = 0; i < 21; ++i) v[i] = 10.0 - std::abs(i - 10);
+    const auto out = centered_moving_average(v, 2);
+    // Peak stays centered at index 10 after smoothing.
+    std::size_t argmax = 0;
+    for (std::size_t i = 1; i < out.size(); ++i)
+        if (out[i] > out[argmax]) argmax = i;
+    EXPECT_EQ(argmax, 10u);
+}
+
+TEST(CenteredMovingAverageTest, EdgesUseShrunkWindows) {
+    const std::vector<double> v{1.0, 2.0, 3.0};
+    const auto out = centered_moving_average(v, 5);
+    // Every output is the mean of the full (clipped) vector here.
+    for (double x : out) EXPECT_DOUBLE_EQ(x, 2.0);
+}
+
+TEST(CenteredMovingAverageTest, EmptyInput) {
+    EXPECT_TRUE(centered_moving_average({}, 3).empty());
+}
+
+}  // namespace
+}  // namespace locble::dsp

@@ -1,0 +1,121 @@
+#include "locble/imu/imu_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "locble/common/stats.hpp"
+
+namespace locble::imu {
+namespace {
+
+using locble::Vec2;
+
+TEST(GaitModelTest, SpeedFrequencyConsistency) {
+    const GaitModel g{};
+    for (double v : {0.6, 1.0, 1.4}) {
+        const double f = g.frequency_for_speed(v);
+        EXPECT_GT(f, 0.0);
+        // speed = frequency * length(frequency)
+        EXPECT_NEAR(f * g.length_for_frequency(f), v, 1e-9);
+    }
+}
+
+TEST(GaitModelTest, ZeroSpeedZeroFrequency) {
+    EXPECT_DOUBLE_EQ(GaitModel{}.frequency_for_speed(0.0), 0.0);
+}
+
+TEST(GaitModelTest, FasterWalkLongerSteps) {
+    const GaitModel g{};
+    const double f_slow = g.frequency_for_speed(0.7);
+    const double f_fast = g.frequency_for_speed(1.5);
+    EXPECT_GT(f_fast, f_slow);
+    EXPECT_GT(g.length_for_frequency(f_fast), g.length_for_frequency(f_slow));
+}
+
+TEST(ImuSynthesizerTest, StreamsCoverDuration) {
+    const Trajectory walk({Vec2{0, 0}, Vec2{5, 0}});
+    locble::Rng rng(1);
+    const ImuTrace trace = ImuSynthesizer().synthesize(walk, rng);
+    ASSERT_FALSE(trace.accel_vertical.empty());
+    EXPECT_EQ(trace.accel_vertical.size(), trace.gyro_z.size());
+    EXPECT_EQ(trace.accel_vertical.size(), trace.mag_heading.size());
+    EXPECT_NEAR(trace.accel_vertical.back().t, walk.duration(), 0.05);
+}
+
+TEST(ImuSynthesizerTest, GaitOscillationOnlyWhileWalking) {
+    Trajectory::Config tcfg;
+    tcfg.initial_pause = 2.0;
+    const Trajectory walk({Vec2{0, 0}, Vec2{6, 0}}, tcfg);
+    locble::Rng rng(2);
+    const ImuTrace trace = ImuSynthesizer().synthesize(walk, rng);
+    std::vector<double> idle, moving;
+    for (const auto& s : trace.accel_vertical) {
+        if (s.t < 1.8)
+            idle.push_back(s.value);
+        else if (s.t > 2.5 && s.t < 6.0)
+            moving.push_back(s.value);
+    }
+    EXPECT_GT(locble::variance(moving), 8.0 * locble::variance(idle));
+}
+
+TEST(ImuSynthesizerTest, TrueStepsMatchGaitModel) {
+    const Trajectory walk({Vec2{0, 0}, Vec2{10, 0}});
+    locble::Rng rng(3);
+    const ImuSynthesizer synth;
+    const ImuTrace trace = synth.synthesize(walk, rng);
+    const GaitModel& gait = synth.config().gait;
+    const double f = gait.frequency_for_speed(Trajectory::Config{}.walk_speed);
+    const double expected_steps = 10.0 / gait.length_for_frequency(f);
+    EXPECT_NEAR(trace.true_steps, expected_steps, 1.0);
+}
+
+TEST(ImuSynthesizerTest, GyroShowsTurnBump) {
+    const Trajectory walk({Vec2{0, 0}, Vec2{3, 0}, Vec2{3, 3}});
+    locble::Rng rng(4);
+    const ImuTrace trace = ImuSynthesizer().synthesize(walk, rng);
+    double peak = 0.0;
+    for (const auto& s : trace.gyro_z) peak = std::max(peak, s.value);
+    // Default turn rate is 1.8 rad/s; noise is far below that.
+    EXPECT_GT(peak, 1.0);
+}
+
+TEST(ImuSynthesizerTest, MagHeadingTracksTrajectoryHeading) {
+    const Trajectory walk({Vec2{0, 0}, Vec2{4, 0}, Vec2{4, 4}});
+    locble::Rng rng(5);
+    const ImuTrace trace = ImuSynthesizer().synthesize(walk, rng);
+    // Early heading ~0, late heading ~pi/2 (within disturbance bounds).
+    std::vector<double> early, late;
+    for (const auto& s : trace.mag_heading) {
+        if (s.t < 0.4) early.push_back(s.value);
+        if (s.t > walk.duration() - 0.4) late.push_back(s.value);
+    }
+    ASSERT_FALSE(early.empty());
+    ASSERT_FALSE(late.empty());
+    EXPECT_NEAR(locble::mean(early), 0.0, 0.35);
+    EXPECT_NEAR(locble::mean(late), std::numbers::pi / 2.0, 0.35);
+}
+
+TEST(ImuSynthesizerTest, DeterministicForSameSeed) {
+    const Trajectory walk({Vec2{0, 0}, Vec2{3, 0}});
+    locble::Rng a(7), b(7);
+    const ImuTrace ta = ImuSynthesizer().synthesize(walk, a);
+    const ImuTrace tb = ImuSynthesizer().synthesize(walk, b);
+    ASSERT_EQ(ta.accel_vertical.size(), tb.accel_vertical.size());
+    for (std::size_t i = 0; i < ta.accel_vertical.size(); ++i)
+        EXPECT_DOUBLE_EQ(ta.accel_vertical[i].value, tb.accel_vertical[i].value);
+}
+
+TEST(ImuSynthesizerTest, SampleRateHonored) {
+    ImuSynthesizer::Config cfg;
+    cfg.sample_rate_hz = 50.0;
+    const Trajectory walk({Vec2{0, 0}, Vec2{2, 0}});
+    locble::Rng rng(8);
+    const ImuTrace trace = ImuSynthesizer(cfg).synthesize(walk, rng);
+    ASSERT_GT(trace.accel_vertical.size(), 2u);
+    EXPECT_NEAR(trace.accel_vertical[1].t - trace.accel_vertical[0].t, 0.02, 1e-9);
+}
+
+}  // namespace
+}  // namespace locble::imu

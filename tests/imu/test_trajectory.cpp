@@ -1,0 +1,138 @@
+#include "locble/imu/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <stdexcept>
+
+namespace locble::imu {
+namespace {
+
+using locble::Vec2;
+
+TEST(TrajectoryTest, EmptyWaypointsThrow) {
+    EXPECT_THROW(Trajectory(std::vector<Vec2>{}), std::invalid_argument);
+}
+
+TEST(TrajectoryTest, SinglePointStaysPut) {
+    const Trajectory t({Vec2{2.0, 3.0}});
+    EXPECT_GT(t.duration(), 0.0);  // initial + final pause
+    const Pose p = t.pose_at(t.duration() / 2.0);
+    EXPECT_EQ(p.position, Vec2(2.0, 3.0));
+    EXPECT_FALSE(p.walking);
+}
+
+TEST(TrajectoryTest, StartsAndEndsAtWaypoints) {
+    const Trajectory t({Vec2{0, 0}, Vec2{4, 0}, Vec2{4, 3}});
+    EXPECT_EQ(t.pose_at(0.0).position, Vec2(0, 0));
+    EXPECT_EQ(t.pose_at(t.duration()).position, Vec2(4, 3));
+}
+
+TEST(TrajectoryTest, WalkSpeedHonored) {
+    Trajectory::Config cfg;
+    cfg.walk_speed = 2.0;
+    cfg.initial_pause = 1.0;
+    const Trajectory t({Vec2{0, 0}, Vec2{4, 0}}, cfg);
+    // During the leg, 0.5 s after the pause ends -> 1 m progressed.
+    const Pose p = t.pose_at(1.5);
+    EXPECT_NEAR(p.position.x, 1.0, 1e-9);
+    EXPECT_TRUE(p.walking);
+    EXPECT_DOUBLE_EQ(p.speed, 2.0);
+}
+
+TEST(TrajectoryTest, PausesAreNotWalking) {
+    const Trajectory t({Vec2{0, 0}, Vec2{2, 0}});
+    EXPECT_FALSE(t.pose_at(0.1).walking);                  // initial pause
+    EXPECT_FALSE(t.pose_at(t.duration() - 0.1).walking);   // final pause
+}
+
+TEST(TrajectoryTest, TurnRotatesHeadingInPlace) {
+    const Trajectory t({Vec2{0, 0}, Vec2{3, 0}, Vec2{3, 3}});
+    // Find a moment mid-turn: position pinned at the corner, heading between
+    // 0 and pi/2.
+    bool saw_mid_turn = false;
+    for (double tt = 0.0; tt < t.duration(); tt += 0.01) {
+        const Pose p = t.pose_at(tt);
+        if (!p.walking && p.position == Vec2(3, 0) && p.heading > 0.3 &&
+            p.heading < 1.2) {
+            saw_mid_turn = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_mid_turn);
+}
+
+TEST(TrajectoryTest, WalkedDistanceSumsLegs) {
+    const Trajectory t({Vec2{0, 0}, Vec2{3, 0}, Vec2{3, 4}});
+    EXPECT_DOUBLE_EQ(t.walked_distance(), 7.0);
+}
+
+TEST(TrajectoryTest, TurnAnglesSigned) {
+    const Trajectory left({Vec2{0, 0}, Vec2{3, 0}, Vec2{3, 3}});
+    ASSERT_EQ(left.turn_angles().size(), 1u);
+    EXPECT_NEAR(left.turn_angles()[0], std::numbers::pi / 2.0, 1e-9);
+    const Trajectory right({Vec2{0, 0}, Vec2{3, 0}, Vec2{3, -3}});
+    EXPECT_NEAR(right.turn_angles()[0], -std::numbers::pi / 2.0, 1e-9);
+}
+
+TEST(TrajectoryTest, PoseClampedOutsideDuration) {
+    const Trajectory t({Vec2{0, 0}, Vec2{1, 0}});
+    EXPECT_EQ(t.pose_at(-5.0).position, Vec2(0, 0));
+    EXPECT_EQ(t.pose_at(1e9).position, Vec2(1, 0));
+}
+
+TEST(MakeLShape, GeometryMatchesSpec) {
+    const Trajectory t = make_l_shape({1.0, 1.0}, 0.0, 3.0, 2.0,
+                                      std::numbers::pi / 2.0);
+    ASSERT_EQ(t.waypoints().size(), 3u);
+    EXPECT_EQ(t.waypoints()[0], Vec2(1, 1));
+    EXPECT_NEAR(t.waypoints()[1].x, 4.0, 1e-9);
+    EXPECT_NEAR(t.waypoints()[1].y, 1.0, 1e-9);
+    EXPECT_NEAR(t.waypoints()[2].x, 4.0, 1e-9);
+    EXPECT_NEAR(t.waypoints()[2].y, 3.0, 1e-9);
+}
+
+TEST(MakeLShape, RespectsInitialHeading) {
+    const Trajectory t = make_l_shape({0.0, 0.0}, std::numbers::pi / 2.0, 2.0, 1.0,
+                                      std::numbers::pi / 2.0);
+    EXPECT_NEAR(t.waypoints()[1].x, 0.0, 1e-9);
+    EXPECT_NEAR(t.waypoints()[1].y, 2.0, 1e-9);
+    EXPECT_NEAR(t.waypoints()[2].x, -1.0, 1e-9);
+    EXPECT_NEAR(t.waypoints()[2].y, 2.0, 1e-9);
+}
+
+TEST(MakeStraight, SimpleLeg) {
+    const Trajectory t = make_straight({0.0, 0.0}, 0.0, 5.0);
+    ASSERT_EQ(t.waypoints().size(), 2u);
+    EXPECT_NEAR(t.waypoints()[1].x, 5.0, 1e-9);
+    EXPECT_DOUBLE_EQ(t.walked_distance(), 5.0);
+}
+
+TEST(MakeRandomWalk, StaysInsideBounds) {
+    locble::Rng rng(1);
+    for (int run = 0; run < 10; ++run) {
+        const Trajectory t = make_random_walk(10.0, 8.0, 5, 1.0, 3.0, rng);
+        for (const auto& wp : t.waypoints()) {
+            EXPECT_GE(wp.x, 0.0);
+            EXPECT_LE(wp.x, 10.0);
+            EXPECT_GE(wp.y, 0.0);
+            EXPECT_LE(wp.y, 8.0);
+        }
+    }
+}
+
+TEST(MakeRandomWalk, RequestedLegCount) {
+    locble::Rng rng(2);
+    const Trajectory t = make_random_walk(20.0, 20.0, 4, 1.0, 2.0, rng);
+    // Every leg should be realizable in a large area.
+    EXPECT_EQ(t.waypoints().size(), 5u);
+}
+
+TEST(MakeRandomWalk, InvalidLegCountThrows) {
+    locble::Rng rng(3);
+    EXPECT_THROW(make_random_walk(10.0, 10.0, 0, 1.0, 2.0, rng),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locble::imu

@@ -1,0 +1,114 @@
+#include "locble/ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "locble/ml/metrics.hpp"
+
+namespace locble::ml {
+namespace {
+
+Dataset xor_dataset(locble::Rng& rng, int n) {
+    // XOR: not linearly separable, easy for trees.
+    Dataset d;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.uniform(-1.0, 1.0);
+        const double y = rng.uniform(-1.0, 1.0);
+        d.add({x, y}, (x > 0.0) != (y > 0.0) ? 1 : 0);
+    }
+    return d;
+}
+
+TEST(DecisionTreeTest, FitsXor) {
+    locble::Rng rng(1);
+    const Dataset d = xor_dataset(rng, 400);
+    DecisionTree tree;
+    tree.fit(d);
+    const auto report = evaluate_classification(d.y, tree.predict(d));
+    EXPECT_GT(report.accuracy, 0.95);
+}
+
+TEST(DecisionTreeTest, PureLeafShortcut) {
+    Dataset d;
+    for (int i = 0; i < 10; ++i) d.add({static_cast<double>(i)}, 1);
+    DecisionTree tree;
+    tree.fit(d);
+    EXPECT_EQ(tree.node_count(), 1u);  // all-one-class: a single leaf
+    EXPECT_EQ(tree.predict(std::vector<double>{5.0}), 1);
+}
+
+TEST(DecisionTreeTest, DepthLimitRespected) {
+    locble::Rng rng(2);
+    const Dataset d = xor_dataset(rng, 400);
+    DecisionTree::Config cfg;
+    cfg.max_depth = 1;
+    DecisionTree stump(cfg);
+    stump.fit(d);
+    // Depth 1 -> at most 3 nodes.
+    EXPECT_LE(stump.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafRespected) {
+    locble::Rng rng(3);
+    Dataset d = xor_dataset(rng, 40);
+    DecisionTree::Config cfg;
+    cfg.min_samples_leaf = 20;
+    DecisionTree tree(cfg);
+    tree.fit(d);
+    // 40 samples with min 20 per leaf allows at most one split.
+    EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, PredictBeforeFitThrows) {
+    DecisionTree tree;
+    EXPECT_THROW(tree.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+TEST(DecisionTreeTest, EmptyRowsThrow) {
+    Dataset d;
+    d.add({1.0}, 0);
+    DecisionTree tree;
+    EXPECT_THROW(tree.fit(d, {}), std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, ThreeClasses) {
+    locble::Rng rng(4);
+    Dataset d;
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < 50; ++i)
+            d.add({rng.gaussian(3.0 * c, 0.4)}, c);
+    DecisionTree tree;
+    tree.fit(d);
+    EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0);
+    EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 1);
+    EXPECT_EQ(tree.predict(std::vector<double>{6.0}), 2);
+}
+
+TEST(RandomForestTest, FitsXorBetterThanStump) {
+    locble::Rng rng(5);
+    const Dataset train = xor_dataset(rng, 500);
+    const Dataset test = xor_dataset(rng, 200);
+    RandomForest forest;
+    forest.fit(train);
+    const auto report = evaluate_classification(test.y, forest.predict(test));
+    EXPECT_GT(report.accuracy, 0.9);
+    EXPECT_EQ(forest.size(), RandomForest::Config{}.num_trees);
+}
+
+TEST(RandomForestTest, DeterministicAcrossRuns) {
+    locble::Rng rng(6);
+    const Dataset d = xor_dataset(rng, 200);
+    RandomForest a, b;
+    a.fit(d);
+    b.fit(d);
+    for (const auto& row : d.x) EXPECT_EQ(a.predict(row), b.predict(row));
+}
+
+TEST(RandomForestTest, PredictBeforeFitThrows) {
+    RandomForest forest;
+    EXPECT_THROW(forest.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace locble::ml

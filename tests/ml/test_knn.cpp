@@ -1,0 +1,89 @@
+#include "locble/ml/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "locble/ml/metrics.hpp"
+
+namespace locble::ml {
+namespace {
+
+Dataset blobs(locble::Rng& rng, int per_class) {
+    Dataset d;
+    const double centers[3][2] = {{0.0, 0.0}, {5.0, 0.0}, {2.5, 4.5}};
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < per_class; ++i)
+            d.add({rng.gaussian(centers[c][0], 0.6), rng.gaussian(centers[c][1], 0.6)},
+                  c);
+    return d;
+}
+
+TEST(KnnTest, ClassifiesSeparatedBlobs) {
+    locble::Rng rng(1);
+    const Dataset train = blobs(rng, 60);
+    const Dataset test = blobs(rng, 25);
+    KnnClassifier knn;
+    knn.fit(train);
+    const auto report = evaluate_classification(test.y, knn.predict(test));
+    EXPECT_GT(report.accuracy, 0.95);
+}
+
+TEST(KnnTest, KOneMemorizesTrainingSet) {
+    locble::Rng rng(2);
+    const Dataset train = blobs(rng, 20);
+    KnnClassifier::Config cfg;
+    cfg.k = 1;
+    KnnClassifier knn(cfg);
+    knn.fit(train);
+    const auto pred = knn.predict(train);
+    EXPECT_EQ(pred, train.y);
+}
+
+TEST(KnnTest, DistanceWeightingBreaksTies) {
+    // Two far class-1 points vs one adjacent class-0 point, k=3: uniform
+    // voting says 1, distance weighting says 0.
+    Dataset d;
+    d.add({0.0, 0.0}, 0);
+    d.add({10.0, 0.0}, 1);
+    d.add({10.0, 0.1}, 1);
+    KnnClassifier::Config weighted;
+    weighted.k = 3;
+    weighted.distance_weighted = true;
+    KnnClassifier::Config uniform;
+    uniform.k = 3;
+    uniform.distance_weighted = false;
+    KnnClassifier kw(weighted), ku(uniform);
+    kw.fit(d);
+    ku.fit(d);
+    EXPECT_EQ(kw.predict(std::vector<double>{0.1, 0.0}), 0);
+    EXPECT_EQ(ku.predict(std::vector<double>{0.1, 0.0}), 1);
+}
+
+TEST(KnnTest, KLargerThanDatasetClamped) {
+    Dataset d;
+    d.add({0.0}, 0);
+    d.add({1.0}, 1);
+    KnnClassifier::Config cfg;
+    cfg.k = 50;
+    KnnClassifier knn(cfg);
+    knn.fit(d);
+    EXPECT_NO_THROW(knn.predict(std::vector<double>{0.4}));
+}
+
+TEST(KnnTest, Validation) {
+    KnnClassifier knn;
+    EXPECT_THROW(knn.predict(std::vector<double>{0.0}), std::logic_error);
+    EXPECT_THROW(knn.fit(Dataset{}), std::invalid_argument);
+    KnnClassifier::Config zero;
+    zero.k = 0;
+    Dataset d;
+    d.add({0.0}, 0);
+    KnnClassifier bad(zero);
+    EXPECT_THROW(bad.fit(d), std::invalid_argument);
+    knn.fit(d);
+    EXPECT_THROW(knn.predict(std::vector<double>{0.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locble::ml

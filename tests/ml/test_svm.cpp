@@ -1,0 +1,134 @@
+#include "locble/ml/svm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "locble/common/rng.hpp"
+#include "locble/ml/metrics.hpp"
+
+namespace locble::ml {
+namespace {
+
+Dataset linearly_separable_binary(locble::Rng& rng, int n_per_class) {
+    // Class 0 around (-2, -2), class 1 around (+2, +2).
+    Dataset d;
+    for (int i = 0; i < n_per_class; ++i) {
+        d.add({rng.gaussian(-2.0, 0.5), rng.gaussian(-2.0, 0.5)}, 0);
+        d.add({rng.gaussian(2.0, 0.5), rng.gaussian(2.0, 0.5)}, 1);
+    }
+    return d;
+}
+
+TEST(LinearSvmTest, SeparatesCleanBinaryData) {
+    locble::Rng rng(1);
+    const Dataset d = linearly_separable_binary(rng, 50);
+    LinearSvm svm;
+    svm.fit(d);
+    const auto report = evaluate_classification(d.y, svm.predict(d));
+    EXPECT_GT(report.accuracy, 0.98);
+}
+
+TEST(LinearSvmTest, BinaryDecisionValuesAntisymmetric) {
+    locble::Rng rng(2);
+    const Dataset d = linearly_separable_binary(rng, 30);
+    LinearSvm svm;
+    svm.fit(d);
+    const auto dv = svm.decision_values({1.0, 1.0});
+    ASSERT_EQ(dv.size(), 2u);
+    EXPECT_NEAR(dv[0], -dv[1], 1e-9);
+}
+
+TEST(LinearSvmTest, ThreeClassOneVsRest) {
+    locble::Rng rng(3);
+    Dataset d;
+    const double centers[3][2] = {{0.0, 4.0}, {-4.0, -2.0}, {4.0, -2.0}};
+    for (int c = 0; c < 3; ++c)
+        for (int i = 0; i < 60; ++i)
+            d.add({rng.gaussian(centers[c][0], 0.7), rng.gaussian(centers[c][1], 0.7)},
+                  c);
+    LinearSvm svm;
+    svm.fit(d);
+    EXPECT_EQ(svm.num_classes(), 3);
+    const auto report = evaluate_classification(d.y, svm.predict(d));
+    EXPECT_GT(report.accuracy, 0.95);
+}
+
+TEST(LinearSvmTest, BiasTermLearned) {
+    // Both classes on the same side of the origin: separation needs a bias.
+    locble::Rng rng(4);
+    Dataset d;
+    for (int i = 0; i < 60; ++i) {
+        d.add({rng.gaussian(3.0, 0.3)}, 0);
+        d.add({rng.gaussian(6.0, 0.3)}, 1);
+    }
+    LinearSvm svm;
+    svm.fit(d);
+    EXPECT_EQ(svm.predict(std::vector<double>{3.0}), 0);
+    EXPECT_EQ(svm.predict(std::vector<double>{6.0}), 1);
+}
+
+TEST(LinearSvmTest, DeterministicAcrossRuns) {
+    locble::Rng rng(5);
+    const Dataset d = linearly_separable_binary(rng, 40);
+    LinearSvm a, b;
+    a.fit(d);
+    b.fit(d);
+    for (std::size_t j = 0; j < a.weights(1).size(); ++j)
+        EXPECT_DOUBLE_EQ(a.weights(1)[j], b.weights(1)[j]);
+}
+
+TEST(LinearSvmTest, ToleratesLabelNoise) {
+    locble::Rng rng(6);
+    Dataset d = linearly_separable_binary(rng, 100);
+    // Flip 5% of labels.
+    for (std::size_t i = 0; i < d.size(); i += 20) d.y[i] = 1 - d.y[i];
+    LinearSvm svm;
+    svm.fit(d);
+    const auto report = evaluate_classification(d.y, svm.predict(d));
+    EXPECT_GT(report.accuracy, 0.9);
+}
+
+TEST(LinearSvmTest, PredictBeforeFitThrows) {
+    LinearSvm svm;
+    EXPECT_THROW(svm.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(LinearSvmTest, DimensionMismatchThrows) {
+    locble::Rng rng(7);
+    const Dataset d = linearly_separable_binary(rng, 10);
+    LinearSvm svm;
+    svm.fit(d);
+    EXPECT_THROW(svm.predict(std::vector<double>{1.0, 2.0, 3.0}),
+                 std::invalid_argument);
+}
+
+TEST(LinearSvmTest, RejectsDegenerateDatasets) {
+    LinearSvm svm;
+    EXPECT_THROW(svm.fit(Dataset{}), std::invalid_argument);
+    Dataset single;
+    single.add({1.0}, 0);
+    single.add({2.0}, 0);
+    EXPECT_THROW(svm.fit(single), std::invalid_argument);  // one class
+}
+
+TEST(LinearSvmTest, RegularizationAffectsMargin) {
+    // With tiny C the weights shrink toward zero.
+    locble::Rng rng(8);
+    const Dataset d = linearly_separable_binary(rng, 50);
+    LinearSvm::Config strong;
+    strong.c = 100.0;
+    LinearSvm::Config weak;
+    weak.c = 1e-4;
+    LinearSvm s(strong), w(weak);
+    s.fit(d);
+    w.fit(d);
+    double norm_s = 0.0, norm_w = 0.0;
+    for (double v : s.weights(1)) norm_s += v * v;
+    for (double v : w.weights(1)) norm_w += v * v;
+    EXPECT_GT(norm_s, norm_w);
+}
+
+}  // namespace
+}  // namespace locble::ml

@@ -1,0 +1,117 @@
+#include "locble/motion/dead_reckoning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "locble/common/rng.hpp"
+#include "locble/imu/imu_synth.hpp"
+#include "locble/imu/trajectory.hpp"
+
+namespace locble::motion {
+namespace {
+
+using locble::Vec2;
+
+imu::ImuTrace trace_for(const imu::Trajectory& walk, std::uint64_t seed) {
+    locble::Rng rng(seed);
+    return imu::ImuSynthesizer().synthesize(walk, rng);
+}
+
+TEST(DeadReckonerTest, StraightWalkEndsNearTrueDisplacement) {
+    const auto walk = imu::make_straight({0, 0}, 0.0, 6.0);
+    const auto trace = trace_for(walk, 1);
+    const MotionEstimate est = DeadReckoner().track(trace);
+    ASSERT_FALSE(est.path.empty());
+    // Observer frame: walked ~6 m along +x, ~0 lateral.
+    EXPECT_NEAR(est.path.back().position.x, 6.0, 0.8);
+    EXPECT_NEAR(est.path.back().position.y, 0.0, 0.6);
+}
+
+TEST(DeadReckonerTest, LShapeReconstructed) {
+    const auto walk = imu::make_l_shape({0, 0}, 0.0, 4.0, 3.0, std::numbers::pi / 2.0);
+    const auto trace = trace_for(walk, 2);
+    DeadReckoner::Config cfg;
+    cfg.snap_right_angles = true;
+    const MotionEstimate est = DeadReckoner(cfg).track(trace);
+    // In the observer frame the L ends near (4, 3).
+    EXPECT_NEAR(est.path.back().position.x, 4.0, 0.8);
+    EXPECT_NEAR(est.path.back().position.y, 3.0, 0.8);
+}
+
+TEST(DeadReckonerTest, FrameIsObserverLocal) {
+    // Same walk shape with a different absolute heading gives the same
+    // observer-frame path (the frame's +x is the initial walking direction).
+    const auto walk0 = imu::make_l_shape({0, 0}, 0.0, 4.0, 3.0, std::numbers::pi / 2.0);
+    const auto walk1 =
+        imu::make_l_shape({2, 5}, 1.1, 4.0, 3.0, std::numbers::pi / 2.0);
+    const MotionEstimate e0 = DeadReckoner().track(trace_for(walk0, 3));
+    const MotionEstimate e1 = DeadReckoner().track(trace_for(walk1, 3));
+    EXPECT_NEAR(e0.path.back().position.x, e1.path.back().position.x, 0.7);
+    EXPECT_NEAR(e0.path.back().position.y, e1.path.back().position.y, 0.7);
+}
+
+TEST(DeadReckonerTest, SnapRightAnglesExact) {
+    const auto walk = imu::make_l_shape({0, 0}, 0.0, 4.0, 3.0, std::numbers::pi / 2.0);
+    const auto trace = trace_for(walk, 4);
+    DeadReckoner::Config cfg;
+    cfg.snap_right_angles = true;
+    const MotionEstimate est = DeadReckoner(cfg).track(trace);
+    ASSERT_EQ(est.turns.size(), 1u);
+    EXPECT_DOUBLE_EQ(est.turns[0].angle_rad, std::numbers::pi / 2.0);
+}
+
+TEST(DeadReckonerTest, NoSnapKeepsMeasuredAngle) {
+    const auto walk = imu::make_l_shape({0, 0}, 0.0, 4.0, 3.0, std::numbers::pi / 2.0);
+    const auto trace = trace_for(walk, 4);
+    DeadReckoner::Config cfg;
+    cfg.snap_right_angles = false;
+    const MotionEstimate est = DeadReckoner(cfg).track(trace);
+    ASSERT_EQ(est.turns.size(), 1u);
+    // Measured, so almost surely not exactly pi/2, but close.
+    EXPECT_NEAR(est.turns[0].angle_rad, std::numbers::pi / 2.0, 0.2);
+}
+
+TEST(DeadReckonerTest, SnapIgnoresNonRightTurns) {
+    // 45-degree turn must not snap to 90.
+    const auto walk = imu::make_l_shape({0, 0}, 0.0, 4.0, 3.0, std::numbers::pi / 4.0);
+    const auto trace = trace_for(walk, 5);
+    DeadReckoner::Config cfg;
+    cfg.snap_right_angles = true;
+    const MotionEstimate est = DeadReckoner(cfg).track(trace);
+    ASSERT_EQ(est.turns.size(), 1u);
+    EXPECT_NEAR(est.turns[0].angle_rad, std::numbers::pi / 4.0, 0.2);
+}
+
+TEST(MotionEstimateTest, PositionAtInterpolates) {
+    MotionEstimate est;
+    est.path = {{0.0, {0, 0}}, {1.0, {2, 0}}, {2.0, {2, 2}}};
+    EXPECT_EQ(est.position_at(0.5), Vec2(1, 0));
+    EXPECT_EQ(est.position_at(1.5), Vec2(2, 1));
+    // Clamped at the ends.
+    EXPECT_EQ(est.position_at(-1.0), Vec2(0, 0));
+    EXPECT_EQ(est.position_at(5.0), Vec2(2, 2));
+}
+
+TEST(MotionEstimateTest, EmptyPathThrows) {
+    MotionEstimate est;
+    EXPECT_THROW(est.position_at(0.0), std::logic_error);
+}
+
+TEST(DeadReckonerTest, EmptyTraceGivesOriginPath) {
+    const MotionEstimate est = DeadReckoner().track(imu::ImuTrace{});
+    ASSERT_FALSE(est.path.empty());
+    EXPECT_EQ(est.path.front().position, Vec2(0, 0));
+    EXPECT_DOUBLE_EQ(est.total_distance(), 0.0);
+}
+
+TEST(DeadReckonerTest, TotalDistanceNearTruth) {
+    const auto walk = imu::make_straight({0, 0}, 0.0, 9.0);
+    const auto trace = trace_for(walk, 6);
+    const MotionEstimate est = DeadReckoner().track(trace);
+    EXPECT_NEAR(est.total_distance(), 9.0, 1.0);
+}
+
+}  // namespace
+}  // namespace locble::motion

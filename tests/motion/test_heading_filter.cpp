@@ -1,0 +1,87 @@
+#include "locble/motion/heading_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "locble/common/rng.hpp"
+#include "locble/common/vec2.hpp"
+#include "locble/imu/imu_synth.hpp"
+#include "locble/imu/trajectory.hpp"
+
+namespace locble::motion {
+namespace {
+
+TEST(HeadingFilterTest, InitializesFromMagnetometer) {
+    ComplementaryHeadingFilter f;
+    EXPECT_NEAR(f.update(0.0, 0.0, 1.2), 1.2, 1e-12);
+}
+
+TEST(HeadingFilterTest, GyroIntegratesShortTerm) {
+    ComplementaryHeadingFilter f;
+    f.update(0.0, 0.0, 0.0);
+    // 1 rad/s for 0.5 s with the magnetometer stuck at 0: mostly gyro.
+    double h = 0.0;
+    for (int i = 1; i <= 50; ++i) h = f.update(0.01 * i, 1.0, 0.0);
+    EXPECT_GT(h, 0.4);
+    EXPECT_LT(h, 0.52);
+}
+
+TEST(HeadingFilterTest, MagnetometerCorrectsDriftLongTerm) {
+    ComplementaryHeadingFilter f;
+    f.update(0.0, 0.0, 0.0);
+    // Gyro bias of 0.05 rad/s; the magnetometer holds 0. After several time
+    // constants the heading must settle near the bias*tau equilibrium, not
+    // run away.
+    double h = 0.0;
+    for (int i = 1; i <= 6000; ++i) h = f.update(0.01 * i, 0.05, 0.0);
+    EXPECT_NEAR(h, 0.05 * 8.0, 0.1);  // equilibrium = bias * tau
+}
+
+TEST(HeadingFilterTest, WrapsAcrossSeam) {
+    ComplementaryHeadingFilter f;
+    f.update(0.0, 0.0, std::numbers::pi - 0.05);
+    // Turn through the +-pi seam.
+    double h = 0.0;
+    for (int i = 1; i <= 40; ++i)
+        h = f.update(0.01 * i, 1.0, locble::wrap_angle(std::numbers::pi - 0.05 + 0.01 * i));
+    EXPECT_LE(std::abs(h), std::numbers::pi + 1e-9);
+}
+
+TEST(HeadingFilterTest, FuseValidatesInput) {
+    const ComplementaryHeadingFilter f;
+    EXPECT_THROW(f.fuse({}, {}), std::invalid_argument);
+    EXPECT_THROW(f.fuse({{0.0, 0.0}}, {}), std::invalid_argument);
+}
+
+TEST(HeadingFilterTest, TracksSynthesizedWalkBetterThanRawMag) {
+    const auto walk = imu::make_l_shape({0, 0}, 0.3, 4.0, 3.0, 1.5707963);
+    locble::Rng rng(3);
+    const auto trace = imu::ImuSynthesizer().synthesize(walk, rng);
+    const ComplementaryHeadingFilter filter;
+    const auto fused = filter.fuse(trace.gyro_z, trace.mag_heading);
+
+    double fused_err = 0.0, raw_err = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+        const double truth = walk.pose_at(fused[i].t).heading;
+        fused_err += std::abs(locble::angle_diff(fused[i].value, truth));
+        raw_err += std::abs(locble::angle_diff(trace.mag_heading[i].value, truth));
+        ++n;
+    }
+    // The fused stream must not be worse than the raw magnetometer (the
+    // gyro smooths the white component).
+    EXPECT_LE(fused_err / n, raw_err / n + 0.02);
+}
+
+TEST(HeadingFilterTest, ResetForgetsState) {
+    ComplementaryHeadingFilter f;
+    f.update(0.0, 0.0, 2.0);
+    f.reset();
+    EXPECT_NEAR(f.update(5.0, 0.0, -1.0), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace locble::motion

@@ -1,0 +1,97 @@
+#include "locble/motion/step_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/common/rng.hpp"
+#include "locble/imu/imu_synth.hpp"
+#include "locble/imu/trajectory.hpp"
+
+namespace locble::motion {
+namespace {
+
+using locble::Vec2;
+
+imu::ImuTrace walk_trace(double length_m, std::uint64_t seed) {
+    const imu::Trajectory walk({Vec2{0, 0}, Vec2{length_m, 0}});
+    locble::Rng rng(seed);
+    return imu::ImuSynthesizer().synthesize(walk, rng);
+}
+
+TEST(StepDetectorTest, CountsStepsOnStraightWalk) {
+    const auto trace = walk_trace(8.0, 1);
+    const StepDetection d = StepDetector().detect(trace.accel_vertical);
+    EXPECT_NEAR(static_cast<double>(d.steps.size()), trace.true_steps, 2.0);
+}
+
+TEST(StepDetectorTest, DistanceWithinPaperAccuracy) {
+    // Sec. 5.2: step-based distance accuracy ~94.77%.
+    double total_err = 0.0;
+    int runs = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const double truth = 7.0;
+        const auto trace = walk_trace(truth, seed);
+        const StepDetection d = StepDetector().detect(trace.accel_vertical);
+        total_err += std::abs(d.total_distance_m - truth) / truth;
+        ++runs;
+    }
+    EXPECT_LT(total_err / runs, 0.12);
+}
+
+TEST(StepDetectorTest, NoStepsWhenIdle) {
+    // Standing still: noise only.
+    locble::Rng rng(3);
+    locble::TimeSeries accel;
+    for (int i = 0; i < 500; ++i)
+        accel.push_back({0.01 * i, rng.gaussian(0.0, 0.25)});
+    const StepDetection d = StepDetector().detect(accel);
+    EXPECT_LE(d.steps.size(), 1u);
+}
+
+TEST(StepDetectorTest, EmptyAndTinyInputs) {
+    const StepDetection d0 = StepDetector().detect({});
+    EXPECT_TRUE(d0.steps.empty());
+    EXPECT_DOUBLE_EQ(d0.total_distance_m, 0.0);
+    const StepDetection d1 = StepDetector().detect({{0.0, 1.0}, {0.01, 1.0}});
+    EXPECT_TRUE(d1.steps.empty());
+}
+
+TEST(StepDetectorTest, RefractoryPeriodPreventsDoubleCounting) {
+    // Clean 2 Hz gait with a strong second harmonic that would double-count
+    // without the refractory gap.
+    locble::TimeSeries accel;
+    for (int i = 0; i < 1000; ++i) {
+        const double t = 0.01 * i;
+        accel.push_back({t, 2.0 * std::sin(2.0 * std::numbers::pi * 2.0 * t) +
+                                1.2 * std::sin(2.0 * std::numbers::pi * 4.0 * t)});
+    }
+    const StepDetection d = StepDetector().detect(accel);
+    EXPECT_NEAR(static_cast<double>(d.steps.size()), 20.0, 3.0);
+}
+
+TEST(StepDetectorTest, StepTimesMonotone) {
+    const auto trace = walk_trace(10.0, 4);
+    const StepDetection d = StepDetector().detect(trace.accel_vertical);
+    for (std::size_t i = 1; i < d.steps.size(); ++i)
+        EXPECT_GT(d.steps[i].t, d.steps[i - 1].t);
+}
+
+TEST(StepDetectorTest, MeanFrequencyInGaitBand) {
+    const auto trace = walk_trace(10.0, 5);
+    const StepDetection d = StepDetector().detect(trace.accel_vertical);
+    EXPECT_GT(d.mean_frequency_hz, 1.2);
+    EXPECT_LT(d.mean_frequency_hz, 3.0);
+}
+
+TEST(StepDetectorTest, StepLengthsPlausible) {
+    const auto trace = walk_trace(8.0, 6);
+    const StepDetection d = StepDetector().detect(trace.accel_vertical);
+    for (const auto& s : d.steps) {
+        EXPECT_GT(s.length_m, 0.3);
+        EXPECT_LT(s.length_m, 1.1);
+    }
+}
+
+}  // namespace
+}  // namespace locble::motion

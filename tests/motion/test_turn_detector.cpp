@@ -1,0 +1,110 @@
+#include "locble/motion/turn_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "locble/common/rng.hpp"
+#include "locble/common/units.hpp"
+#include "locble/imu/imu_synth.hpp"
+#include "locble/imu/trajectory.hpp"
+
+namespace locble::motion {
+namespace {
+
+using locble::Vec2;
+
+imu::ImuTrace trace_for(const imu::Trajectory& walk, std::uint64_t seed) {
+    locble::Rng rng(seed);
+    return imu::ImuSynthesizer().synthesize(walk, rng);
+}
+
+TEST(TurnDetectorTest, DetectsSingleRightAngleTurn) {
+    const auto walk = imu::make_l_shape({0, 0}, 0.0, 4.0, 3.0, std::numbers::pi / 2.0);
+    const auto trace = trace_for(walk, 1);
+    const auto turns = TurnDetector().detect(trace.gyro_z, trace.mag_heading);
+    ASSERT_EQ(turns.size(), 1u);
+    EXPECT_NEAR(turns[0].angle_rad, std::numbers::pi / 2.0, locble::deg_to_rad(12.0));
+}
+
+TEST(TurnDetectorTest, AngleAccuracyNearPaperNumber) {
+    // Sec. 5.2: average angle estimation error 3.45 degrees.
+    double total_err_deg = 0.0;
+    int count = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto walk =
+            imu::make_l_shape({0, 0}, 0.3, 4.0, 3.0, std::numbers::pi / 2.0);
+        const auto trace = trace_for(walk, seed);
+        const auto turns = TurnDetector().detect(trace.gyro_z, trace.mag_heading);
+        if (turns.size() != 1) continue;
+        total_err_deg += std::abs(
+            locble::rad_to_deg(turns[0].angle_rad - std::numbers::pi / 2.0));
+        ++count;
+    }
+    ASSERT_GE(count, 8);
+    EXPECT_LT(total_err_deg / count, 6.0);
+}
+
+TEST(TurnDetectorTest, SignOfTurnDirection) {
+    const auto left = imu::make_l_shape({0, 0}, 0.0, 3.0, 2.0, std::numbers::pi / 2.0);
+    const auto right =
+        imu::make_l_shape({0, 0}, 0.0, 3.0, 2.0, -std::numbers::pi / 2.0);
+    const auto lt = trace_for(left, 2);
+    const auto rt = trace_for(right, 2);
+    const auto turns_l = TurnDetector().detect(lt.gyro_z, lt.mag_heading);
+    const auto turns_r = TurnDetector().detect(rt.gyro_z, rt.mag_heading);
+    ASSERT_EQ(turns_l.size(), 1u);
+    ASSERT_EQ(turns_r.size(), 1u);
+    EXPECT_GT(turns_l[0].angle_rad, 0.0);
+    EXPECT_LT(turns_r[0].angle_rad, 0.0);
+}
+
+TEST(TurnDetectorTest, NoTurnOnStraightWalk) {
+    const auto walk = imu::make_straight({0, 0}, 0.0, 8.0);
+    const auto trace = trace_for(walk, 3);
+    EXPECT_TRUE(TurnDetector().detect(trace.gyro_z, trace.mag_heading).empty());
+}
+
+TEST(TurnDetectorTest, TwoTurnsDetectedSeparately) {
+    const imu::Trajectory walk(
+        {Vec2{0, 0}, Vec2{4, 0}, Vec2{4, 4}, Vec2{0, 4}});
+    const auto trace = trace_for(walk, 4);
+    const auto turns = TurnDetector().detect(trace.gyro_z, trace.mag_heading);
+    ASSERT_EQ(turns.size(), 2u);
+    EXPECT_LT(turns[0].t_end, turns[1].t_begin);
+}
+
+TEST(TurnDetectorTest, EmptyInputs) {
+    EXPECT_TRUE(TurnDetector().detect({}, {}).empty());
+    EXPECT_TRUE(TurnDetector()
+                    .detect({{0.0, 0.0}, {0.1, 0.0}}, {})
+                    .empty());
+}
+
+TEST(TurnDetectorTest, BumpBoundsOrdered) {
+    const auto walk = imu::make_l_shape({0, 0}, 0.0, 4.0, 3.0, std::numbers::pi / 2.0);
+    const auto trace = trace_for(walk, 5);
+    const auto turns = TurnDetector().detect(trace.gyro_z, trace.mag_heading);
+    for (const auto& t : turns) EXPECT_LT(t.t_begin, t.t_end);
+}
+
+TEST(MeanHeadingTest, CircularAveragingAcrossSeam) {
+    // Headings straddling +-pi must average to ~pi, not ~0.
+    locble::TimeSeries mag;
+    for (int i = 0; i < 10; ++i) {
+        const double h = (i % 2 == 0) ? std::numbers::pi - 0.1
+                                      : -std::numbers::pi + 0.1;
+        mag.push_back({0.1 * i, h});
+    }
+    const double m = mean_heading(mag, 0.0, 1.0);
+    EXPECT_NEAR(std::abs(m), std::numbers::pi, 0.05);
+}
+
+TEST(MeanHeadingTest, EmptyWindowThrows) {
+    locble::TimeSeries mag{{1.0, 0.0}};
+    EXPECT_THROW(mean_heading(mag, 2.0, 3.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locble::motion

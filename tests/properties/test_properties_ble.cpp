@@ -1,0 +1,82 @@
+// Property-style sweeps over the BLE codecs: every frame format must
+// round-trip for arbitrary field values, and every generated beacon PDU
+// must parse back identically after air serialization.
+
+#include <gtest/gtest.h>
+
+#include "locble/ble/frames.hpp"
+#include "locble/common/rng.hpp"
+
+namespace locble::ble {
+namespace {
+
+class FrameRoundTrip : public ::testing::TestWithParam<std::uint64_t /*seed*/> {};
+
+TEST_P(FrameRoundTrip, IBeaconArbitraryFields) {
+    locble::Rng rng(GetParam());
+    IBeaconFrame f;
+    f.uuid = Uuid128::from_id(rng.engine()());
+    f.major = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+    f.minor = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+    f.measured_power = static_cast<std::int8_t>(rng.uniform_int(-100, -20));
+    const auto back = decode_ibeacon(encode_ibeacon(f));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->uuid, f.uuid);
+    EXPECT_EQ(back->major, f.major);
+    EXPECT_EQ(back->minor, f.minor);
+    EXPECT_EQ(back->measured_power, f.measured_power);
+}
+
+TEST_P(FrameRoundTrip, EddystoneArbitraryFields) {
+    locble::Rng rng(GetParam() + 1000);
+    EddystoneUidFrame f;
+    f.tx_power = static_cast<std::int8_t>(rng.uniform_int(-40, 20));
+    for (auto& b : f.namespace_id)
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    for (auto& b : f.instance_id)
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto back = decode_eddystone_uid(encode_eddystone_uid(f));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->tx_power, f.tx_power);
+    EXPECT_EQ(back->namespace_id, f.namespace_id);
+    EXPECT_EQ(back->instance_id, f.instance_id);
+}
+
+TEST_P(FrameRoundTrip, AltBeaconArbitraryFields) {
+    locble::Rng rng(GetParam() + 2000);
+    AltBeaconFrame f;
+    f.manufacturer_id = static_cast<std::uint16_t>(rng.uniform_int(0, 0xFFFF));
+    for (auto& b : f.beacon_id) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    f.reference_rssi = static_cast<std::int8_t>(rng.uniform_int(-100, -20));
+    f.mfg_reserved = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto back = decode_altbeacon(encode_altbeacon(f));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->manufacturer_id, f.manufacturer_id);
+    EXPECT_EQ(back->beacon_id, f.beacon_id);
+    EXPECT_EQ(back->reference_rssi, f.reference_rssi);
+    EXPECT_EQ(back->mfg_reserved, f.mfg_reserved);
+}
+
+TEST_P(FrameRoundTrip, PduAirSerializationAllFormats) {
+    const std::uint64_t id = GetParam() * 7919 + 3;
+    for (auto fmt : {BeaconFormat::ibeacon, BeaconFormat::eddystone_uid,
+                     BeaconFormat::altbeacon}) {
+        const AdvertisingPdu pdu = make_beacon_pdu(id, fmt, -61);
+        const AdvertisingPdu back = AdvertisingPdu::parse(pdu.serialize());
+        EXPECT_EQ(back.type, pdu.type);
+        EXPECT_EQ(back.address, pdu.address);
+        EXPECT_EQ(back.payload, pdu.payload);
+        EXPECT_EQ(beacon_measured_power(back.payload), -61);
+    }
+}
+
+TEST_P(FrameRoundTrip, UuidStringRoundTrip) {
+    const Uuid128 u = Uuid128::from_id(GetParam() * 31 + 5);
+    EXPECT_EQ(Uuid128::from_string(u.str()), u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace locble::ble

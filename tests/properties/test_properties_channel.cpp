@@ -1,0 +1,114 @@
+// Property-style sweeps over the channel substrate: the path-loss inverse
+// must round-trip over the whole parameter space, the shadowing field must
+// be smooth and statistically calibrated, and the classifier geometry must
+// be consistent under translation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "locble/channel/fading.hpp"
+#include "locble/channel/obstacles.hpp"
+#include "locble/channel/propagation.hpp"
+#include "locble/common/rng.hpp"
+#include "locble/common/stats.hpp"
+
+namespace locble::channel {
+namespace {
+
+using PathLossParam = std::tuple<double /*gamma*/, double /*n*/>;
+
+class PathLossProperty : public ::testing::TestWithParam<PathLossParam> {};
+
+TEST_P(PathLossProperty, InverseRoundTrips) {
+    const auto [gamma, n] = GetParam();
+    const LogDistanceModel m{gamma, n};
+    for (double d = 0.2; d < 18.0; d += 0.7)
+        EXPECT_NEAR(m.distance_for(m.rssi_at(d)), d, 1e-9) << "d " << d;
+}
+
+TEST_P(PathLossProperty, TenPerDecadeSlope) {
+    const auto [gamma, n] = GetParam();
+    const LogDistanceModel m{gamma, n};
+    EXPECT_NEAR(m.rssi_at(1.0) - m.rssi_at(10.0), 10.0 * n, 1e-9);
+    EXPECT_NEAR(m.rssi_at(1.5) - m.rssi_at(15.0), 10.0 * n, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChannelSpace, PathLossProperty,
+                         ::testing::Combine(::testing::Values(-50.0, -59.0, -66.0),
+                                            ::testing::Values(1.6, 2.0, 2.7, 3.5)));
+
+class ShadowingFieldProperty
+    : public ::testing::TestWithParam<double /*correlation length*/> {};
+
+TEST_P(ShadowingFieldProperty, UnitVarianceAcrossSpace) {
+    const double corr = GetParam();
+    locble::RunningStats rs;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const ShadowingField field(corr, locble::Rng(seed));
+        locble::Rng pos_rng(seed + 100);
+        for (int i = 0; i < 600; ++i)
+            rs.add(field.at({pos_rng.uniform(0.0, 60.0), pos_rng.uniform(0.0, 60.0)}));
+    }
+    EXPECT_NEAR(rs.mean(), 0.0, 0.15) << "corr " << corr;
+    EXPECT_NEAR(rs.stddev(), 1.0, 0.2) << "corr " << corr;
+}
+
+TEST_P(ShadowingFieldProperty, SmoothAtSubCorrelationScale) {
+    const double corr = GetParam();
+    const ShadowingField field(corr, locble::Rng(7));
+    locble::Rng rng(8);
+    locble::RunningStats deltas;
+    for (int i = 0; i < 400; ++i) {
+        const locble::Vec2 p{rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)};
+        const locble::Vec2 q = p + locble::Vec2{corr / 20.0, 0.0};
+        deltas.add(std::abs(field.at(p) - field.at(q)));
+    }
+    // A 5% -of-correlation-length step moves the field only slightly.
+    EXPECT_LT(deltas.mean(), 0.25) << "corr " << corr;
+}
+
+TEST_P(ShadowingFieldProperty, CoLocatedLinksShadowTogether) {
+    const double corr = GetParam();
+    const ShadowingField field(corr, locble::Rng(9));
+    locble::Rng rng(10);
+    locble::RunningStats gap;
+    for (int i = 0; i < 300; ++i) {
+        const locble::Vec2 rx{rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)};
+        const locble::Vec2 tx1{rng.uniform(0.0, 30.0), rng.uniform(0.0, 30.0)};
+        const locble::Vec2 tx2 = tx1 + locble::Vec2{0.2, 0.1};  // co-located pair
+        gap.add(std::abs(field.link_shadow_db(tx1, rx, 3.0) -
+                         field.link_shadow_db(tx2, rx, 3.0)));
+    }
+    // 0.22 m apart << correlation length: near-identical shadowing.
+    EXPECT_LT(gap.mean(), 0.6) << "corr " << corr;
+}
+
+INSTANTIATE_TEST_SUITE_P(CorrelationLengths, ShadowingFieldProperty,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+class BlockageTranslationProperty
+    : public ::testing::TestWithParam<double /*shift*/> {};
+
+TEST_P(BlockageTranslationProperty, ClassificationInvariantUnderTranslation) {
+    const double shift = GetParam();
+    const locble::Vec2 d{shift, -shift / 2.0};
+    std::vector<Wall> walls{{{2, -1}, {2, 1}, BlockageClass::heavy, 12.0, "w"}};
+    std::vector<Wall> moved{{walls[0].a + d, walls[0].b + d, BlockageClass::heavy,
+                             12.0, "w"}};
+    for (double y = -2.0; y <= 2.0; y += 0.25) {
+        const auto base =
+            classify_path({0, 0}, {4, y}, 0.0, walls, {}).propagation;
+        const auto shifted = classify_path(locble::Vec2{0, 0} + d,
+                                           locble::Vec2{4, y} + d, 0.0, moved, {})
+                                 .propagation;
+        EXPECT_EQ(base, shifted) << "y " << y << " shift " << shift;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, BlockageTranslationProperty,
+                         ::testing::Values(0.5, 3.0, -7.25, 40.0));
+
+}  // namespace
+}  // namespace locble::channel

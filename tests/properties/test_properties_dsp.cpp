@@ -1,0 +1,109 @@
+// Property-style sweeps over the DSP layer: Butterworth designs must hold
+// their defining invariants across the whole (order, cutoff, rate) space
+// the library ever uses, not just the shipped configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <tuple>
+
+#include "locble/common/rng.hpp"
+#include "locble/common/stats.hpp"
+#include "locble/dsp/anf.hpp"
+#include "locble/dsp/butterworth.hpp"
+
+namespace locble::dsp {
+namespace {
+
+double magnitude_at(const BiquadCascade& cascade, double f, double fs) {
+    const std::complex<double> z = std::polar(1.0, 2.0 * std::numbers::pi * f / fs);
+    std::complex<double> h = 1.0;
+    for (const auto& s : cascade.sections()) {
+        const auto& c = s.coeffs();
+        h *= (c.b0 + c.b1 / z + c.b2 / (z * z)) / (1.0 + c.a1 / z + c.a2 / (z * z));
+    }
+    return std::abs(h);
+}
+
+using ButterParam = std::tuple<int /*order*/, double /*cutoff*/, double /*fs*/>;
+
+class ButterworthProperty : public ::testing::TestWithParam<ButterParam> {};
+
+TEST_P(ButterworthProperty, UnityDcGain) {
+    const auto [order, fc, fs] = GetParam();
+    EXPECT_NEAR(design_butterworth_lowpass(order, fc, fs).dc_gain(), 1.0, 1e-9);
+}
+
+TEST_P(ButterworthProperty, MinusThreeDbAtCutoff) {
+    const auto [order, fc, fs] = GetParam();
+    const auto f = design_butterworth_lowpass(order, fc, fs);
+    EXPECT_NEAR(20.0 * std::log10(magnitude_at(f, fc, fs)), -3.0103, 0.1);
+}
+
+TEST_P(ButterworthProperty, MonotoneMagnitude) {
+    const auto [order, fc, fs] = GetParam();
+    const auto f = design_butterworth_lowpass(order, fc, fs);
+    double prev = magnitude_at(f, fs / 1000.0, fs);
+    for (int i = 1; i <= 40; ++i) {
+        const double freq = i * (fs / 2.0 - 1e-3) / 41.0;
+        const double mag = magnitude_at(f, freq, fs);
+        EXPECT_LE(mag, prev + 1e-9) << "order " << order << " at " << freq;
+        prev = mag;
+    }
+}
+
+TEST_P(ButterworthProperty, ImpulseResponseDecays) {
+    const auto [order, fc, fs] = GetParam();
+    auto f = design_butterworth_lowpass(order, fc, fs);
+    f.process(1.0);
+    double late = 0.0;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = f.process(0.0);
+        if (i > 1800) late += v * v;
+    }
+    EXPECT_LT(late, 1e-9);
+}
+
+TEST_P(ButterworthProperty, PrimeStartsAtSteadyState) {
+    const auto [order, fc, fs] = GetParam();
+    auto f = design_butterworth_lowpass(order, fc, fs);
+    f.prime(-72.5);
+    for (int i = 0; i < 8; ++i) EXPECT_NEAR(f.process(-72.5), -72.5, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpace, ButterworthProperty,
+    ::testing::Values(ButterParam{1, 0.7, 10.0}, ButterParam{2, 0.7, 10.0},
+                      ButterParam{3, 1.0, 10.0}, ButterParam{4, 0.5, 10.0},
+                      ButterParam{5, 1.5, 10.0}, ButterParam{6, 0.7, 10.0},
+                      ButterParam{6, 0.35, 5.5}, ButterParam{6, 1.5, 9.0},
+                      ButterParam{8, 2.0, 20.0}, ButterParam{2, 10.0, 100.0}));
+
+class AnfNoiseProperty : public ::testing::TestWithParam<double /*noise std*/> {};
+
+TEST_P(AnfNoiseProperty, OfflineAnfNeverAmplifiesStationaryNoise) {
+    const double noise = GetParam();
+    locble::Rng rng(static_cast<std::uint64_t>(noise * 100) + 1);
+    locble::TimeSeries raw;
+    for (int i = 0; i < 300; ++i)
+        raw.push_back({0.1 * i, -70.0 + rng.gaussian(0.0, noise)});
+    const Anf anf;
+    const auto out = anf.process_offline(raw);
+    std::vector<double> in_tail, out_tail;
+    for (std::size_t i = 30; i < raw.size(); ++i) {
+        in_tail.push_back(raw[i].value);
+        out_tail.push_back(out[i].value);
+    }
+    EXPECT_LE(locble::variance(out_tail), locble::variance(in_tail) + 1e-12)
+        << "noise " << noise;
+    // And the mean level is preserved.
+    EXPECT_NEAR(locble::mean(out_tail), -70.0, std::max(0.5, noise / 2.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, AnfNoiseProperty,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 3.5, 5.0));
+
+}  // namespace
+}  // namespace locble::dsp

@@ -1,0 +1,85 @@
+// Property-style sweeps over DTW: the lower bound must bound, identity must
+// cost zero, and the distance must be symmetric, across lengths, windows
+// and random data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "locble/common/rng.hpp"
+#include "locble/core/dtw.hpp"
+
+namespace locble::core {
+namespace {
+
+std::vector<double> random_seq(std::size_t n, locble::Rng& rng, double scale) {
+    std::vector<double> out(n);
+    double level = rng.gaussian(0.0, scale);
+    for (auto& v : out) {
+        level = 0.8 * level + rng.gaussian(0.0, scale * 0.5);
+        v = level;
+    }
+    return out;
+}
+
+using DtwParam = std::tuple<std::size_t /*len*/, std::size_t /*window*/>;
+
+class DtwProperty : public ::testing::TestWithParam<DtwParam> {};
+
+TEST_P(DtwProperty, LowerBoundNeverExceedsDtw) {
+    const auto [len, window] = GetParam();
+    locble::Rng rng(len * 31 + window);
+    for (int trial = 0; trial < 25; ++trial) {
+        const auto a = random_seq(len, rng, 1.5);
+        const auto b = random_seq(len, rng, 1.5);
+        EXPECT_LE(lb_keogh(a, b, window), dtw_distance(a, b, window) + 1e-9)
+            << "len " << len << " window " << window;
+    }
+}
+
+TEST_P(DtwProperty, IdentityCostsZero) {
+    const auto [len, window] = GetParam();
+    locble::Rng rng(len * 17 + window + 1);
+    const auto a = random_seq(len, rng, 2.0);
+    EXPECT_NEAR(dtw_distance(a, a, window), 0.0, 1e-12);
+    EXPECT_NEAR(lb_keogh(a, a, window), 0.0, 1e-12);
+}
+
+TEST_P(DtwProperty, SymmetricForEqualLengths) {
+    const auto [len, window] = GetParam();
+    locble::Rng rng(len * 13 + window + 2);
+    const auto a = random_seq(len, rng, 1.0);
+    const auto b = random_seq(len, rng, 1.0);
+    EXPECT_NEAR(dtw_distance(a, b, window), dtw_distance(b, a, window), 1e-9);
+}
+
+TEST_P(DtwProperty, WiderWindowNeverRaisesCost) {
+    const auto [len, window] = GetParam();
+    locble::Rng rng(len * 11 + window + 3);
+    const auto a = random_seq(len, rng, 1.0);
+    const auto b = random_seq(len, rng, 1.0);
+    const double tight = dtw_distance(a, b, window);
+    const double loose = dtw_distance(a, b, window * 2 + 1);
+    EXPECT_LE(loose, tight + 1e-9);
+}
+
+TEST_P(DtwProperty, EnvelopeWidensWithWindow) {
+    const auto [len, window] = GetParam();
+    locble::Rng rng(len * 7 + window + 4);
+    const auto a = random_seq(len, rng, 1.0);
+    const auto tight = warping_envelope(a, window);
+    const auto loose = warping_envelope(a, window + 2);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_LE(loose.lower[i], tight.lower[i] + 1e-12);
+        EXPECT_GE(loose.upper[i], tight.upper[i] - 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LengthsAndWindows, DtwProperty,
+                         ::testing::Combine(::testing::Values<std::size_t>(8, 10, 25,
+                                                                           60),
+                                            ::testing::Values<std::size_t>(1, 3, 5)));
+
+}  // namespace
+}  // namespace locble::core

@@ -1,0 +1,105 @@
+// Property-style sweeps over the motion stack: step counting and dead
+// reckoning must stay calibrated across walking speeds, walk lengths and
+// turn angles — the paper's accuracy figures are not tied to one gait.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "locble/common/rng.hpp"
+#include "locble/common/units.hpp"
+#include "locble/imu/imu_synth.hpp"
+#include "locble/imu/trajectory.hpp"
+#include "locble/motion/dead_reckoning.hpp"
+
+namespace locble::motion {
+namespace {
+
+using locble::Vec2;
+
+using GaitParam = std::tuple<double /*speed*/, double /*length*/>;
+
+class StepDistanceProperty : public ::testing::TestWithParam<GaitParam> {};
+
+TEST_P(StepDistanceProperty, DistanceAccuracyAcrossGaits) {
+    const auto [speed, length] = GetParam();
+    imu::Trajectory::Config tcfg;
+    tcfg.walk_speed = speed;
+    const imu::Trajectory walk({Vec2{0, 0}, Vec2{length, 0}}, tcfg);
+
+    double rel_err = 0.0;
+    int runs = 0;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        locble::Rng rng(seed * 19 + static_cast<std::uint64_t>(speed * 10));
+        const auto trace = imu::ImuSynthesizer().synthesize(walk, rng);
+        const auto det = StepDetector().detect(trace.accel_vertical);
+        rel_err += std::abs(det.total_distance_m - length) / length;
+        ++runs;
+    }
+    // Paper: ~94.8% accuracy. Step counting quantizes at one step, so the
+    // bound widens by half a step's share of a short walk.
+    const imu::GaitModel gait{};
+    const double step_len =
+        gait.length_for_frequency(gait.frequency_for_speed(speed));
+    EXPECT_LT(rel_err / runs, 0.10 + 0.5 * step_len / length)
+        << "speed " << speed << " length " << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaits, StepDistanceProperty,
+                         ::testing::Combine(::testing::Values(0.8, 1.1, 1.4),
+                                            ::testing::Values(4.0, 7.0, 10.0)));
+
+class TurnAngleProperty : public ::testing::TestWithParam<double /*angle deg*/> {};
+
+TEST_P(TurnAngleProperty, AngleErrorSmallAcrossTurns) {
+    const double angle_deg = GetParam();
+    const double angle = locble::deg_to_rad(angle_deg);
+    double err_deg = 0.0;
+    int detected = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto walk = imu::make_l_shape({0, 0}, 0.1, 4.0, 3.0, angle);
+        locble::Rng rng(seed * 23 + static_cast<std::uint64_t>(angle_deg + 360));
+        const auto trace = imu::ImuSynthesizer().synthesize(walk, rng);
+        const auto turns = TurnDetector().detect(trace.gyro_z, trace.mag_heading);
+        if (turns.size() != 1) continue;
+        err_deg += std::abs(locble::rad_to_deg(turns[0].angle_rad) - angle_deg);
+        ++detected;
+    }
+    ASSERT_GE(detected, 8) << "angle " << angle_deg;
+    // Paper: 3.45 deg mean error.
+    EXPECT_LT(err_deg / detected, 6.0) << "angle " << angle_deg;
+}
+
+INSTANTIATE_TEST_SUITE_P(TurnAngles, TurnAngleProperty,
+                         ::testing::Values(45.0, 90.0, 135.0, -45.0, -90.0, -135.0));
+
+class DeadReckoningProperty : public ::testing::TestWithParam<double /*heading*/> {};
+
+TEST_P(DeadReckoningProperty, EndpointErrorBoundedForAnyAbsoluteHeading) {
+    // The observer frame is heading-relative: dead reckoning quality must
+    // not depend on which way the user happens to face.
+    const double heading = GetParam();
+    const auto walk = imu::make_l_shape({5, 5}, heading, 4.0, 3.0,
+                                        std::numbers::pi / 2.0);
+    double err = 0.0;
+    int runs = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        locble::Rng rng(seed * 29 + static_cast<std::uint64_t>(heading * 100 + 700));
+        const auto trace = imu::ImuSynthesizer().synthesize(walk, rng);
+        DeadReckoner::Config cfg;
+        cfg.snap_right_angles = true;
+        const auto est = DeadReckoner(cfg).track(trace);
+        // True endpoint in the observer frame is (4, 3).
+        err += locble::Vec2::distance(est.path.back().position, {4.0, 3.0});
+        ++runs;
+    }
+    EXPECT_LT(err / runs, 0.9) << "heading " << heading;
+}
+
+INSTANTIATE_TEST_SUITE_P(Headings, DeadReckoningProperty,
+                         ::testing::Values(0.0, 0.7, 1.57, 2.8, -2.2, -0.9));
+
+}  // namespace
+}  // namespace locble::motion

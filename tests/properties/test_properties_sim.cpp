@@ -1,0 +1,87 @@
+// Property-style sweeps over the simulation harness: determinism, frame
+// consistency and monotone physics across all nine Table-1 environments.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/common/stats.hpp"
+#include "locble/sim/harness.hpp"
+
+namespace locble::sim {
+namespace {
+
+class ScenarioProperty : public ::testing::TestWithParam<int /*index*/> {};
+
+TEST_P(ScenarioProperty, CaptureIsDeterministicPerSeed) {
+    const Scenario sc = scenario(GetParam());
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    locble::Rng a(77), b(77);
+    const auto walk = default_l_walk(sc);
+    const auto ca = CaptureRunner().run(sc.site, {beacon}, walk, a);
+    const auto cb = CaptureRunner().run(sc.site, {beacon}, walk, b);
+    ASSERT_EQ(ca.rss.at(1).size(), cb.rss.at(1).size());
+    for (std::size_t i = 0; i < ca.rss.at(1).size(); ++i)
+        EXPECT_DOUBLE_EQ(ca.rss.at(1)[i].value, cb.rss.at(1)[i].value);
+}
+
+TEST_P(ScenarioProperty, DifferentSeedsDifferentWorlds) {
+    const Scenario sc = scenario(GetParam());
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    locble::Rng a(1), b(2);
+    const auto walk = default_l_walk(sc);
+    const auto ca = CaptureRunner().run(sc.site, {beacon}, walk, a);
+    const auto cb = CaptureRunner().run(sc.site, {beacon}, walk, b);
+    int same = 0, n = 0;
+    const auto& ra = ca.rss.at(1);
+    const auto& rb = cb.rss.at(1);
+    for (std::size_t i = 0; i < std::min(ra.size(), rb.size()); ++i) {
+        same += ra[i].value == rb[i].value;
+        ++n;
+    }
+    EXPECT_LT(same, n / 4) << sc.name;
+}
+
+TEST_P(ScenarioProperty, RssLevelDropsWithTargetDistance) {
+    // A short probe walk against beacons at 2.5 m vs 5.0 m along the same
+    // bearing: the farther beacon must read clearly weaker.
+    Scenario sc = scenario(GetParam());
+    sc.site.blockers.clear();
+    sc.site.walls.clear();  // pure distance effect
+    const locble::Vec2 start = sc.observer_start;
+    const locble::Vec2 dir =
+        (sc.default_beacon - start) * (1.0 / (sc.default_beacon - start).norm());
+    const auto walk = imu::make_straight(start, dir.angle(), 1.0);
+
+    auto mean_rss_at = [&](double d) {
+        BeaconPlacement beacon;
+        beacon.position = start + dir * d;
+        locble::Rng rng(31);
+        const auto cap = CaptureRunner().run(sc.site, {beacon}, walk, rng);
+        return locble::mean(locble::values_of(cap.rss.at(1)));
+    };
+    EXPECT_GT(mean_rss_at(2.5), mean_rss_at(5.0) + 2.0) << sc.name;
+}
+
+TEST_P(ScenarioProperty, MeasurementFrameConsistency) {
+    const Scenario sc = scenario(GetParam());
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    MeasurementConfig cfg;
+    locble::Rng rng(13);
+    const auto out = measure_stationary(sc, beacon, cfg, rng);
+    if (!out.ok) return;  // a hard seed is allowed; frame math is what we test
+    const locble::Vec2 recon = observer_to_site(
+        out.estimate_observer_frame, sc.observer_start, sc.observer_heading);
+    EXPECT_NEAR(recon.x, out.estimate_site.x, 1e-9) << sc.name;
+    EXPECT_NEAR(recon.y, out.estimate_site.y, 1e-9) << sc.name;
+    EXPECT_NEAR(out.error_m,
+                locble::Vec2::distance(out.estimate_site, out.truth_site), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvironments, ScenarioProperty, ::testing::Range(1, 10));
+
+}  // namespace
+}  // namespace locble::sim

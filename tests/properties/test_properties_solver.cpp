@@ -1,0 +1,177 @@
+// Property-style sweeps over the location solver: exact recovery on clean
+// data must hold across the whole (target position, exponent, gamma) space,
+// and noisy recovery must stay within a calibrated bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "locble/common/rng.hpp"
+#include "locble/core/location_solver.hpp"
+
+namespace locble::core {
+namespace {
+
+using locble::Vec2;
+
+std::vector<FusedSample> l_samples(const Vec2& target, double gamma, double n,
+                                   double noise, std::uint64_t seed) {
+    locble::Rng rng(seed);
+    std::vector<FusedSample> out;
+    double t = 0.0;
+    auto add = [&](const Vec2& obs) {
+        FusedSample s;
+        s.t = t;
+        s.p = -obs.x;
+        s.q = -obs.y;
+        const double l = std::max(Vec2::distance(target, obs), 0.1);
+        s.rssi = gamma - 10.0 * n * std::log10(l) +
+                 (noise > 0 ? rng.gaussian(0.0, noise) : 0.0);
+        out.push_back(s);
+        t += 0.1;
+    };
+    for (int i = 0; i < 25; ++i) add({4.0 * i / 24.0, 0.0});
+    for (int i = 0; i < 25; ++i) add({4.0, 3.0 * i / 24.0});
+    return out;
+}
+
+using CleanParam = std::tuple<double /*x*/, double /*h*/, double /*n*/, double /*g*/>;
+
+class SolverCleanRecovery : public ::testing::TestWithParam<CleanParam> {};
+
+TEST_P(SolverCleanRecovery, RecoversTargetAndChannel) {
+    const auto [x, h, n, g] = GetParam();
+    const Vec2 target{x, h};
+    const auto fit = LocationSolver().solve(l_samples(target, g, n, 0.0, 1));
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_NEAR(fit->location.x, x, 0.35) << "n=" << n;
+    EXPECT_NEAR(fit->location.y, h, 0.35) << "n=" << n;
+    EXPECT_NEAR(fit->exponent, n, 0.25);
+    EXPECT_NEAR(fit->gamma_dbm, g, 2.0);
+    EXPECT_LT(fit->residual_db, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TargetChannelSpace, SolverCleanRecovery,
+    ::testing::Values(CleanParam{5.0, 2.0, 2.0, -59.0},   // nominal
+                      CleanParam{5.0, -2.0, 2.0, -59.0},  // below the walk axis
+                      CleanParam{2.5, 4.0, 2.0, -59.0},   // steep bearing
+                      CleanParam{7.0, 1.0, 1.8, -55.0},   // far, shallow exponent
+                      CleanParam{6.0, 3.0, 2.8, -62.0},   // p-LOS-like exponent
+                      CleanParam{3.0, 3.0, 3.4, -66.0},   // NLOS-like
+                      CleanParam{8.0, 4.0, 2.2, -59.0},   // long range
+                      CleanParam{1.5, 1.0, 2.0, -50.0}    // very close, hot beacon
+                      ));
+
+using NoisyParam = std::tuple<double /*noise*/, double /*mean err bound*/>;
+
+class SolverNoisyRecovery : public ::testing::TestWithParam<NoisyParam> {};
+
+TEST_P(SolverNoisyRecovery, MeanErrorWithinBound) {
+    // With the deployment-time Gamma prior (the beacon frame's calibrated
+    // 1 m power +- a calibration band) the error must scale with noise.
+    // Without a prior, Gamma/exponent/distance form a flat ridge and even
+    // tiny noise wanders along it — which is why the pipeline always
+    // provides the prior.
+    const auto [noise, bound] = GetParam();
+    const Vec2 target{5.0, 3.0};
+    SolveHints hints;
+    hints.gamma_band_dbm = {{-64.0, -54.0}};
+    double err = 0.0;
+    int count = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const auto fit =
+            LocationSolver().solve(l_samples(target, -59.0, 2.0, noise, seed), hints);
+        ASSERT_TRUE(fit.has_value()) << "noise " << noise;
+        err += Vec2::distance(fit->location, target);
+        ++count;
+    }
+    EXPECT_LT(err / count, bound) << "noise " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseScaling, SolverNoisyRecovery,
+                         ::testing::Values(NoisyParam{0.5, 0.5},
+                                           NoisyParam{1.0, 0.8},
+                                           NoisyParam{2.0, 1.5},
+                                           NoisyParam{3.0, 2.2}));
+
+class SolverSegmentProperty : public ::testing::TestWithParam<double /*loss dB*/> {};
+
+TEST_P(SolverSegmentProperty, SegmentGammaAbsorbsInsertionLoss) {
+    // Second half of the walk is behind a blocker: the RSS drops by a fixed
+    // insertion loss. With segment tags the solver must still recover the
+    // target and report two gammas separated by roughly the loss.
+    const double loss = GetParam();
+    const Vec2 target{5.0, 2.0};
+    auto samples = l_samples(target, -59.0, 2.0, 0.2, 3);
+    for (std::size_t i = samples.size() / 2; i < samples.size(); ++i) {
+        samples[i].rssi -= loss;
+        samples[i].segment = 1;
+    }
+    SolveHints hints;
+    hints.gamma_band_dbm = {{-59.0 - loss - 6.0, -53.0}};
+    const auto fit = LocationSolver().solve(samples, hints);
+    ASSERT_TRUE(fit.has_value());
+    EXPECT_NEAR(fit->location.x, target.x, 0.8) << "loss " << loss;
+    EXPECT_NEAR(fit->location.y, target.y, 0.8);
+    ASSERT_EQ(fit->segment_gammas.size(), 2u);
+    EXPECT_NEAR(fit->segment_gammas[0] - fit->segment_gammas[1], loss, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(InsertionLosses, SolverSegmentProperty,
+                         ::testing::Values(3.0, 6.0, 9.0, 12.0));
+
+
+class SolverAblationProperty : public ::testing::TestWithParam<int /*variant*/> {};
+
+TEST_P(SolverAblationProperty, EveryVariantStillSolvesCleanData) {
+    // The ablation switches degrade accuracy, never correctness: each
+    // variant must still recover a clean L-shape measurement.
+    LocationSolver::Config cfg;
+    switch (GetParam()) {
+        case 0: cfg.use_wls = false; break;
+        case 1: cfg.use_gn_refinement = false; break;
+        case 2: cfg.use_model_averaging = false; break;
+        case 3:
+            cfg.use_wls = false;
+            cfg.use_gn_refinement = false;
+            cfg.use_model_averaging = false;
+            break;
+    }
+    const Vec2 target{5.0, 2.0};
+    const auto fit = LocationSolver(cfg).solve(l_samples(target, -59.0, 2.0, 0.0, 1));
+    ASSERT_TRUE(fit.has_value()) << "variant " << GetParam();
+    EXPECT_NEAR(fit->location.x, target.x, 0.6) << "variant " << GetParam();
+    EXPECT_NEAR(fit->location.y, target.y, 0.6) << "variant " << GetParam();
+}
+
+TEST_P(SolverAblationProperty, FullEstimatorAtLeastAsGoodUnderNoise) {
+    LocationSolver::Config cfg;
+    switch (GetParam()) {
+        case 0: cfg.use_wls = false; break;
+        case 1: cfg.use_gn_refinement = false; break;
+        case 2: cfg.use_model_averaging = false; break;
+        case 3: return;  // combined variant covered above
+    }
+    const Vec2 target{5.0, 3.0};
+    SolveHints hints;
+    hints.gamma_band_dbm = {{-64.0, -54.0}};
+    double full_err = 0.0, variant_err = 0.0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto samples = l_samples(target, -59.0, 2.0, 2.0, seed);
+        const auto full = LocationSolver().solve(samples, hints);
+        const auto variant = LocationSolver(cfg).solve(samples, hints);
+        ASSERT_TRUE(full.has_value());
+        ASSERT_TRUE(variant.has_value());
+        full_err += Vec2::distance(full->location, target);
+        variant_err += Vec2::distance(variant->location, target);
+    }
+    // Allow a small tie margin: the switches must never *help* materially.
+    EXPECT_LE(full_err, variant_err + 1.0) << "variant " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SolverAblationProperty, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace locble::core

@@ -1,0 +1,125 @@
+#include "locble/sim/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/common/stats.hpp"
+#include "locble/sim/scenarios.hpp"
+
+namespace locble::sim {
+namespace {
+
+TEST(CaptureRunnerTest, ProducesRssAndImu) {
+    const Scenario sc = scenario(1);
+    const imu::Trajectory walk = imu::make_l_shape(sc.observer_start,
+                                                   sc.observer_heading, 2.5, 2.0,
+                                                   1.5707963);
+    BeaconPlacement beacon;
+    beacon.id = 1;
+    beacon.position = sc.default_beacon;
+    locble::Rng rng(1);
+    const WalkCapture cap = CaptureRunner().run(sc.site, {beacon}, walk, rng);
+
+    ASSERT_TRUE(cap.rss.count(1));
+    const auto& rss = cap.rss.at(1);
+    // ~10 Hz advertising, one report per event modulo loss, over ~7 s walk.
+    EXPECT_GT(rss.size(), 30u);
+    EXPECT_FALSE(cap.observer_imu.accel_vertical.empty());
+    EXPECT_TRUE(cap.target_imu.empty());  // stationary target
+    EXPECT_GT(cap.duration_s, 4.0);
+}
+
+TEST(CaptureRunnerTest, RssValuesPlausible) {
+    const Scenario sc = scenario(1);
+    const imu::Trajectory walk = imu::make_l_shape(sc.observer_start,
+                                                   sc.observer_heading, 2.5, 2.0,
+                                                   1.5707963);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    locble::Rng rng(2);
+    const WalkCapture cap = CaptureRunner().run(sc.site, {beacon}, walk, rng);
+    for (const auto& s : cap.rss.at(beacon.id)) {
+        EXPECT_GT(s.value, -110.0);
+        EXPECT_LT(s.value, -30.0);
+    }
+}
+
+TEST(CaptureRunnerTest, TimestampsSortedWithinStream) {
+    const Scenario sc = scenario(2);
+    const imu::Trajectory walk = imu::make_straight(sc.observer_start, 0.0, 4.0);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    locble::Rng rng(3);
+    const WalkCapture cap = CaptureRunner().run(sc.site, {beacon}, walk, rng);
+    const auto& rss = cap.rss.at(beacon.id);
+    for (std::size_t i = 1; i < rss.size(); ++i) EXPECT_GE(rss[i].t, rss[i - 1].t);
+}
+
+TEST(CaptureRunnerTest, MultipleBeaconsSeparateStreams) {
+    const Scenario sc = scenario(1);
+    const imu::Trajectory walk = imu::make_straight(sc.observer_start, 0.0, 3.0);
+    std::vector<BeaconPlacement> beacons(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        beacons[i].id = i + 1;
+        beacons[i].position = {1.0 + static_cast<double>(i), 3.0};
+    }
+    locble::Rng rng(4);
+    const WalkCapture cap = CaptureRunner().run(sc.site, beacons, walk, rng);
+    EXPECT_EQ(cap.rss.size(), 3u);
+    for (const auto& [id, rss] : cap.rss) EXPECT_GT(rss.size(), 10u) << id;
+}
+
+TEST(CaptureRunnerTest, MovingBeaconGetsImu) {
+    const Scenario sc = scenario(9);
+    const imu::Trajectory walk = imu::make_straight(sc.observer_start, 0.5, 4.0);
+    BeaconPlacement beacon;
+    beacon.id = 7;
+    beacon.motion = imu::make_straight({9.0, 9.0}, 2.0, 3.0);
+    locble::Rng rng(5);
+    const WalkCapture cap = CaptureRunner().run(sc.site, {beacon}, walk, rng);
+    EXPECT_TRUE(cap.target_imu.count(7));
+    EXPECT_FALSE(cap.target_imu.at(7).accel_vertical.empty());
+}
+
+TEST(CaptureRunnerTest, DeterministicForSeed) {
+    const Scenario sc = scenario(1);
+    const imu::Trajectory walk = imu::make_straight(sc.observer_start, 0.0, 3.0);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    locble::Rng a(6), b(6);
+    const WalkCapture ca = CaptureRunner().run(sc.site, {beacon}, walk, a);
+    const WalkCapture cb = CaptureRunner().run(sc.site, {beacon}, walk, b);
+    ASSERT_EQ(ca.rss.at(beacon.id).size(), cb.rss.at(beacon.id).size());
+    for (std::size_t i = 0; i < ca.rss.at(beacon.id).size(); ++i)
+        EXPECT_DOUBLE_EQ(ca.rss.at(beacon.id)[i].value, cb.rss.at(beacon.id)[i].value);
+}
+
+TEST(CaptureRunnerTest, FartherBeaconWeaker) {
+    const Scenario sc = scenario(9);  // open outdoor site
+    const imu::Trajectory walk = imu::make_straight({2.0, 2.0}, 0.5, 3.0);
+    BeaconPlacement near_b, far_b;
+    near_b.id = 1;
+    near_b.position = {4.0, 4.0};
+    far_b.id = 2;
+    far_b.position = {14.0, 13.0};
+    locble::Rng rng(7);
+    const WalkCapture cap = CaptureRunner().run(sc.site, {near_b, far_b}, walk, rng);
+    const double near_mean = locble::mean(locble::values_of(cap.rss.at(1)));
+    const double far_mean = locble::mean(locble::values_of(cap.rss.at(2)));
+    EXPECT_GT(near_mean, far_mean + 6.0);
+}
+
+TEST(InitialMagHeadingTest, ReadsWalkDirection) {
+    const imu::Trajectory walk = imu::make_straight({0.0, 0.0}, 0.9, 4.0);
+    locble::Rng rng(8);
+    const auto trace = imu::ImuSynthesizer().synthesize(walk, rng);
+    EXPECT_NEAR(initial_mag_heading(trace), 0.9, 0.3);
+}
+
+TEST(InitialMagHeadingTest, EmptyThrows) {
+    EXPECT_THROW(initial_mag_heading(imu::ImuTrace{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace locble::sim

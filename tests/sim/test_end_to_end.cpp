@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "locble/baseline/ranging.hpp"
+#include "locble/common/cdf.hpp"
+#include "locble/sim/harness.hpp"
+
+namespace locble::sim {
+namespace {
+
+/// Mean error over several seeded runs of the default measurement in one
+/// scenario.
+double mean_error(int scenario_index, int runs, std::uint64_t seed_base,
+                  const MeasurementConfig& cfg = {}) {
+    const Scenario sc = scenario(scenario_index);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    std::vector<double> errors;
+    for (int r = 0; r < runs; ++r) {
+        locble::Rng rng(seed_base + static_cast<std::uint64_t>(r));
+        const auto out = measure_stationary(sc, beacon, cfg, rng);
+        errors.push_back(out.ok ? out.error_m : 8.0);
+    }
+    return locble::EmpiricalCdf(errors).mean();
+}
+
+TEST(EndToEnd, MeetingRoomAccuracyNearPaper) {
+    // Table 1: meeting room 0.8 +- 0.2 m. Allow slack for the simulated
+    // substrate but demand the same sub-2 m class of accuracy.
+    EXPECT_LT(mean_error(1, 10, 100), 2.0);
+}
+
+TEST(EndToEnd, OutdoorAccuracyNearPaper) {
+    // Table 1: parking lot 1.2 +- 0.5 m.
+    EXPECT_LT(mean_error(9, 10, 200), 2.4);
+}
+
+TEST(EndToEnd, EasySitesBeatHardSites) {
+    // Table 1's ordering: meeting room (LOS) clearly better than labs
+    // (heavy NLOS).
+    const double easy = mean_error(1, 12, 300);
+    const double hard = mean_error(7, 12, 300);
+    EXPECT_LT(easy, hard);
+}
+
+TEST(EndToEnd, AllScenariosProduceFixes) {
+    // Every environment yields a usable estimate for most seeds.
+    for (int idx = 1; idx <= 9; ++idx) {
+        const Scenario sc = scenario(idx);
+        BeaconPlacement beacon;
+        beacon.position = sc.default_beacon;
+        int ok = 0;
+        const int runs = 6;
+        for (int r = 0; r < runs; ++r) {
+            locble::Rng rng(400 + static_cast<std::uint64_t>(idx * 10 + r));
+            const MeasurementConfig cfg;
+            if (measure_stationary(sc, beacon, cfg, rng).ok) ++ok;
+        }
+        EXPECT_GE(ok, runs - 1) << sc.name;
+    }
+}
+
+TEST(EndToEnd, LocBleBeatsFixedModelRanging) {
+    // The Fig. 11(a) headline: LocBLE's ranging error is ~30% below the
+    // fixed-model (Dartle-style) baseline. Compare |distance| errors across
+    // the first six environments.
+    double locble_err = 0.0, baseline_err = 0.0;
+    int count = 0;
+    for (int idx = 1; idx <= 6; ++idx) {
+        const Scenario sc = scenario(idx);
+        BeaconPlacement beacon;
+        beacon.position = sc.default_beacon;
+        for (int r = 0; r < 5; ++r) {
+            locble::Rng rng(500 + static_cast<std::uint64_t>(idx * 10 + r));
+            MeasurementConfig cfg;
+            const auto out = measure_stationary(sc, beacon, cfg, rng);
+            if (!out.ok) continue;
+
+            // Compare range estimates at the walk's end, where the baseline
+            // takes its averaged reading.
+            const auto walk = default_l_walk(sc, cfg.lshape);
+            const double end_dist = locble::Vec2::distance(
+                walk.pose_at(walk.duration()).position, beacon.position);
+            const locble::Vec2 end_obs = site_to_observer(
+                walk.pose_at(walk.duration()).position, sc.observer_start,
+                sc.observer_heading);
+            const double locble_range =
+                locble::Vec2::distance(out.estimate_observer_frame, end_obs);
+            locble_err += std::abs(locble_range - end_dist);
+
+            // Baseline: fixed-model ranging on the same capture's RSS.
+            locble::Rng rng2(500 + static_cast<std::uint64_t>(idx * 10 + r));
+            const CaptureRunner runner(cfg.capture);
+            const auto cap = runner.run(sc.site, {beacon}, walk, rng2);
+            baseline::FixedModelRanger ranger;
+            const double base_est = ranger.estimate_distance(cap.rss.at(beacon.id));
+            baseline_err += std::abs(base_est - end_dist);
+            ++count;
+        }
+    }
+    ASSERT_GT(count, 20);
+    EXPECT_LT(locble_err, baseline_err);
+}
+
+}  // namespace
+}  // namespace locble::sim

@@ -1,0 +1,145 @@
+#include "locble/sim/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace locble::sim {
+namespace {
+
+TEST(FrameConversionTest, RoundTrip) {
+    const locble::Vec2 start{2.0, 3.0};
+    const double heading = 0.7;
+    const locble::Vec2 p{4.4, -1.2};
+    const locble::Vec2 site = observer_to_site(p, start, heading);
+    const locble::Vec2 back = site_to_observer(site, start, heading);
+    EXPECT_NEAR(back.x, p.x, 1e-12);
+    EXPECT_NEAR(back.y, p.y, 1e-12);
+}
+
+TEST(FrameConversionTest, KnownTransform) {
+    // Observer at (1,1) heading +y: observer-frame (2,0) is site (1,3).
+    const locble::Vec2 site =
+        observer_to_site({2.0, 0.0}, {1.0, 1.0}, std::numbers::pi / 2.0);
+    EXPECT_NEAR(site.x, 1.0, 1e-12);
+    EXPECT_NEAR(site.y, 3.0, 1e-12);
+}
+
+TEST(SharedEnvAwareTest, TrainedSingleton) {
+    const auto& env = shared_envaware();
+    EXPECT_TRUE(env.trained());
+    // Same object each call.
+    EXPECT_EQ(&env, &shared_envaware());
+}
+
+TEST(DefaultLWalkTest, AnchoredAtScenarioStart) {
+    const Scenario sc = scenario(1);
+    const auto walk = default_l_walk(sc);
+    EXPECT_EQ(walk.pose_at(0.0).position, sc.observer_start);
+    EXPECT_NEAR(walk.pose_at(0.0).heading, sc.observer_heading, 1e-9);
+    EXPECT_NEAR(walk.walked_distance(), sc.lshape.leg1_m + sc.lshape.leg2_m, 1e-9);
+}
+
+TEST(DefaultLWalkTest, WalkStaysInsideEverySite) {
+    for (const auto& sc : all_scenarios()) {
+        const auto walk = default_l_walk(sc);
+        for (double t = 0.0; t <= walk.duration(); t += 0.2) {
+            const auto p = walk.pose_at(t).position;
+            EXPECT_GE(p.x, 0.0) << sc.name;
+            EXPECT_LE(p.x, sc.site.width_m) << sc.name;
+            EXPECT_GE(p.y, 0.0) << sc.name;
+            EXPECT_LE(p.y, sc.site.height_m) << sc.name;
+        }
+    }
+}
+
+TEST(MeasureStationaryTest, ProducesEstimateInEasyScenario) {
+    const Scenario sc = scenario(1);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    MeasurementConfig cfg;
+    locble::Rng rng(1);
+    const MeasurementOutcome out = measure_stationary(sc, beacon, cfg, rng);
+    ASSERT_TRUE(out.ok);
+    EXPECT_LT(out.error_m, 3.5);
+    // Consistency between the two frames of the same estimate.
+    const locble::Vec2 recon = observer_to_site(
+        out.estimate_observer_frame, sc.observer_start, sc.observer_heading);
+    EXPECT_NEAR(recon.x, out.estimate_site.x, 1e-9);
+    EXPECT_NEAR(recon.y, out.estimate_site.y, 1e-9);
+}
+
+TEST(MeasureStationaryTest, ErrorDecomposition) {
+    const Scenario sc = scenario(1);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    MeasurementConfig cfg;
+    locble::Rng rng(2);
+    const MeasurementOutcome out = measure_stationary(sc, beacon, cfg, rng);
+    ASSERT_TRUE(out.ok);
+    // x/h errors bound the straight-line error.
+    const double recombined =
+        std::hypot(out.estimate_observer_frame.x - out.truth_observer_frame.x,
+                   out.estimate_observer_frame.y - out.truth_observer_frame.y);
+    EXPECT_NEAR(recombined, out.error_m, 1e-9);
+    EXPECT_LE(out.x_error_m, out.error_m + 1e-9);
+    EXPECT_LE(out.h_error_m, out.error_m + 1e-9);
+}
+
+TEST(MeasureMovingTest, RequiresTrajectory) {
+    const Scenario sc = scenario(9);
+    BeaconPlacement beacon;  // no motion set
+    MeasurementConfig cfg;
+    locble::Rng rng(3);
+    const auto walk = default_l_walk(sc, cfg.lshape);
+    EXPECT_THROW(measure_moving(sc, beacon, walk, cfg, rng), std::invalid_argument);
+}
+
+TEST(MeasureMovingTest, EstimatesInitialPosition) {
+    const Scenario sc = scenario(9);
+    BeaconPlacement beacon;
+    beacon.id = 2;
+    beacon.motion = imu::make_straight({9.0, 9.5}, -2.0, 3.0);
+    MeasurementConfig cfg;
+    locble::Rng rng(4);
+    const auto walk = default_l_walk(sc, cfg.lshape);
+    const MeasurementOutcome out = measure_moving(sc, beacon, walk, cfg, rng);
+    EXPECT_EQ(out.truth_site, locble::Vec2(9.0, 9.5));
+    if (out.ok) EXPECT_LT(out.error_m, 8.0);  // sanity bound, not accuracy
+}
+
+TEST(MeasureWithClusterTest, ReturnsBothEstimates) {
+    const Scenario sc = scenario(7);
+    BeaconPlacement target;
+    target.id = 1;
+    target.position = sc.default_beacon;
+    std::vector<BeaconPlacement> neighbors;
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        BeaconPlacement nb;
+        nb.id = 10 + i;
+        nb.position = sc.default_beacon + locble::Vec2{0.25 * (i + 1.0), 0.1};
+        neighbors.push_back(nb);
+    }
+    MeasurementConfig cfg;
+    locble::Rng rng(5);
+    const ClusteredOutcome out = measure_with_cluster(sc, target, neighbors, cfg, rng);
+    // The cluster always contains the target itself.
+    EXPECT_GE(out.cluster.members.size(), 1u);
+    if (out.single.ok) EXPECT_TRUE(out.calibrated.ok);
+}
+
+TEST(MeasureStationaryTest, DeterministicForSeed) {
+    const Scenario sc = scenario(1);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    MeasurementConfig cfg;
+    locble::Rng a(6), b(6);
+    const auto ra = measure_stationary(sc, beacon, cfg, a);
+    const auto rb = measure_stationary(sc, beacon, cfg, b);
+    ASSERT_EQ(ra.ok, rb.ok);
+    if (ra.ok) EXPECT_DOUBLE_EQ(ra.error_m, rb.error_m);
+}
+
+}  // namespace
+}  // namespace locble::sim

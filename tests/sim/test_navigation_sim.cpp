@@ -1,0 +1,60 @@
+#include "locble/sim/navigation_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace locble::sim {
+namespace {
+
+TEST(NavigationSimulatorTest, ConvergesInOffice) {
+    const Scenario sc = scenario(1);
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    NavigationSimulator sim;
+    locble::Rng rng(1);
+    const NavigationRun run =
+        sim.run(sc, beacon, sc.observer_start, sc.observer_heading, rng);
+    EXPECT_FALSE(run.rounds.empty());
+    // Paper Fig. 10(b): max overall error < 3 m in office navigation.
+    EXPECT_LT(run.final_distance_m, 4.0);
+}
+
+TEST(NavigationSimulatorTest, ApproachesDistantTarget) {
+    const Scenario sc = scenario(9);
+    BeaconPlacement beacon;
+    beacon.position = {12.0, 11.0};
+    NavigationSimulator sim;
+    locble::Rng rng(2);
+    const NavigationRun run = sim.run(sc, beacon, {2.0, 2.0}, 0.5, rng);
+    ASSERT_FALSE(run.rounds.empty());
+    // Started ~13.5 m out; navigation must close most of that gap.
+    EXPECT_LT(run.final_distance_m, run.rounds.front().distance_to_target_m / 2.0);
+}
+
+TEST(NavigationSimulatorTest, RoundsBounded) {
+    const Scenario sc = scenario(7);  // hard NLOS site
+    BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    NavigationSimulator::Config cfg;
+    cfg.max_rounds = 3;
+    NavigationSimulator sim(cfg);
+    locble::Rng rng(3);
+    const NavigationRun run =
+        sim.run(sc, beacon, sc.observer_start, sc.observer_heading, rng);
+    EXPECT_LE(run.rounds.size(), 3u);
+}
+
+TEST(NavigationSimulatorTest, RecordsErrorsPerRound) {
+    const Scenario sc = scenario(9);
+    BeaconPlacement beacon;
+    beacon.position = {12.0, 11.0};
+    NavigationSimulator sim;
+    locble::Rng rng(4);
+    const NavigationRun run = sim.run(sc, beacon, {2.0, 2.0}, 0.5, rng);
+    for (const auto& rec : run.rounds) {
+        EXPECT_GE(rec.distance_to_target_m, 0.0);
+        if (rec.measured) EXPECT_GE(rec.estimate_error_m, 0.0);
+    }
+}
+
+}  // namespace
+}  // namespace locble::sim
