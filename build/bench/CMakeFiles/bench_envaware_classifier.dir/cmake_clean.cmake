@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_envaware_classifier.dir/bench_envaware_classifier.cpp.o"
+  "CMakeFiles/bench_envaware_classifier.dir/bench_envaware_classifier.cpp.o.d"
+  "bench_envaware_classifier"
+  "bench_envaware_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_envaware_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

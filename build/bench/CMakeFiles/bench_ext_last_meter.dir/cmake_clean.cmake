@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_last_meter.dir/bench_ext_last_meter.cpp.o"
+  "CMakeFiles/bench_ext_last_meter.dir/bench_ext_last_meter.cpp.o.d"
+  "bench_ext_last_meter"
+  "bench_ext_last_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_last_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

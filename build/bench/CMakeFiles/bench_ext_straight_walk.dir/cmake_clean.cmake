@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_straight_walk.dir/bench_ext_straight_walk.cpp.o"
+  "CMakeFiles/bench_ext_straight_walk.dir/bench_ext_straight_walk.cpp.o.d"
+  "bench_ext_straight_walk"
+  "bench_ext_straight_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_straight_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

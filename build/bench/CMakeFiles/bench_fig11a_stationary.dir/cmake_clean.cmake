@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_stationary.dir/bench_fig11a_stationary.cpp.o"
+  "CMakeFiles/bench_fig11a_stationary.dir/bench_fig11a_stationary.cpp.o.d"
+  "bench_fig11a_stationary"
+  "bench_fig11a_stationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_stationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11b_moving_target.dir/bench_fig11b_moving_target.cpp.o"
+  "CMakeFiles/bench_fig11b_moving_target.dir/bench_fig11b_moving_target.cpp.o.d"
+  "bench_fig11b_moving_target"
+  "bench_fig11b_moving_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_moving_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

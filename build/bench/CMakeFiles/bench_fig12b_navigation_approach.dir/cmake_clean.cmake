@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_navigation_approach.dir/bench_fig12b_navigation_approach.cpp.o"
+  "CMakeFiles/bench_fig12b_navigation_approach.dir/bench_fig12b_navigation_approach.cpp.o.d"
+  "bench_fig12b_navigation_approach"
+  "bench_fig12b_navigation_approach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_navigation_approach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

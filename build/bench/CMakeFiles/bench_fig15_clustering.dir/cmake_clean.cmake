@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_clustering.dir/bench_fig15_clustering.cpp.o"
+  "CMakeFiles/bench_fig15_clustering.dir/bench_fig15_clustering.cpp.o.d"
+  "bench_fig15_clustering"
+  "bench_fig15_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_motion.dir/bench_fig8_motion.cpp.o"
+  "CMakeFiles/bench_fig8_motion.dir/bench_fig8_motion.cpp.o.d"
+  "bench_fig8_motion"
+  "bench_fig8_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_dtw.dir/bench_fig9_dtw.cpp.o"
+  "CMakeFiles/bench_fig9_dtw.dir/bench_fig9_dtw.cpp.o.d"
+  "bench_fig9_dtw"
+  "bench_fig9_dtw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

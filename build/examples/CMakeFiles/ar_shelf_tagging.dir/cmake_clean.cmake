@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_shelf_tagging.dir/ar_shelf_tagging.cpp.o"
+  "CMakeFiles/ar_shelf_tagging.dir/ar_shelf_tagging.cpp.o.d"
+  "ar_shelf_tagging"
+  "ar_shelf_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_shelf_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/find_lost_item.cpp" "examples/CMakeFiles/find_lost_item.dir/find_lost_item.cpp.o" "gcc" "examples/CMakeFiles/find_lost_item.dir/find_lost_item.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/sim/CMakeFiles/locble_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/baseline/CMakeFiles/locble_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/core/CMakeFiles/locble_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/motion/CMakeFiles/locble_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/imu/CMakeFiles/locble_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/channel/CMakeFiles/locble_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ble/CMakeFiles/locble_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ml/CMakeFiles/locble_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/dsp/CMakeFiles/locble_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_lost_item.dir/find_lost_item.cpp.o"
+  "CMakeFiles/find_lost_item.dir/find_lost_item.cpp.o.d"
+  "find_lost_item"
+  "find_lost_item.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_lost_item.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for find_lost_item.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_cli.dir/locble_cli.cpp.o"
+  "CMakeFiles/locble_cli.dir/locble_cli.cpp.o.d"
+  "locble_cli"
+  "locble_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("locble/common")
+subdirs("locble/dsp")
+subdirs("locble/ml")
+subdirs("locble/ble")
+subdirs("locble/channel")
+subdirs("locble/imu")
+subdirs("locble/motion")
+subdirs("locble/core")
+subdirs("locble/baseline")
+subdirs("locble/sim")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_baseline.dir/ranging.cpp.o"
+  "CMakeFiles/locble_baseline.dir/ranging.cpp.o.d"
+  "liblocble_baseline.a"
+  "liblocble_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/ble/advertiser.cpp" "src/locble/ble/CMakeFiles/locble_ble.dir/advertiser.cpp.o" "gcc" "src/locble/ble/CMakeFiles/locble_ble.dir/advertiser.cpp.o.d"
+  "/root/repo/src/locble/ble/frames.cpp" "src/locble/ble/CMakeFiles/locble_ble.dir/frames.cpp.o" "gcc" "src/locble/ble/CMakeFiles/locble_ble.dir/frames.cpp.o.d"
+  "/root/repo/src/locble/ble/pdu.cpp" "src/locble/ble/CMakeFiles/locble_ble.dir/pdu.cpp.o" "gcc" "src/locble/ble/CMakeFiles/locble_ble.dir/pdu.cpp.o.d"
+  "/root/repo/src/locble/ble/scanner.cpp" "src/locble/ble/CMakeFiles/locble_ble.dir/scanner.cpp.o" "gcc" "src/locble/ble/CMakeFiles/locble_ble.dir/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

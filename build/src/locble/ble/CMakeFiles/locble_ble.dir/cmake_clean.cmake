@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_ble.dir/advertiser.cpp.o"
+  "CMakeFiles/locble_ble.dir/advertiser.cpp.o.d"
+  "CMakeFiles/locble_ble.dir/frames.cpp.o"
+  "CMakeFiles/locble_ble.dir/frames.cpp.o.d"
+  "CMakeFiles/locble_ble.dir/pdu.cpp.o"
+  "CMakeFiles/locble_ble.dir/pdu.cpp.o.d"
+  "CMakeFiles/locble_ble.dir/scanner.cpp.o"
+  "CMakeFiles/locble_ble.dir/scanner.cpp.o.d"
+  "liblocble_ble.a"
+  "liblocble_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/channel/fading.cpp" "src/locble/channel/CMakeFiles/locble_channel.dir/fading.cpp.o" "gcc" "src/locble/channel/CMakeFiles/locble_channel.dir/fading.cpp.o.d"
+  "/root/repo/src/locble/channel/floorplan.cpp" "src/locble/channel/CMakeFiles/locble_channel.dir/floorplan.cpp.o" "gcc" "src/locble/channel/CMakeFiles/locble_channel.dir/floorplan.cpp.o.d"
+  "/root/repo/src/locble/channel/obstacles.cpp" "src/locble/channel/CMakeFiles/locble_channel.dir/obstacles.cpp.o" "gcc" "src/locble/channel/CMakeFiles/locble_channel.dir/obstacles.cpp.o.d"
+  "/root/repo/src/locble/channel/pathloss.cpp" "src/locble/channel/CMakeFiles/locble_channel.dir/pathloss.cpp.o" "gcc" "src/locble/channel/CMakeFiles/locble_channel.dir/pathloss.cpp.o.d"
+  "/root/repo/src/locble/channel/propagation.cpp" "src/locble/channel/CMakeFiles/locble_channel.dir/propagation.cpp.o" "gcc" "src/locble/channel/CMakeFiles/locble_channel.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ble/CMakeFiles/locble_ble.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_channel.dir/fading.cpp.o"
+  "CMakeFiles/locble_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/locble_channel.dir/floorplan.cpp.o"
+  "CMakeFiles/locble_channel.dir/floorplan.cpp.o.d"
+  "CMakeFiles/locble_channel.dir/obstacles.cpp.o"
+  "CMakeFiles/locble_channel.dir/obstacles.cpp.o.d"
+  "CMakeFiles/locble_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/locble_channel.dir/pathloss.cpp.o.d"
+  "CMakeFiles/locble_channel.dir/propagation.cpp.o"
+  "CMakeFiles/locble_channel.dir/propagation.cpp.o.d"
+  "liblocble_channel.a"
+  "liblocble_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

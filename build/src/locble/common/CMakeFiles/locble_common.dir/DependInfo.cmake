@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/common/cdf.cpp" "src/locble/common/CMakeFiles/locble_common.dir/cdf.cpp.o" "gcc" "src/locble/common/CMakeFiles/locble_common.dir/cdf.cpp.o.d"
+  "/root/repo/src/locble/common/csv.cpp" "src/locble/common/CMakeFiles/locble_common.dir/csv.cpp.o" "gcc" "src/locble/common/CMakeFiles/locble_common.dir/csv.cpp.o.d"
+  "/root/repo/src/locble/common/linalg.cpp" "src/locble/common/CMakeFiles/locble_common.dir/linalg.cpp.o" "gcc" "src/locble/common/CMakeFiles/locble_common.dir/linalg.cpp.o.d"
+  "/root/repo/src/locble/common/stats.cpp" "src/locble/common/CMakeFiles/locble_common.dir/stats.cpp.o" "gcc" "src/locble/common/CMakeFiles/locble_common.dir/stats.cpp.o.d"
+  "/root/repo/src/locble/common/table.cpp" "src/locble/common/CMakeFiles/locble_common.dir/table.cpp.o" "gcc" "src/locble/common/CMakeFiles/locble_common.dir/table.cpp.o.d"
+  "/root/repo/src/locble/common/timeseries.cpp" "src/locble/common/CMakeFiles/locble_common.dir/timeseries.cpp.o" "gcc" "src/locble/common/CMakeFiles/locble_common.dir/timeseries.cpp.o.d"
+  "/root/repo/src/locble/common/vec2.cpp" "src/locble/common/CMakeFiles/locble_common.dir/vec2.cpp.o" "gcc" "src/locble/common/CMakeFiles/locble_common.dir/vec2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_common.dir/cdf.cpp.o"
+  "CMakeFiles/locble_common.dir/cdf.cpp.o.d"
+  "CMakeFiles/locble_common.dir/csv.cpp.o"
+  "CMakeFiles/locble_common.dir/csv.cpp.o.d"
+  "CMakeFiles/locble_common.dir/linalg.cpp.o"
+  "CMakeFiles/locble_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/locble_common.dir/stats.cpp.o"
+  "CMakeFiles/locble_common.dir/stats.cpp.o.d"
+  "CMakeFiles/locble_common.dir/table.cpp.o"
+  "CMakeFiles/locble_common.dir/table.cpp.o.d"
+  "CMakeFiles/locble_common.dir/timeseries.cpp.o"
+  "CMakeFiles/locble_common.dir/timeseries.cpp.o.d"
+  "CMakeFiles/locble_common.dir/vec2.cpp.o"
+  "CMakeFiles/locble_common.dir/vec2.cpp.o.d"
+  "liblocble_common.a"
+  "liblocble_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

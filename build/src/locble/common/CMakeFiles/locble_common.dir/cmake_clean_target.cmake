@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblocble_common.a"
+)

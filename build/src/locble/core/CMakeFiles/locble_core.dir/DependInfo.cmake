@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/core/clustering.cpp" "src/locble/core/CMakeFiles/locble_core.dir/clustering.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/locble/core/dtw.cpp" "src/locble/core/CMakeFiles/locble_core.dir/dtw.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/dtw.cpp.o.d"
+  "/root/repo/src/locble/core/envaware.cpp" "src/locble/core/CMakeFiles/locble_core.dir/envaware.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/envaware.cpp.o.d"
+  "/root/repo/src/locble/core/features.cpp" "src/locble/core/CMakeFiles/locble_core.dir/features.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/features.cpp.o.d"
+  "/root/repo/src/locble/core/location_solver.cpp" "src/locble/core/CMakeFiles/locble_core.dir/location_solver.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/location_solver.cpp.o.d"
+  "/root/repo/src/locble/core/location_solver3.cpp" "src/locble/core/CMakeFiles/locble_core.dir/location_solver3.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/location_solver3.cpp.o.d"
+  "/root/repo/src/locble/core/navigation.cpp" "src/locble/core/CMakeFiles/locble_core.dir/navigation.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/navigation.cpp.o.d"
+  "/root/repo/src/locble/core/pipeline.cpp" "src/locble/core/CMakeFiles/locble_core.dir/pipeline.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/locble/core/proximity_assist.cpp" "src/locble/core/CMakeFiles/locble_core.dir/proximity_assist.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/proximity_assist.cpp.o.d"
+  "/root/repo/src/locble/core/straight_walk.cpp" "src/locble/core/CMakeFiles/locble_core.dir/straight_walk.cpp.o" "gcc" "src/locble/core/CMakeFiles/locble_core.dir/straight_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/dsp/CMakeFiles/locble_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ml/CMakeFiles/locble_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/channel/CMakeFiles/locble_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/motion/CMakeFiles/locble_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/baseline/CMakeFiles/locble_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ble/CMakeFiles/locble_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/imu/CMakeFiles/locble_imu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

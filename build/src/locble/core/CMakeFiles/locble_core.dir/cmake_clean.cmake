@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_core.dir/clustering.cpp.o"
+  "CMakeFiles/locble_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/locble_core.dir/dtw.cpp.o"
+  "CMakeFiles/locble_core.dir/dtw.cpp.o.d"
+  "CMakeFiles/locble_core.dir/envaware.cpp.o"
+  "CMakeFiles/locble_core.dir/envaware.cpp.o.d"
+  "CMakeFiles/locble_core.dir/features.cpp.o"
+  "CMakeFiles/locble_core.dir/features.cpp.o.d"
+  "CMakeFiles/locble_core.dir/location_solver.cpp.o"
+  "CMakeFiles/locble_core.dir/location_solver.cpp.o.d"
+  "CMakeFiles/locble_core.dir/location_solver3.cpp.o"
+  "CMakeFiles/locble_core.dir/location_solver3.cpp.o.d"
+  "CMakeFiles/locble_core.dir/navigation.cpp.o"
+  "CMakeFiles/locble_core.dir/navigation.cpp.o.d"
+  "CMakeFiles/locble_core.dir/pipeline.cpp.o"
+  "CMakeFiles/locble_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/locble_core.dir/proximity_assist.cpp.o"
+  "CMakeFiles/locble_core.dir/proximity_assist.cpp.o.d"
+  "CMakeFiles/locble_core.dir/straight_walk.cpp.o"
+  "CMakeFiles/locble_core.dir/straight_walk.cpp.o.d"
+  "liblocble_core.a"
+  "liblocble_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/dsp/anf.cpp" "src/locble/dsp/CMakeFiles/locble_dsp.dir/anf.cpp.o" "gcc" "src/locble/dsp/CMakeFiles/locble_dsp.dir/anf.cpp.o.d"
+  "/root/repo/src/locble/dsp/biquad.cpp" "src/locble/dsp/CMakeFiles/locble_dsp.dir/biquad.cpp.o" "gcc" "src/locble/dsp/CMakeFiles/locble_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/locble/dsp/butterworth.cpp" "src/locble/dsp/CMakeFiles/locble_dsp.dir/butterworth.cpp.o" "gcc" "src/locble/dsp/CMakeFiles/locble_dsp.dir/butterworth.cpp.o.d"
+  "/root/repo/src/locble/dsp/kalman.cpp" "src/locble/dsp/CMakeFiles/locble_dsp.dir/kalman.cpp.o" "gcc" "src/locble/dsp/CMakeFiles/locble_dsp.dir/kalman.cpp.o.d"
+  "/root/repo/src/locble/dsp/moving_average.cpp" "src/locble/dsp/CMakeFiles/locble_dsp.dir/moving_average.cpp.o" "gcc" "src/locble/dsp/CMakeFiles/locble_dsp.dir/moving_average.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_dsp.dir/anf.cpp.o"
+  "CMakeFiles/locble_dsp.dir/anf.cpp.o.d"
+  "CMakeFiles/locble_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/locble_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/locble_dsp.dir/butterworth.cpp.o"
+  "CMakeFiles/locble_dsp.dir/butterworth.cpp.o.d"
+  "CMakeFiles/locble_dsp.dir/kalman.cpp.o"
+  "CMakeFiles/locble_dsp.dir/kalman.cpp.o.d"
+  "CMakeFiles/locble_dsp.dir/moving_average.cpp.o"
+  "CMakeFiles/locble_dsp.dir/moving_average.cpp.o.d"
+  "liblocble_dsp.a"
+  "liblocble_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

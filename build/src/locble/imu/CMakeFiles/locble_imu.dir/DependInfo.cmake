@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/imu/imu_synth.cpp" "src/locble/imu/CMakeFiles/locble_imu.dir/imu_synth.cpp.o" "gcc" "src/locble/imu/CMakeFiles/locble_imu.dir/imu_synth.cpp.o.d"
+  "/root/repo/src/locble/imu/trajectory.cpp" "src/locble/imu/CMakeFiles/locble_imu.dir/trajectory.cpp.o" "gcc" "src/locble/imu/CMakeFiles/locble_imu.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_imu.dir/imu_synth.cpp.o"
+  "CMakeFiles/locble_imu.dir/imu_synth.cpp.o.d"
+  "CMakeFiles/locble_imu.dir/trajectory.cpp.o"
+  "CMakeFiles/locble_imu.dir/trajectory.cpp.o.d"
+  "liblocble_imu.a"
+  "liblocble_imu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

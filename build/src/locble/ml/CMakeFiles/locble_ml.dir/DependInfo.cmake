@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/ml/dataset.cpp" "src/locble/ml/CMakeFiles/locble_ml.dir/dataset.cpp.o" "gcc" "src/locble/ml/CMakeFiles/locble_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/locble/ml/decision_tree.cpp" "src/locble/ml/CMakeFiles/locble_ml.dir/decision_tree.cpp.o" "gcc" "src/locble/ml/CMakeFiles/locble_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/locble/ml/knn.cpp" "src/locble/ml/CMakeFiles/locble_ml.dir/knn.cpp.o" "gcc" "src/locble/ml/CMakeFiles/locble_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/locble/ml/metrics.cpp" "src/locble/ml/CMakeFiles/locble_ml.dir/metrics.cpp.o" "gcc" "src/locble/ml/CMakeFiles/locble_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/locble/ml/svm.cpp" "src/locble/ml/CMakeFiles/locble_ml.dir/svm.cpp.o" "gcc" "src/locble/ml/CMakeFiles/locble_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

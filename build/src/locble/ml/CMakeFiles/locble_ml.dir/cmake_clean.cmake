@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_ml.dir/dataset.cpp.o"
+  "CMakeFiles/locble_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/locble_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/locble_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/locble_ml.dir/knn.cpp.o"
+  "CMakeFiles/locble_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/locble_ml.dir/metrics.cpp.o"
+  "CMakeFiles/locble_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/locble_ml.dir/svm.cpp.o"
+  "CMakeFiles/locble_ml.dir/svm.cpp.o.d"
+  "liblocble_ml.a"
+  "liblocble_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

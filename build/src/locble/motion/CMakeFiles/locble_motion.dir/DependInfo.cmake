@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/motion/dead_reckoning.cpp" "src/locble/motion/CMakeFiles/locble_motion.dir/dead_reckoning.cpp.o" "gcc" "src/locble/motion/CMakeFiles/locble_motion.dir/dead_reckoning.cpp.o.d"
+  "/root/repo/src/locble/motion/heading_filter.cpp" "src/locble/motion/CMakeFiles/locble_motion.dir/heading_filter.cpp.o" "gcc" "src/locble/motion/CMakeFiles/locble_motion.dir/heading_filter.cpp.o.d"
+  "/root/repo/src/locble/motion/step_detector.cpp" "src/locble/motion/CMakeFiles/locble_motion.dir/step_detector.cpp.o" "gcc" "src/locble/motion/CMakeFiles/locble_motion.dir/step_detector.cpp.o.d"
+  "/root/repo/src/locble/motion/turn_detector.cpp" "src/locble/motion/CMakeFiles/locble_motion.dir/turn_detector.cpp.o" "gcc" "src/locble/motion/CMakeFiles/locble_motion.dir/turn_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/dsp/CMakeFiles/locble_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/imu/CMakeFiles/locble_imu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

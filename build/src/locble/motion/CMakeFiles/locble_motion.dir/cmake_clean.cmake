@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_motion.dir/dead_reckoning.cpp.o"
+  "CMakeFiles/locble_motion.dir/dead_reckoning.cpp.o.d"
+  "CMakeFiles/locble_motion.dir/heading_filter.cpp.o"
+  "CMakeFiles/locble_motion.dir/heading_filter.cpp.o.d"
+  "CMakeFiles/locble_motion.dir/step_detector.cpp.o"
+  "CMakeFiles/locble_motion.dir/step_detector.cpp.o.d"
+  "CMakeFiles/locble_motion.dir/turn_detector.cpp.o"
+  "CMakeFiles/locble_motion.dir/turn_detector.cpp.o.d"
+  "liblocble_motion.a"
+  "liblocble_motion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/locble/sim/capture.cpp" "src/locble/sim/CMakeFiles/locble_sim.dir/capture.cpp.o" "gcc" "src/locble/sim/CMakeFiles/locble_sim.dir/capture.cpp.o.d"
+  "/root/repo/src/locble/sim/harness.cpp" "src/locble/sim/CMakeFiles/locble_sim.dir/harness.cpp.o" "gcc" "src/locble/sim/CMakeFiles/locble_sim.dir/harness.cpp.o.d"
+  "/root/repo/src/locble/sim/heatmap.cpp" "src/locble/sim/CMakeFiles/locble_sim.dir/heatmap.cpp.o" "gcc" "src/locble/sim/CMakeFiles/locble_sim.dir/heatmap.cpp.o.d"
+  "/root/repo/src/locble/sim/navigation_sim.cpp" "src/locble/sim/CMakeFiles/locble_sim.dir/navigation_sim.cpp.o" "gcc" "src/locble/sim/CMakeFiles/locble_sim.dir/navigation_sim.cpp.o.d"
+  "/root/repo/src/locble/sim/scenarios.cpp" "src/locble/sim/CMakeFiles/locble_sim.dir/scenarios.cpp.o" "gcc" "src/locble/sim/CMakeFiles/locble_sim.dir/scenarios.cpp.o.d"
+  "/root/repo/src/locble/sim/trace_io.cpp" "src/locble/sim/CMakeFiles/locble_sim.dir/trace_io.cpp.o" "gcc" "src/locble/sim/CMakeFiles/locble_sim.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ble/CMakeFiles/locble_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/channel/CMakeFiles/locble_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/imu/CMakeFiles/locble_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/motion/CMakeFiles/locble_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/core/CMakeFiles/locble_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/baseline/CMakeFiles/locble_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/dsp/CMakeFiles/locble_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ml/CMakeFiles/locble_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

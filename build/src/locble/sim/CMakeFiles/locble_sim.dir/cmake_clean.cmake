@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locble_sim.dir/capture.cpp.o"
+  "CMakeFiles/locble_sim.dir/capture.cpp.o.d"
+  "CMakeFiles/locble_sim.dir/harness.cpp.o"
+  "CMakeFiles/locble_sim.dir/harness.cpp.o.d"
+  "CMakeFiles/locble_sim.dir/heatmap.cpp.o"
+  "CMakeFiles/locble_sim.dir/heatmap.cpp.o.d"
+  "CMakeFiles/locble_sim.dir/navigation_sim.cpp.o"
+  "CMakeFiles/locble_sim.dir/navigation_sim.cpp.o.d"
+  "CMakeFiles/locble_sim.dir/scenarios.cpp.o"
+  "CMakeFiles/locble_sim.dir/scenarios.cpp.o.d"
+  "CMakeFiles/locble_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/locble_sim.dir/trace_io.cpp.o.d"
+  "liblocble_sim.a"
+  "liblocble_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locble_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ble.dir/ble/test_advertiser.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/test_advertiser.cpp.o.d"
+  "CMakeFiles/test_ble.dir/ble/test_frames.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/test_frames.cpp.o.d"
+  "CMakeFiles/test_ble.dir/ble/test_pdu.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/test_pdu.cpp.o.d"
+  "CMakeFiles/test_ble.dir/ble/test_scanner.cpp.o"
+  "CMakeFiles/test_ble.dir/ble/test_scanner.cpp.o.d"
+  "test_ble"
+  "test_ble.pdb"
+  "test_ble[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel.dir/channel/test_fading.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_fading.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_floorplan.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_floorplan.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_obstacles.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_obstacles.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_pathloss.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_pathloss.cpp.o.d"
+  "CMakeFiles/test_channel.dir/channel/test_propagation.cpp.o"
+  "CMakeFiles/test_channel.dir/channel/test_propagation.cpp.o.d"
+  "test_channel"
+  "test_channel.pdb"
+  "test_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_cdf.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_cdf.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_csv.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_linalg.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_linalg.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_timeseries.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_timeseries.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_vec2.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_vec2.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_vec3.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_vec3.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

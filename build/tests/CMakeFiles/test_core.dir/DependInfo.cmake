@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_clustering.cpp" "tests/CMakeFiles/test_core.dir/core/test_clustering.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_clustering.cpp.o.d"
+  "/root/repo/tests/core/test_dtw.cpp" "tests/CMakeFiles/test_core.dir/core/test_dtw.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dtw.cpp.o.d"
+  "/root/repo/tests/core/test_envaware.cpp" "tests/CMakeFiles/test_core.dir/core/test_envaware.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_envaware.cpp.o.d"
+  "/root/repo/tests/core/test_features.cpp" "tests/CMakeFiles/test_core.dir/core/test_features.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_features.cpp.o.d"
+  "/root/repo/tests/core/test_location_solver.cpp" "tests/CMakeFiles/test_core.dir/core/test_location_solver.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_location_solver.cpp.o.d"
+  "/root/repo/tests/core/test_location_solver3.cpp" "tests/CMakeFiles/test_core.dir/core/test_location_solver3.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_location_solver3.cpp.o.d"
+  "/root/repo/tests/core/test_navigation.cpp" "tests/CMakeFiles/test_core.dir/core/test_navigation.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_navigation.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_pipeline_flags.cpp" "tests/CMakeFiles/test_core.dir/core/test_pipeline_flags.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pipeline_flags.cpp.o.d"
+  "/root/repo/tests/core/test_proximity_assist.cpp" "tests/CMakeFiles/test_core.dir/core/test_proximity_assist.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_proximity_assist.cpp.o.d"
+  "/root/repo/tests/core/test_straight_walk.cpp" "tests/CMakeFiles/test_core.dir/core/test_straight_walk.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_straight_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/locble/sim/CMakeFiles/locble_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/baseline/CMakeFiles/locble_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/core/CMakeFiles/locble_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/motion/CMakeFiles/locble_motion.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/imu/CMakeFiles/locble_imu.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/channel/CMakeFiles/locble_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ble/CMakeFiles/locble_ble.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/ml/CMakeFiles/locble_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/dsp/CMakeFiles/locble_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/locble/common/CMakeFiles/locble_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_clustering.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_clustering.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dtw.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dtw.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_envaware.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_envaware.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_features.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_features.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_location_solver.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_location_solver.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_location_solver3.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_location_solver3.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_navigation.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_navigation.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pipeline_flags.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pipeline_flags.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_proximity_assist.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_proximity_assist.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_straight_walk.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_straight_walk.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

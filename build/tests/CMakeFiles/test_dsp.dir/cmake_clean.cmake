@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_anf.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_anf.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_biquad.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_biquad.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_butterworth.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_butterworth.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_kalman.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_kalman.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_moving_average.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_moving_average.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

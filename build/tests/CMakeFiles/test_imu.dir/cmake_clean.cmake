@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_imu.dir/imu/test_imu_synth.cpp.o"
+  "CMakeFiles/test_imu.dir/imu/test_imu_synth.cpp.o.d"
+  "CMakeFiles/test_imu.dir/imu/test_trajectory.cpp.o"
+  "CMakeFiles/test_imu.dir/imu/test_trajectory.cpp.o.d"
+  "test_imu"
+  "test_imu.pdb"
+  "test_imu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_imu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_motion.dir/motion/test_dead_reckoning.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_dead_reckoning.cpp.o.d"
+  "CMakeFiles/test_motion.dir/motion/test_heading_filter.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_heading_filter.cpp.o.d"
+  "CMakeFiles/test_motion.dir/motion/test_step_detector.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_step_detector.cpp.o.d"
+  "CMakeFiles/test_motion.dir/motion/test_turn_detector.cpp.o"
+  "CMakeFiles/test_motion.dir/motion/test_turn_detector.cpp.o.d"
+  "test_motion"
+  "test_motion.pdb"
+  "test_motion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_motion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

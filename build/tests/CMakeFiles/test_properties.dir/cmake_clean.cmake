@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_properties_ble.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_properties_ble.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_properties_channel.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_properties_channel.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_properties_dsp.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_properties_dsp.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_properties_dtw.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_properties_dtw.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_properties_motion.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_properties_motion.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_properties_sim.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_properties_sim.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_properties_solver.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_properties_solver.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

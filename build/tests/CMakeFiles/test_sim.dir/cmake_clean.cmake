@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_capture.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_capture.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_end_to_end.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_harness.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_harness.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_heatmap.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_heatmap.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_navigation_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_navigation_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scenarios.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scenarios.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace_io.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace_io.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
