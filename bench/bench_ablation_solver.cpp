@@ -18,13 +18,14 @@ namespace {
 
 struct Variant {
     const char* name;
+    const char* key;
     bool wls;
     bool gn;
     bool averaging;
     bool gamma_prior;
 };
 
-double variant_error(const Variant& v, int runs_per_env) {
+double variant_error(bench::Runner& runner, const Variant& v, int runs_per_env) {
     std::vector<double> errors;
     for (int idx : {1, 4, 9}) {
         const sim::Scenario sc = sim::scenario(idx);
@@ -40,8 +41,11 @@ double variant_error(const Variant& v, int runs_per_env) {
             cfg.pipeline.gamma_prior_below_db = 30.0;
             cfg.pipeline.gamma_prior_above_db = 30.0;
         }
-        const auto errs =
-            bench::stationary_errors(sc, beacon, cfg, runs_per_env, 31000 + idx * 211);
+        // Same worlds for every variant: the sweep seed only depends on the
+        // environment, so rows differ by the estimator alone.
+        const auto errs = bench::stationary_errors(
+            runner, sc, beacon, cfg, runs_per_env,
+            runner.sweep_seed(static_cast<std::uint64_t>(idx)));
         errors.insert(errors.end(), errs.begin(), errs.end());
     }
     return EmpiricalCdf(errors).mean();
@@ -49,22 +53,29 @@ double variant_error(const Variant& v, int runs_per_env) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("ablation_solver", opt, 31000);
+
     bench::print_header("Ablation — estimator design choices",
                         "each row disables one DESIGN.md decision; the full "
                         "configuration should be best or tied");
 
     const Variant variants[] = {
-        {"full estimator (defaults)", true, true, false, true},
-        {"- WLS (plain Eq. 3 least squares)", false, true, false, true},
-        {"- Gauss-Newton refinement", true, false, false, true},
-        {"+ model averaging", true, true, true, true},
-        {"- Gamma prior (free Gamma)", true, true, false, false},
+        {"full estimator (defaults)", "full", true, true, false, true},
+        {"- WLS (plain Eq. 3 least squares)", "no_wls", false, true, false, true},
+        {"- Gauss-Newton refinement", "no_gn", true, false, false, true},
+        {"+ model averaging", "model_averaging", true, true, true, true},
+        {"- Gamma prior (free Gamma)", "no_gamma_prior", true, true, false, false},
     };
 
     TextTable table({"variant", "mean error over envs 1/4/9 (m)"});
-    const int runs = 20;
-    for (const auto& v : variants) table.add_row(v.name, {variant_error(v, runs)}, 2);
+    const int runs = runner.trials_or(20);
+    for (const auto& v : variants) {
+        const double err = variant_error(runner, v, runs);
+        table.add_row(v.name, {err}, 2);
+        runner.report().add_scalar(std::string(v.key) + "_mean_error_m", err);
+    }
     std::printf("%s\n", table.str().c_str());
-    return 0;
+    return runner.finish();
 }

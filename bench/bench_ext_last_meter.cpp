@@ -16,7 +16,8 @@ namespace {
 
 /// Close-range (<2.5 m) per-round estimate errors — the quantity the assist
 /// actually modifies.
-std::vector<double> close_round_errors(bool assist, int runs) {
+std::vector<double> close_round_errors(bench::Runner& runner, bool assist,
+                                       int runs, std::uint64_t sweep_seed) {
     sim::Scenario office = sim::scenario(1);
     office.site.width_m = 12.0;
     office.site.height_m = 10.0;
@@ -25,21 +26,24 @@ std::vector<double> close_round_errors(bool assist, int runs) {
     cfg.max_rounds = 7;
     const sim::NavigationSimulator nav(cfg);
 
+    const auto per_trial = runner.run(
+        runs, sweep_seed, [&](int, locble::Rng& rng) {
+            sim::BeaconPlacement beacon;
+            beacon.position = {rng.uniform(6.0, 11.0), rng.uniform(5.0, 9.0)};
+            std::vector<double> errors;
+            const auto run = nav.run(office, beacon, {1.0, 1.0}, 0.4, rng);
+            for (const auto& rec : run.rounds)
+                if (rec.measured && rec.distance_to_target_m < 2.5)
+                    errors.push_back(rec.estimate_error_m);
+            return errors;
+        });
     std::vector<double> errors;
-    locble::Rng placement(41000);
-    for (int r = 0; r < runs; ++r) {
-        sim::BeaconPlacement beacon;
-        beacon.position = {placement.uniform(6.0, 11.0), placement.uniform(5.0, 9.0)};
-        locble::Rng rng(42000 + r * 53);
-        const auto run = nav.run(office, beacon, {1.0, 1.0}, 0.4, rng);
-        for (const auto& rec : run.rounds)
-            if (rec.measured && rec.distance_to_target_m < 2.5)
-                errors.push_back(rec.estimate_error_m);
-    }
+    for (const auto& e : per_trial) errors.insert(errors.end(), e.begin(), e.end());
     return errors;
 }
 
-std::vector<double> navigation_finals(bool assist, int runs) {
+std::vector<double> navigation_finals(bench::Runner& runner, bool assist,
+                                      int runs, std::uint64_t sweep_seed) {
     sim::Scenario office = sim::scenario(1);
     office.site.width_m = 12.0;
     office.site.height_m = 10.0;
@@ -50,28 +54,32 @@ std::vector<double> navigation_finals(bool assist, int runs) {
     cfg.arrive_distance_m = 0.8;
     const sim::NavigationSimulator nav(cfg);
 
-    std::vector<double> finals;
-    locble::Rng placement(41000);
-    for (int r = 0; r < runs; ++r) {
+    return runner.run(runs, sweep_seed, [&](int, locble::Rng& rng) {
         sim::BeaconPlacement beacon;
-        beacon.position = {placement.uniform(6.0, 11.0), placement.uniform(5.0, 9.0)};
-        locble::Rng rng(42000 + r * 53);
-        finals.push_back(
-            nav.run(office, beacon, {1.0, 1.0}, 0.4, rng).final_distance_m);
-    }
-    return finals;
+        beacon.position = {rng.uniform(6.0, 11.0), rng.uniform(5.0, 9.0)};
+        return nav.run(office, beacon, {1.0, 1.0}, 0.4, rng).final_distance_m;
+    });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("ext_last_meter", opt, 41000);
+
     bench::print_header("Sec. 9.2 extension — last-metre proximity assist",
                         "proximity is accurate within 2 m; blending it in "
                         "should pull the final navigation error toward 1 m");
 
-    const int runs = 25;
-    const EmpiricalCdf without(navigation_finals(false, runs));
-    const EmpiricalCdf with(navigation_finals(true, runs));
+    // The same sweep seed with and without the assist: both variants replay
+    // identical worlds, isolating the assist's effect.
+    const int runs = runner.trials_or(25);
+    const auto finals_without =
+        navigation_finals(runner, false, runs, runner.sweep_seed(1));
+    const auto finals_with =
+        navigation_finals(runner, true, runs, runner.sweep_seed(1));
+    const EmpiricalCdf without(finals_without);
+    const EmpiricalCdf with(finals_with);
 
     std::printf("final distance to the beacon:\n%s\n",
                 format_cdf_table({{"navigation only", without},
@@ -79,8 +87,12 @@ int main() {
                                  {{0.5, 0.75, 0.9}})
                     .c_str());
 
-    const EmpiricalCdf close_without(close_round_errors(false, runs));
-    const EmpiricalCdf close_with(close_round_errors(true, runs));
+    const auto close_without_errs =
+        close_round_errors(runner, false, runs, runner.sweep_seed(2));
+    const auto close_with_errs =
+        close_round_errors(runner, true, runs, runner.sweep_seed(2));
+    const EmpiricalCdf close_without(close_without_errs);
+    const EmpiricalCdf close_with(close_with_errs);
     std::printf("close-range (<2.5 m) estimate error per round:\n%s\n",
                 format_cdf_table({{"navigation only", close_without},
                                   {"+ proximity assist", close_with}},
@@ -90,5 +102,9 @@ int main() {
                 close_without.median(), close_with.median());
     std::printf("(final distance is floored by the arrival radius; the assist "
                 "acts on the close-range estimate)\n");
-    return 0;
+    runner.report().add_summary("final_distance_no_assist_m", finals_without);
+    runner.report().add_summary("final_distance_with_assist_m", finals_with);
+    runner.report().add_summary("close_error_no_assist_m", close_without_errs);
+    runner.report().add_summary("close_error_with_assist_m", close_with_errs);
+    return runner.finish();
 }

@@ -12,7 +12,23 @@
 
 using namespace locble;
 
-int main() {
+namespace {
+
+struct Trial {
+    bool fit{false};
+    bool ambiguous{false};
+    bool bracketed{false};
+    bool resolved{false};
+    bool resolved_right{false};
+    double resolved_err{0.0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("ext_straight_walk", opt, 43000);
+
     bench::print_header("Sec. 9.2 extension — straight walk + late disambiguation",
                         "walk straight, keep both mirrors, resolve during "
                         "navigation's first turn");
@@ -21,49 +37,61 @@ int main() {
     sim::BeaconPlacement beacon;
     beacon.position = sc.default_beacon;
 
+    const int runs = runner.trials_or(30);
+    const auto trials =
+        runner.run(runs, runner.sweep_seed(1), [&](int, locble::Rng& rng) {
+            Trial out;
+            // First measurement: straight walk only.
+            sim::MeasurementConfig cfg;
+            cfg.lshape = sim::LShapeSpec{6.0, 0.0, 0.0};  // one 6 m leg, no turn
+            const auto first = sim::measure_stationary(sc, beacon, cfg, rng);
+            if (!first.ok) return out;
+            out.fit = true;
+            if (!first.detail.fit->ambiguous) return out;
+            out.ambiguous = true;
+
+            core::MirrorHypothesisTracker tracker(*first.detail.fit);
+            const auto hyps = tracker.hypotheses();
+            const locble::Vec2 truth = first.truth_observer_frame;
+            double best_gap = 1e300;
+            for (const auto& h : hyps)
+                best_gap = std::min(best_gap, locble::Vec2::distance(h, truth));
+            out.bracketed = best_gap < 3.0;
+
+            // Second measurement after turning 90 degrees at the walk's end
+            // (the "first turn in navigation"); the trial's rng continues,
+            // so the second capture sees a fresh world state.
+            sim::Scenario second_pose = sc;
+            const auto walk = sim::default_l_walk(sc, cfg.lshape);
+            second_pose.observer_start = walk.pose_at(walk.duration()).position;
+            second_pose.observer_heading = sc.observer_heading + 1.5707963;
+            sim::MeasurementConfig cfg2;
+            cfg2.lshape = sim::LShapeSpec{4.0, 0.0, 0.0};
+            const auto second = sim::measure_stationary(second_pose, beacon, cfg2, rng);
+            if (!second.ok) return out;
+            // Map the second fit into the first walk's observer frame.
+            const locble::Vec2 origin = sim::site_to_observer(
+                second_pose.observer_start, sc.observer_start, sc.observer_heading);
+            tracker.update_with_fit(*second.detail.fit, origin, 1.5707963);
+            if (!tracker.resolved()) return out;
+            out.resolved = true;
+            const double err = locble::Vec2::distance(tracker.best(), truth);
+            out.resolved_err = err;
+            const double mirror_err = locble::Vec2::distance(
+                {tracker.best().x, -tracker.best().y}, truth);
+            out.resolved_right = err <= mirror_err;
+            return out;
+        });
+
     int fits = 0, ambiguous = 0, bracketed = 0, resolved_right = 0, resolved = 0;
     double resolved_err = 0.0;
-    const int runs = 30;
-    for (int r = 0; r < runs; ++r) {
-        // First measurement: straight walk only.
-        sim::MeasurementConfig cfg;
-        cfg.lshape = sim::LShapeSpec{6.0, 0.0, 0.0};  // one 6 m leg, no turn
-        locble::Rng rng(43000 + r * 61);
-        const auto first = sim::measure_stationary(sc, beacon, cfg, rng);
-        if (!first.ok) continue;
-        ++fits;
-        if (!first.detail.fit->ambiguous) continue;
-        ++ambiguous;
-
-        core::MirrorHypothesisTracker tracker(*first.detail.fit);
-        const auto hyps = tracker.hypotheses();
-        const locble::Vec2 truth = first.truth_observer_frame;
-        double best_gap = 1e300;
-        for (const auto& h : hyps)
-            best_gap = std::min(best_gap, locble::Vec2::distance(h, truth));
-        if (best_gap < 3.0) ++bracketed;
-
-        // Second measurement after turning 90 degrees at the walk's end
-        // (the "first turn in navigation").
-        sim::Scenario second_pose = sc;
-        const auto walk = sim::default_l_walk(sc, cfg.lshape);
-        second_pose.observer_start = walk.pose_at(walk.duration()).position;
-        second_pose.observer_heading = sc.observer_heading + 1.5707963;
-        sim::MeasurementConfig cfg2;
-        cfg2.lshape = sim::LShapeSpec{4.0, 0.0, 0.0};
-        const auto second = sim::measure_stationary(second_pose, beacon, cfg2, rng);
-        if (!second.ok) continue;
-        // Map the second fit into the first walk's observer frame.
-        const locble::Vec2 origin = sim::site_to_observer(
-            second_pose.observer_start, sc.observer_start, sc.observer_heading);
-        tracker.update_with_fit(*second.detail.fit, origin, 1.5707963);
-        if (!tracker.resolved()) continue;
-        ++resolved;
-        const double err = locble::Vec2::distance(tracker.best(), truth);
-        resolved_err += err;
-        const double mirror_err = locble::Vec2::distance(
-            {tracker.best().x, -tracker.best().y}, truth);
-        if (err <= mirror_err) ++resolved_right;
+    for (const auto& t : trials) {
+        fits += t.fit;
+        ambiguous += t.ambiguous;
+        bracketed += t.bracketed;
+        resolved += t.resolved;
+        resolved_right += t.resolved_right;
+        resolved_err += t.resolved ? t.resolved_err : 0.0;
     }
 
     TextTable table({"stage", "count / value"});
@@ -77,5 +105,12 @@ int main() {
         table.add_row({"mean error after resolution",
                        fmt(resolved_err / resolved, 2) + " m"});
     std::printf("%s\n", table.str().c_str());
-    return 0;
+    runner.report().add_scalar("fix_rate", static_cast<double>(fits) / runs);
+    runner.report().add_scalar("ambiguous_count", ambiguous);
+    runner.report().add_scalar("bracketed_count", bracketed);
+    runner.report().add_scalar("resolved_count", resolved);
+    runner.report().add_scalar("resolved_right_count", resolved_right);
+    if (resolved)
+        runner.report().add_scalar("mean_resolved_error_m", resolved_err / resolved);
+    return runner.finish();
 }

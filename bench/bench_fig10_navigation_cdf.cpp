@@ -3,6 +3,7 @@
 // the navigation destination to the true beacon over 20 runs: median 1.5 m,
 // p75 2 m, max < 3 m.
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -11,33 +12,36 @@
 
 using namespace locble;
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig10_navigation_cdf", opt, 2017);
+
     bench::print_header("Fig. 10(b) — navigation overall error CDF",
                         "median 1.5 m, p75 2 m, max < 3 m over 20 runs, "
                         "target 4-12 m away");
 
     const sim::Scenario sc = sim::scenario(1);  // office-like room
-    const sim::NavigationSimulator sim;
+    const sim::NavigationSimulator nav_sim;
 
-    std::vector<double> final_errors;
-    locble::Rng placement_rng(2017);
-    for (int run = 0; run < 20; ++run) {
-        // Random beacon placement 4-12 m from the start, clamped into a
-        // larger office by scaling the meeting-room site.
-        sim::Scenario big = sc;
-        big.site.width_m = 14.0;
-        big.site.height_m = 12.0;
-        sim::BeaconPlacement beacon;
-        const double d = placement_rng.uniform(4.0, 12.0);
-        const double ang = placement_rng.uniform(0.1, 1.4);
-        beacon.position = {1.0 + d * std::cos(ang), 1.0 + d * std::sin(ang)};
-        beacon.position.x = std::min(beacon.position.x, big.site.width_m - 0.5);
-        beacon.position.y = std::min(beacon.position.y, big.site.height_m - 0.5);
+    const int runs = runner.trials_or(20);
+    const auto final_errors =
+        runner.run(runs, runner.sweep_seed(1), [&](int, locble::Rng& rng) {
+            // Random beacon placement 4-12 m from the start, clamped into a
+            // larger office by scaling the meeting-room site. The placement
+            // comes from the head of the trial's own stream, keeping each
+            // run fully self-seeded.
+            sim::Scenario big = sc;
+            big.site.width_m = 14.0;
+            big.site.height_m = 12.0;
+            sim::BeaconPlacement beacon;
+            const double d = rng.uniform(4.0, 12.0);
+            const double ang = rng.uniform(0.1, 1.4);
+            beacon.position = {1.0 + d * std::cos(ang), 1.0 + d * std::sin(ang)};
+            beacon.position.x = std::min(beacon.position.x, big.site.width_m - 0.5);
+            beacon.position.y = std::min(beacon.position.y, big.site.height_m - 0.5);
 
-        locble::Rng rng(300 + static_cast<std::uint64_t>(run) * 37);
-        const auto result = sim.run(big, beacon, {1.0, 1.0}, 0.3, rng);
-        final_errors.push_back(result.final_distance_m);
-    }
+            return nav_sim.run(big, beacon, {1.0, 1.0}, 0.3, rng).final_distance_m;
+        });
 
     const EmpiricalCdf cdf(final_errors);
     std::printf("%s\n",
@@ -46,5 +50,6 @@ int main() {
     std::printf("median %.2f m (paper 1.5), p75 %.2f m (paper 2.0), max %.2f m "
                 "(paper < 3)\n",
                 cdf.median(), cdf.percentile(0.75), cdf.max());
-    return 0;
+    runner.report().add_summary("final_error_m", final_errors);
+    return runner.finish();
 }

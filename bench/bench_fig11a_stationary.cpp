@@ -14,51 +14,81 @@
 
 using namespace locble;
 
-int main() {
+namespace {
+
+struct Trial {
+    bool ok{false};
+    double x_err{0.0}, h_err{0.0}, abs_err{0.0}, dartle_err{0.0};
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig11a_stationary", opt, 11000);
+
     bench::print_header("Fig. 11(a) — stationary target, envs #1-#6",
                         "x/h/absolute errors; LocBLE ~30% better than the "
                         "Dartle ranging app");
 
     TextTable table({"env", "x err (m)", "h err (m)", "LocBLE abs (m)",
                      "Dartle range err (m)"});
-    const int runs = 25;
+    const int runs = runner.trials_or(25);
     double locble_total = 0.0, dartle_total = 0.0;
     for (int idx = 1; idx <= 6; ++idx) {
         const sim::Scenario sc = sim::scenario(idx);
         sim::BeaconPlacement beacon;
         beacon.position = sc.default_beacon;
         const sim::MeasurementConfig cfg;
+        const std::uint64_t sweep = runner.sweep_seed(static_cast<std::uint64_t>(idx));
 
-        double x_err = 0.0, h_err = 0.0, abs_err = 0.0, dartle_err = 0.0;
-        int n = 0;
-        for (int r = 0; r < runs; ++r) {
-            locble::Rng rng(11000 + idx * 97 + r * 13);
-            const auto out = sim::measure_stationary(sc, beacon, cfg, rng);
-            if (!out.ok) continue;
-            x_err += out.x_error_m;
-            h_err += out.h_error_m;
+        const auto trials = runner.run(runs, sweep, [&](int t, locble::Rng& rng) {
+            Trial out;
+            const auto m = sim::measure_stationary(sc, beacon, cfg, rng);
+            if (!m.ok) return out;
+            out.ok = true;
+            out.x_err = m.x_error_m;
+            out.h_err = m.h_error_m;
             // Range error at the measurement start — "how far is my item
             // from here" is the question both apps answer before the user
             // moves toward it.
-            const double true_range = out.truth_observer_frame.norm();
-            abs_err += std::abs(out.estimate_observer_frame.norm() - true_range);
+            const double true_range = m.truth_observer_frame.norm();
+            out.abs_err = std::abs(m.estimate_observer_frame.norm() - true_range);
 
             // Baseline on an identical capture: Dartle averages the first
-            // samples of the scan at the same starting position.
-            locble::Rng rng2(11000 + idx * 97 + r * 13);
+            // samples of the scan at the same starting position. The
+            // capture world is replayed exactly by reopening the trial's
+            // stream (pure function of the sweep seed and trial index).
+            locble::Rng rng2 =
+                locble::Rng::for_stream(sweep, static_cast<std::uint64_t>(t));
             const auto walk = sim::default_l_walk(sc);
             const auto cap =
                 sim::CaptureRunner(cfg.capture).run(sc.site, {beacon}, walk, rng2);
             auto rss = cap.rss.at(beacon.id);
             const auto head = slice(rss, 0.0, 1.5);  // first ~1.5 s standing
             const baseline::FixedModelRanger ranger;
-            dartle_err += std::abs(
+            out.dartle_err = std::abs(
                 ranger.estimate_distance(head.empty() ? rss : head) - true_range);
+            return out;
+        });
+
+        double x_err = 0.0, h_err = 0.0, abs_err = 0.0, dartle_err = 0.0;
+        int n = 0;
+        for (const auto& t : trials) {
+            if (!t.ok) continue;
+            x_err += t.x_err;
+            h_err += t.h_err;
+            abs_err += t.abs_err;
+            dartle_err += t.dartle_err;
             ++n;
         }
         if (n == 0) continue;
         table.add_row("#" + std::to_string(idx),
                       {x_err / n, h_err / n, abs_err / n, dartle_err / n}, 2);
+        runner.report().add_scalar("env" + std::to_string(idx) + "_locble_abs_m",
+                                   abs_err / n);
+        runner.report().add_scalar("env" + std::to_string(idx) + "_dartle_abs_m",
+                                   dartle_err / n);
         locble_total += abs_err / n;
         dartle_total += dartle_err / n;
     }
@@ -67,5 +97,9 @@ int main() {
                 "(paper: ~30%% less)\n",
                 locble_total / 6.0, dartle_total / 6.0,
                 100.0 * (1.0 - locble_total / dartle_total));
-    return 0;
+    runner.report().add_scalar("locble_mean_abs_m", locble_total / 6.0);
+    runner.report().add_scalar("dartle_mean_abs_m", dartle_total / 6.0);
+    runner.report().add_scalar("improvement_vs_dartle",
+                               1.0 - locble_total / dartle_total);
+    return runner.finish();
 }

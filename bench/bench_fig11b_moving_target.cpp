@@ -13,42 +13,47 @@ using namespace locble;
 
 namespace {
 
-std::vector<double> moving_errors(int scenario_index, double min_d, double max_d,
-                                  int runs, std::uint64_t seed_base) {
+std::vector<double> moving_errors(bench::Runner& runner, int scenario_index,
+                                  double min_d, double max_d, int runs,
+                                  std::uint64_t sweep_seed) {
     const sim::Scenario sc = sim::scenario(scenario_index);
-    std::vector<double> errors;
-    locble::Rng placement(seed_base);
-    for (int r = 0; r < runs; ++r) {
+    return runner.run(runs, sweep_seed, [&, min_d, max_d](int, locble::Rng& rng) {
         // Target starts min_d..max_d away from the observer start and walks
-        // a random two-leg path; observer does the standard L.
-        const double d = placement.uniform(min_d, max_d);
-        const double ang = placement.uniform(0.2, 1.2);
+        // a random two-leg path; observer does the standard L. Placement
+        // and walk shape are drawn from the head of the trial's stream.
+        const double d = rng.uniform(min_d, max_d);
+        const double ang = rng.uniform(0.2, 1.2);
         sim::BeaconPlacement target;
         target.id = 2;
         locble::Vec2 t0 = sc.observer_start + unit_from_angle(ang) * d;
         t0.x = std::clamp(t0.x, 0.5, sc.site.width_m - 0.5);
         t0.y = std::clamp(t0.y, 0.5, sc.site.height_m - 0.5);
-        locble::Rng walk_rng(seed_base + 31 * r + 1);
-        const double heading = walk_rng.uniform(-3.1, 3.1);
+        const double heading = rng.uniform(-3.1, 3.1);
         target.motion = imu::make_l_shape(t0, heading, 2.0, 1.5,
-                                          walk_rng.chance(0.5) ? 1.2 : -1.2);
+                                          rng.chance(0.5) ? 1.2 : -1.2);
         sim::MeasurementConfig cfg;
-        locble::Rng rng(seed_base + 97 * r + 7);
         const auto walk = sim::default_l_walk(sc);
         const auto out = sim::measure_moving(sc, target, walk, cfg, rng);
-        errors.push_back(out.ok ? out.error_m : max_d);
-    }
-    return errors;
+        return out.ok ? out.error_m : max_d;
+    });
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig11b_moving_target", opt, 13000);
+
     bench::print_header("Fig. 11(b) — moving target error CDF",
                         "accuracy < 2.5 m for > 50% of runs (Sec. 7.4.2)");
 
-    const EmpiricalCdf test1(moving_errors(9, 3.0, 9.0, 40, 13000));
-    const EmpiricalCdf test2(moving_errors(8, 3.0, 11.0, 40, 14000));
+    const int runs = runner.trials_or(40);
+    const auto errs1 =
+        moving_errors(runner, 9, 3.0, 9.0, runs, runner.sweep_seed(1));
+    const auto errs2 =
+        moving_errors(runner, 8, 3.0, 11.0, runs, runner.sweep_seed(2));
+    const EmpiricalCdf test1(errs1);
+    const EmpiricalCdf test2(errs2);
 
     std::printf("%s\n", format_cdf_table({{"Test 1 (env #9)", test1},
                                           {"Test 2 (env #8)", test2}},
@@ -56,5 +61,7 @@ int main() {
                             .c_str());
     std::printf("medians: %.2f / %.2f m (paper: < 2.5 m at the median)\n",
                 test1.median(), test2.median());
-    return 0;
+    runner.report().add_summary("test1_env9_error_m", errs1);
+    runner.report().add_summary("test2_env8_error_m", errs2);
+    return runner.finish();
 }

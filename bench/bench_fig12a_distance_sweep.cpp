@@ -9,7 +9,10 @@
 
 using namespace locble;
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig12a_distance_sweep", opt, 15000);
+
     bench::print_header("Fig. 12(a) — error vs target distance (outdoor)",
                         "~1 m within 5.6 m, < 3 m within 11.2 m, degrades "
                         "past 14 m");
@@ -22,22 +25,25 @@ int main() {
     sc.observer_heading = 0.3;
 
     TextTable table({"distance (m)", "mean error (m)"});
-    const int repeats = 8;
+    const int repeats = runner.trials_or(8);
     for (int point = 1; point <= 6; ++point) {
         const double d = 2.8 * point;  // 2.8 .. 16.8 m
         sim::BeaconPlacement beacon;
         beacon.position = sc.observer_start + unit_from_angle(0.9) * d;
         const sim::MeasurementConfig cfg;
+        const auto errs = runner.run(
+            repeats, runner.sweep_seed(static_cast<std::uint64_t>(point)),
+            [&](int, locble::Rng& rng) {
+                const auto out = sim::measure_stationary(sc, beacon, cfg, rng);
+                return out.ok ? out.error_m : d;
+            });
         double err = 0.0;
-        for (int r = 0; r < repeats; ++r) {
-            locble::Rng rng(15000 + point * 131 + r * 17);
-            const auto out = sim::measure_stationary(sc, beacon, cfg, rng);
-            err += out.ok ? out.error_m : d;
-        }
+        for (double e : errs) err += e;
         table.add_row(fmt(d, 1), {err / repeats}, 2);
+        runner.report().add_scalar("error_at_" + fmt(d, 1) + "m", err / repeats);
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("shape check: error grows with distance; log-distance decay "
                 "flattens past ~14 m so ranging information thins out\n");
-    return 0;
+    return runner.finish();
 }

@@ -12,7 +12,10 @@
 
 using namespace locble;
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig12b_navigation_approach", opt, 16000);
+
     bench::print_header("Fig. 12(b) — accuracy while approaching",
                         "error ~5 m at 17 m falls to ~1 m at 3 m");
 
@@ -27,27 +30,39 @@ int main() {
     ncfg.max_rounds = 8;
     const sim::NavigationSimulator nav(ncfg);
 
+    // Each trial returns its per-round (distance, error) records; the
+    // bucketed reduction happens serially afterwards.
+    const int runs = runner.trials_or(18);
+    const auto all_rounds = runner.run(
+        runs, runner.sweep_seed(1), [&](int, locble::Rng& rng) {
+            std::vector<std::pair<double, double>> rounds;  // (distance, error)
+            const auto result = nav.run(sc, beacon, {2.0, 2.0}, 0.6, rng);
+            for (const auto& rec : result.rounds)
+                if (rec.measured)
+                    rounds.emplace_back(rec.distance_to_target_m,
+                                        rec.estimate_error_m);
+            return rounds;
+        });
+
     // Bucket measurement errors by the true distance when measuring.
     std::map<int, std::pair<double, int>> buckets;  // bucket -> (sum, n)
-    for (int run = 0; run < 18; ++run) {
-        locble::Rng rng(16000 + run * 71);
-        const auto result = nav.run(sc, beacon, {2.0, 2.0}, 0.6, rng);
-        for (const auto& rec : result.rounds) {
-            if (!rec.measured) continue;
-            const int bucket = static_cast<int>(rec.distance_to_target_m / 3.0);
-            buckets[bucket].first += rec.estimate_error_m;
+    for (const auto& rounds : all_rounds)
+        for (const auto& [dist, err] : rounds) {
+            const int bucket = static_cast<int>(dist / 3.0);
+            buckets[bucket].first += err;
             buckets[bucket].second += 1;
         }
-    }
 
     TextTable table({"distance band (m)", "mean estimate error (m)", "samples"});
     for (auto it = buckets.rbegin(); it != buckets.rend(); ++it) {
         const auto [sum, n] = it->second;
         table.add_row({fmt(it->first * 3.0, 0) + "-" + fmt(it->first * 3.0 + 3.0, 0),
                        fmt(sum / n, 2), std::to_string(n)});
+        runner.report().add_scalar(
+            "error_band_" + fmt(it->first * 3.0, 0) + "m", sum / n);
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("shape check: error shrinks monotonically as the observer "
                 "approaches (Fig. 12(b))\n");
-    return 0;
+    return runner.finish();
 }

@@ -12,15 +12,18 @@ using namespace locble;
 
 namespace {
 
-std::vector<double> errors_at_rate(double rate_hz, int runs_per_env) {
+std::vector<double> errors_at_rate(bench::Runner& runner, double rate_hz,
+                                   int runs_per_env) {
     std::vector<double> errors;
     for (int idx = 2; idx <= 4; ++idx) {
         const sim::Scenario sc = sim::scenario(idx);
         sim::BeaconPlacement beacon;
         beacon.position = sc.default_beacon;
-        sim::MeasurementConfig cfg;
-        for (int r = 0; r < runs_per_env; ++r) {
-            locble::Rng rng(17000 + idx * 101 + r * 11);
+        const sim::MeasurementConfig cfg;
+        // Same worlds at every rate: the sweep seed depends on the
+        // environment only; the rate enters through decimation alone.
+        const auto sweep = runner.sweep_seed(static_cast<std::uint64_t>(idx));
+        const auto errs = runner.run(runs_per_env, sweep, [&](int, locble::Rng& rng) {
             // Capture at the native ~9 Hz, then decimate to the target rate
             // exactly as the paper does ("inserting an idle delay between
             // two consecutive scans").
@@ -36,33 +39,36 @@ std::vector<double> errors_at_rate(double rate_hz, int runs_per_env) {
             pcfg.gamma_prior_dbm = beacon.profile.measured_power_dbm;
             const core::LocBle pipeline(pcfg, sim::shared_envaware());
             const auto result = pipeline.locate(rss, motion);
-            if (result.fit) {
-                const auto est = sim::observer_to_site(
-                    result.fit->location, sc.observer_start, sc.observer_heading);
-                errors.push_back(locble::Vec2::distance(est, beacon.position));
-            } else {
-                errors.push_back(8.0);
-            }
-        }
+            if (!result.fit) return 8.0;
+            const auto est = sim::observer_to_site(
+                result.fit->location, sc.observer_start, sc.observer_heading);
+            return locble::Vec2::distance(est, beacon.position);
+        });
+        errors.insert(errors.end(), errs.begin(), errs.end());
     }
     return errors;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig13a_sampling_rate", opt, 17000);
+
     bench::print_header("Fig. 13(a) — sampling frequency sweep",
                         "medians stable from 9 to 5.5 Hz; worst case degrades "
                         "at lower rates");
 
-    const int runs = 15;
+    const int runs = runner.trials_or(15);
     std::vector<std::pair<std::string, EmpiricalCdf>> curves;
-    for (double rate : {9.0, 8.0, 6.5, 5.5})
-        curves.emplace_back(fmt(rate, 1) + " Hz",
-                            EmpiricalCdf(errors_at_rate(rate, runs)));
+    for (double rate : {9.0, 8.0, 6.5, 5.5}) {
+        const auto errors = errors_at_rate(runner, rate, runs);
+        curves.emplace_back(fmt(rate, 1) + " Hz", EmpiricalCdf(errors));
+        runner.report().add_summary("rate_" + fmt(rate, 1) + "hz_error_m", errors);
+    }
 
     std::printf("%s\n", format_cdf_table(curves, {{0.5, 0.75, 0.9}}).c_str());
     std::printf("shape check: p50 varies little across rates; p90 grows as "
                 "the rate falls\n");
-    return 0;
+    return runner.finish();
 }

@@ -12,15 +12,18 @@ using namespace locble;
 
 namespace {
 
-std::vector<double> errors_at_fraction(double fraction, int runs_per_env) {
+std::vector<double> errors_at_fraction(bench::Runner& runner, double fraction,
+                                       int runs_per_env) {
     std::vector<double> errors;
     for (int idx = 2; idx <= 4; ++idx) {
         const sim::Scenario sc = sim::scenario(idx);
         sim::BeaconPlacement beacon;
         beacon.position = sc.default_beacon;
-        sim::MeasurementConfig cfg;
-        for (int r = 0; r < runs_per_env; ++r) {
-            locble::Rng rng(18000 + idx * 103 + r * 13);
+        const sim::MeasurementConfig cfg;
+        // Same worlds at every fraction: seed depends on the environment
+        // only; the fraction enters through truncation alone.
+        const auto sweep = runner.sweep_seed(static_cast<std::uint64_t>(idx));
+        const auto errs = runner.run(runs_per_env, sweep, [&](int, locble::Rng& rng) {
             const auto walk = sim::default_l_walk(sc);
             const auto cap =
                 sim::CaptureRunner(cfg.capture).run(sc.site, {beacon}, walk, rng);
@@ -35,33 +38,37 @@ std::vector<double> errors_at_fraction(double fraction, int runs_per_env) {
             pcfg.gamma_prior_dbm = beacon.profile.measured_power_dbm;
             const core::LocBle pipeline(pcfg, sim::shared_envaware());
             const auto result = pipeline.locate(rss, motion);
-            if (result.fit) {
-                const auto est = sim::observer_to_site(
-                    result.fit->location, sc.observer_start, sc.observer_heading);
-                errors.push_back(locble::Vec2::distance(est, beacon.position));
-            } else {
-                errors.push_back(8.0);
-            }
-        }
+            if (!result.fit) return 8.0;
+            const auto est = sim::observer_to_site(
+                result.fit->location, sc.observer_start, sc.observer_heading);
+            return locble::Vec2::distance(est, beacon.position);
+        });
+        errors.insert(errors.end(), errs.begin(), errs.end());
     }
     return errors;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig13b_walk_length", opt, 18000);
+
     bench::print_header("Fig. 13(b) — data length sweep",
                         "stable at >= 80% of the walk (~3 m); worse at 70%; "
                         "much worse at 50%");
 
-    const int runs = 15;
+    const int runs = runner.trials_or(15);
     std::vector<std::pair<std::string, EmpiricalCdf>> curves;
-    for (double f : {1.0, 0.8, 0.7, 0.5})
-        curves.emplace_back(fmt(100.0 * f, 0) + "%",
-                            EmpiricalCdf(errors_at_fraction(f, runs)));
+    for (double f : {1.0, 0.8, 0.7, 0.5}) {
+        const auto errors = errors_at_fraction(runner, f, runs);
+        curves.emplace_back(fmt(100.0 * f, 0) + "%", EmpiricalCdf(errors));
+        runner.report().add_summary("fraction_" + fmt(100.0 * f, 0) + "_error_m",
+                                    errors);
+    }
 
     std::printf("%s\n", format_cdf_table(curves, {{0.5, 0.75, 0.9}}).c_str());
     std::printf("shape check: 100%% ~ 80%% << 70%% << 50%% (the truncated walk "
                 "loses the second leg and with it the lateral geometry)\n");
-    return 0;
+    return runner.finish();
 }

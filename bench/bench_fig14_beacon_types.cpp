@@ -9,7 +9,10 @@
 
 using namespace locble;
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig14_beacon_types", opt, 19000);
+
     bench::print_header("Fig. 14 — beacon type comparison (env #2)",
                         "dedicated beacons slightly better than smart-device "
                         "beacons; LocBLE does not depend on the device");
@@ -19,21 +22,24 @@ int main() {
         ble::ios_device_profile(), ble::radbeacon_profile(), ble::estimote_profile()};
 
     TextTable table({"beacon", "mean error (m)"});
-    const int runs = 30;
+    const int runs = runner.trials_or(30);
+    // One sweep seed for all profiles: every beacon type is measured in the
+    // same sequence of simulated worlds, like the paper's shared testbed.
+    const std::uint64_t sweep = runner.sweep_seed(1);
     std::vector<double> means;
     for (const auto& profile : profiles) {
         sim::BeaconPlacement beacon;
         beacon.position = sc.default_beacon;
         beacon.profile = profile;
         const sim::MeasurementConfig cfg;
-        const auto errors =
-            bench::stationary_errors(sc, beacon, cfg, runs, 19000);
+        const auto errors = bench::stationary_errors(runner, sc, beacon, cfg, runs, sweep);
         const EmpiricalCdf cdf(errors);
         table.add_row(profile.name, {cdf.mean()}, 2);
+        runner.report().add_summary(std::string(profile.name) + "_error_m", errors);
         means.push_back(cdf.mean());
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("shape check: all three within the same accuracy class; the "
                 "noisier smart-device TX chain trails slightly\n");
-    return 0;
+    return runner.finish();
 }

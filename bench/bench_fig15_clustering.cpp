@@ -13,27 +13,31 @@ using namespace locble;
 
 namespace {
 
-double clustered_error(const sim::Scenario& sc, int num_beacons, int runs,
-                       std::uint64_t seed_base) {
+double clustered_error(bench::Runner& runner, const sim::Scenario& sc,
+                       int num_beacons, int runs, std::uint64_t sweep_seed) {
+    sim::BeaconPlacement target;
+    target.id = 1;
+    target.position = sc.default_beacon;
+    // Neighbors ring the target within 0.4 m ("items of the same category
+    // are stocked together").
+    std::vector<sim::BeaconPlacement> neighbors;
+    for (int k = 1; k < num_beacons; ++k) {
+        sim::BeaconPlacement nb;
+        nb.id = static_cast<std::uint64_t>(10 + k);
+        const double ang = 2.0 * std::numbers::pi * k / 6.0;
+        nb.position = sc.default_beacon + unit_from_angle(ang) * 0.35;
+        neighbors.push_back(nb);
+    }
+    const sim::MeasurementConfig cfg;
+
+    const auto outcomes =
+        runner.run(runs, sweep_seed, [&](int, locble::Rng& rng) {
+            return sim::measure_with_cluster(sc, target, neighbors, cfg, rng);
+        });
+
     double err = 0.0;
     int n = 0;
-    for (int r = 0; r < runs; ++r) {
-        sim::BeaconPlacement target;
-        target.id = 1;
-        target.position = sc.default_beacon;
-        // Neighbors ring the target within 0.4 m ("items of the same
-        // category are stocked together").
-        std::vector<sim::BeaconPlacement> neighbors;
-        for (int k = 1; k < num_beacons; ++k) {
-            sim::BeaconPlacement nb;
-            nb.id = static_cast<std::uint64_t>(10 + k);
-            const double ang = 2.0 * std::numbers::pi * k / 6.0;
-            nb.position = sc.default_beacon + unit_from_angle(ang) * 0.35;
-            neighbors.push_back(nb);
-        }
-        const sim::MeasurementConfig cfg;
-        locble::Rng rng(seed_base + static_cast<std::uint64_t>(r) * 41);
-        const auto out = sim::measure_with_cluster(sc, target, neighbors, cfg, rng);
+    for (const auto& out : outcomes) {
         const auto& final_out = num_beacons > 1 ? out.calibrated : out.single;
         if (!final_out.ok) continue;
         err += final_out.error_m;
@@ -44,23 +48,33 @@ double clustered_error(const sim::Scenario& sc, int num_beacons, int runs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig15_clustering", opt, 21000);
+
     bench::print_header("Fig. 15 — clustering calibration, envs #7 and #8",
                         "single-beacon ~3 m; error halves with 6 clustered "
                         "beacons");
 
     TextTable table({"beacons", "Lab (m)", "Hall (m)"});
-    const int runs = 20;
+    const int runs = runner.trials_or(20);
     double lab1 = 0.0, lab6 = 0.0;
     for (int n : {1, 2, 4, 6}) {
-        const double lab = clustered_error(sim::scenario(7), n, runs, 21000 + n);
-        const double hall = clustered_error(sim::scenario(8), n, runs, 22000 + n);
+        const double lab =
+            clustered_error(runner, sim::scenario(7), n, runs,
+                            runner.sweep_seed(100 + static_cast<std::uint64_t>(n)));
+        const double hall =
+            clustered_error(runner, sim::scenario(8), n, runs,
+                            runner.sweep_seed(200 + static_cast<std::uint64_t>(n)));
         table.add_row(std::to_string(n), {lab, hall}, 2);
+        runner.report().add_scalar("lab_" + std::to_string(n) + "_beacons_m", lab);
+        runner.report().add_scalar("hall_" + std::to_string(n) + "_beacons_m", hall);
         if (n == 1) lab1 = lab;
         if (n == 6) lab6 = lab;
     }
     std::printf("%s\n", table.str().c_str());
     std::printf("lab error ratio 6-vs-1 beacons: %.2f (paper: ~0.5)\n",
                 lab6 / lab1);
-    return 0;
+    runner.report().add_scalar("lab_ratio_6_vs_1", lab6 / lab1);
+    return runner.finish();
 }

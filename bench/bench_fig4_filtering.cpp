@@ -21,9 +21,8 @@ struct Trace {
     std::vector<double> truth;
 };
 
-Trace make_trace(std::uint64_t seed) {
+Trace make_trace(locble::Rng& rng) {
     Trace out;
-    locble::Rng rng(seed);
     for (int i = 0; i < 400; ++i) {
         const double t = 0.1 * i;
         double level = -80.0;
@@ -47,29 +46,48 @@ int first_reach(const std::vector<double>& v, const std::vector<double>& truth) 
     return -1;
 }
 
+struct Trial {
+    double rmse_raw, rmse_bf, rmse_anf;
+    double lag_bf, lag_anf;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig4_filtering", opt, 4000);
+
     bench::print_header("Fig. 4 — BF + AKF filtering",
                         "BF smooths but delays; BF+AKF tracks the theoretical "
                         "curve with better responsiveness (Sec. 4.2)");
 
+    const int runs = runner.trials_or(20);
+    const auto trials =
+        runner.run(runs, runner.sweep_seed(1), [&](int, locble::Rng& rng) {
+            const Trace trace = make_trace(rng);
+
+            const TimeSeries bf = dsp::butterworth_only(trace.raw);
+            dsp::Anf anf;
+            TimeSeries fused;
+            for (const auto& s : trace.raw) fused.push_back({s.t, anf.process(s.value)});
+
+            Trial out;
+            out.rmse_raw = rmse(values_of(trace.raw), trace.truth);
+            out.rmse_bf = rmse(values_of(bf), trace.truth);
+            out.rmse_anf = rmse(values_of(fused), trace.truth);
+            out.lag_bf = first_reach(values_of(bf), trace.truth);
+            out.lag_anf = first_reach(values_of(fused), trace.truth);
+            return out;
+        });
+
     double rmse_raw = 0.0, rmse_bf = 0.0, rmse_anf = 0.0;
     double lag_bf = 0.0, lag_anf = 0.0;
-    const int runs = 20;
-    for (std::uint64_t seed = 1; seed <= runs; ++seed) {
-        const Trace trace = make_trace(seed);
-
-        const TimeSeries bf = dsp::butterworth_only(trace.raw);
-        dsp::Anf anf;
-        TimeSeries fused;
-        for (const auto& s : trace.raw) fused.push_back({s.t, anf.process(s.value)});
-
-        rmse_raw += rmse(values_of(trace.raw), trace.truth);
-        rmse_bf += rmse(values_of(bf), trace.truth);
-        rmse_anf += rmse(values_of(fused), trace.truth);
-        lag_bf += first_reach(values_of(bf), trace.truth);
-        lag_anf += first_reach(values_of(fused), trace.truth);
+    for (const auto& t : trials) {
+        rmse_raw += t.rmse_raw;
+        rmse_bf += t.rmse_bf;
+        rmse_anf += t.rmse_anf;
+        lag_bf += t.lag_bf;
+        lag_anf += t.lag_anf;
     }
 
     TextTable table({"series", "RMSE vs theoretical (dB)", "catch-up after step (samples)"});
@@ -81,5 +99,10 @@ int main() {
     std::printf("shape check: RMSE(ANF) < RMSE(raw): %s; catch-up(ANF) <= catch-up(BF): %s\n",
                 rmse_anf < rmse_raw ? "yes" : "NO",
                 lag_anf <= lag_bf ? "yes" : "NO");
-    return 0;
+    runner.report().add_scalar("rmse_raw_db", rmse_raw / runs);
+    runner.report().add_scalar("rmse_bf_db", rmse_bf / runs);
+    runner.report().add_scalar("rmse_anf_db", rmse_anf / runs);
+    runner.report().add_scalar("catchup_bf_samples", lag_bf / runs);
+    runner.report().add_scalar("catchup_anf_samples", lag_anf / runs);
+    return runner.finish();
 }

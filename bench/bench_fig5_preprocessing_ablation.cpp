@@ -36,7 +36,9 @@ sim::Scenario transition_scenario(int idx) {
     return sc;
 }
 
-std::vector<double> ablation_errors(bool use_anf, bool use_envaware, int runs_per_env) {
+std::vector<double> ablation_errors(bench::Runner& runner, bool use_anf,
+                                    bool use_envaware, int runs_per_env,
+                                    std::uint64_t variant_tag) {
     std::vector<double> errors;
     for (int idx = 2; idx <= 4; ++idx) {
         const sim::Scenario sc = transition_scenario(idx);
@@ -45,24 +47,34 @@ std::vector<double> ablation_errors(bool use_anf, bool use_envaware, int runs_pe
         sim::MeasurementConfig cfg;
         cfg.pipeline.use_anf = use_anf;
         cfg.pipeline.use_envaware = use_envaware;
-        const auto errs = bench::stationary_errors(sc, beacon, cfg, runs_per_env,
-                                                   5000 + idx * 131);
+        // Every variant replays the same worlds per environment: the sweep
+        // seed depends on the environment only, not the variant.
+        const auto errs = bench::stationary_errors(
+            runner, sc, beacon, cfg, runs_per_env,
+            runner.sweep_seed(static_cast<std::uint64_t>(idx)));
         errors.insert(errors.end(), errs.begin(), errs.end());
     }
+    (void)variant_tag;
     return errors;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig5_preprocessing_ablation", opt, 5000);
+
     bench::print_header("Fig. 5 — preprocessing ablation (error CDF)",
                         "removing EnvAware costs >1 m median; removing ANF "
                         "costs >1.5 m (Sec. 4.3)");
 
-    const int runs = 25;
-    const EmpiricalCdf full(ablation_errors(true, true, runs));
-    const EmpiricalCdf no_env(ablation_errors(true, false, runs));
-    const EmpiricalCdf no_anf(ablation_errors(false, true, runs));
+    const int runs = runner.trials_or(25);
+    const auto full_errors = ablation_errors(runner, true, true, runs, 1);
+    const auto no_env_errors = ablation_errors(runner, true, false, runs, 2);
+    const auto no_anf_errors = ablation_errors(runner, false, true, runs, 3);
+    const EmpiricalCdf full(full_errors);
+    const EmpiricalCdf no_env(no_env_errors);
+    const EmpiricalCdf no_anf(no_anf_errors);
 
     const std::vector<double> percentiles{0.25, 0.5, 0.75, 0.9};
     std::printf("%s\n",
@@ -76,5 +88,12 @@ int main() {
                 no_env.median() - full.median());
     std::printf("median penalty w/o ANF:      %+.2f m (paper: >1.5 m)\n",
                 no_anf.median() - full.median());
-    return 0;
+    runner.report().add_summary("full_error_m", full_errors);
+    runner.report().add_summary("no_envaware_error_m", no_env_errors);
+    runner.report().add_summary("no_anf_error_m", no_anf_errors);
+    runner.report().add_scalar("median_penalty_no_envaware_m",
+                               no_env.median() - full.median());
+    runner.report().add_scalar("median_penalty_no_anf_m",
+                               no_anf.median() - full.median());
+    return runner.finish();
 }

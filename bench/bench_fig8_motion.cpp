@@ -15,7 +15,10 @@
 
 using namespace locble;
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig8_motion", opt, 8000);
+
     bench::print_header("Fig. 8 — step & turn detection",
                         "step distance accuracy 94.77%; mean turn angle error "
                         "3.45 deg (Sec. 5.2)");
@@ -24,37 +27,52 @@ int main() {
     const motion::StepDetector steps;
     const motion::TurnDetector turns;
 
-    // Step-distance accuracy over straight walks of several lengths.
-    double dist_acc_sum = 0.0;
-    int dist_runs = 0;
-    for (double length : {4.0, 6.0, 8.0, 10.0}) {
-        for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    // Step-distance accuracy over straight walks of several lengths; the
+    // trial space is (length x repetition), flattened.
+    const std::vector<double> lengths{4.0, 6.0, 8.0, 10.0};
+    const int reps = runner.trials_or(15);
+    const int dist_trials = static_cast<int>(lengths.size()) * reps;
+    const auto dist_accs =
+        runner.run(dist_trials, runner.sweep_seed(1), [&](int t, locble::Rng& rng) {
+            const double length = lengths[static_cast<std::size_t>(t / reps)];
             const auto walk = imu::make_straight({0, 0}, 0.0, length);
-            locble::Rng rng(seed * 13 + static_cast<std::uint64_t>(length));
             const auto trace = synth.synthesize(walk, rng);
             const auto det = steps.detect(trace.accel_vertical);
-            dist_acc_sum += 1.0 - std::abs(det.total_distance_m - length) / length;
-            ++dist_runs;
-        }
-    }
+            return 1.0 - std::abs(det.total_distance_m - length) / length;
+        });
+    double dist_acc_sum = 0.0;
+    for (double a : dist_accs) dist_acc_sum += a;
+    const int dist_runs = dist_trials;
 
     // Turn-angle error over L-shaped walks with varied turn angles.
-    double angle_err_sum = 0.0;
-    int angle_runs = 0, missed = 0;
-    for (double angle_deg : {60.0, 90.0, 120.0, -90.0}) {
-        for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const std::vector<double> angles_deg{60.0, 90.0, 120.0, -90.0};
+    const int angle_trials = static_cast<int>(angles_deg.size()) * reps;
+    struct TurnTrial {
+        bool detected{false};
+        double err_deg{0.0};
+    };
+    const auto turn_trials =
+        runner.run(angle_trials, runner.sweep_seed(2), [&](int t, locble::Rng& rng) {
+            const double angle_deg = angles_deg[static_cast<std::size_t>(t / reps)];
             const double angle = deg_to_rad(angle_deg);
             const auto walk = imu::make_l_shape({0, 0}, 0.2, 4.0, 3.0, angle);
-            locble::Rng rng(seed * 17 + static_cast<std::uint64_t>(angle_deg + 200));
             const auto trace = synth.synthesize(walk, rng);
             const auto det = turns.detect(trace.gyro_z, trace.mag_heading);
-            if (det.size() != 1) {
-                ++missed;
-                continue;
-            }
-            angle_err_sum += std::abs(rad_to_deg(det[0].angle_rad) - angle_deg);
-            ++angle_runs;
+            TurnTrial out;
+            if (det.size() != 1) return out;
+            out.detected = true;
+            out.err_deg = std::abs(rad_to_deg(det[0].angle_rad) - angle_deg);
+            return out;
+        });
+    double angle_err_sum = 0.0;
+    int angle_runs = 0, missed = 0;
+    for (const auto& t : turn_trials) {
+        if (!t.detected) {
+            ++missed;
+            continue;
         }
+        angle_err_sum += t.err_deg;
+        ++angle_runs;
     }
 
     TextTable table({"metric", "measured", "paper"});
@@ -66,5 +84,11 @@ int main() {
     table.add_row({"turn detection misses",
                    fmt(100.0 * missed / (angle_runs + missed), 1) + " %", "-"});
     std::printf("%s\n", table.str().c_str());
-    return 0;
+    runner.report().add_scalar("step_distance_accuracy",
+                               dist_acc_sum / dist_runs);
+    runner.report().add_scalar("mean_turn_angle_error_deg",
+                               angle_err_sum / std::max(angle_runs, 1));
+    runner.report().add_scalar("turn_miss_rate",
+                               static_cast<double>(missed) / (angle_runs + missed));
+    return runner.finish();
 }

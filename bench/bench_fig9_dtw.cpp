@@ -26,7 +26,7 @@ struct Setup {
 
 /// The Sec. 6.1 layout: target + two neighbors 0.3 m away + one beacon 4 m
 /// away, one L-shaped walk.
-Setup capture_setup(std::uint64_t seed) {
+Setup capture_setup(locble::Rng& rng) {
     // The paper's Sec. 6.1 measurement was taken in a busy indoor space:
     // shared passers-by and shadowing give co-located beacons their common
     // RSS structure.
@@ -42,7 +42,6 @@ Setup capture_setup(std::uint64_t seed) {
     beacons[2].position = {4.3, 3.2};
     beacons[3].id = 1;
     beacons[3].position = {1.0, 4.4};  // ~4 m from the target
-    locble::Rng rng(seed);
     const auto walk = sim::default_l_walk(sc);
     const auto cap = sim::CaptureRunner().run(sc.site, beacons, walk, rng);
 
@@ -55,21 +54,34 @@ Setup capture_setup(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("fig9_dtw", opt, 9900);
+
     bench::print_header("Fig. 9 — DTW clustering of beacon RSS trends",
                         "beacons 2,3 (0.3 m away) match the target's trend; "
                         "beacon 1 (4 m) does not; LB ~100x faster than DTW; "
                         "segmented scheme >= 2x faster overall");
 
-    // --- matching behaviour over seeds
-    int near_matched = 0, far_matched = 0, runs = 0;
+    // --- matching behaviour over seeded trials
     const core::SegmentedDtwMatcher matcher;
-    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
-        const Setup s = capture_setup(seed);
-        near_matched += matcher.match(s.target, s.near_a).matched;
-        near_matched += matcher.match(s.target, s.near_b).matched;
-        far_matched += matcher.match(s.target, s.far_one).matched;
-        runs += 1;
+    const int runs = runner.trials_or(20);
+    struct MatchTrial {
+        int near_matched, far_matched;
+    };
+    const auto trials =
+        runner.run(runs, runner.sweep_seed(1), [&](int, locble::Rng& rng) {
+            const Setup s = capture_setup(rng);
+            MatchTrial out{0, 0};
+            out.near_matched += matcher.match(s.target, s.near_a).matched;
+            out.near_matched += matcher.match(s.target, s.near_b).matched;
+            out.far_matched += matcher.match(s.target, s.far_one).matched;
+            return out;
+        });
+    int near_matched = 0, far_matched = 0;
+    for (const auto& t : trials) {
+        near_matched += t.near_matched;
+        far_matched += t.far_matched;
     }
     TextTable table({"pair", "matched", "expected"});
     table.add_row({"target vs 0.3 m neighbors",
@@ -77,10 +89,16 @@ int main() {
     table.add_row({"target vs 4 m beacon",
                    fmt(100.0 * far_matched / runs, 0) + " %", "low"});
     std::printf("%s\n", table.str().c_str());
+    runner.report().add_scalar("near_match_rate",
+                               static_cast<double>(near_matched) / (2 * runs));
+    runner.report().add_scalar("far_match_rate",
+                               static_cast<double>(far_matched) / runs);
 
-    // --- timing: LB vs full DTW on identical segments
-    const Setup s = capture_setup(99);
-    const std::size_t seg = 10, warp = 3;
+    // --- timing: LB vs full DTW on identical segments (serial: these time
+    // single-threaded kernel costs, not trial throughput)
+    locble::Rng timing_rng = locble::Rng::for_stream(runner.sweep_seed(2), 0);
+    const Setup s = capture_setup(timing_rng);
+    const std::size_t warp = 3;
     using clock = std::chrono::steady_clock;
     const int reps = 20000;
     volatile double sink = 0.0;
@@ -95,7 +113,6 @@ int main() {
     for (int r = 0; r < reps / 10; ++r)
         sink += core::dtw_distance({s.target.data(), full}, {s.far_one.data(), full}, 0);
     auto t2 = clock::now();
-    (void)seg;
 
     // Segmented matcher vs whole-sequence DTW.
     const baseline::NaiveDtwMatcher naive;
@@ -118,5 +135,7 @@ int main() {
                    fmt(naive_us / seg_us, 1) + "x", ">= 2x"});
     std::printf("%s\n", speed.str().c_str());
     (void)sink;
-    return 0;
+    runner.report().add_scalar("lb_vs_dtw_speedup", dtw_us / lb_us);
+    runner.report().add_scalar("segmented_vs_naive_speedup", naive_us / seg_us);
+    return runner.finish();
 }

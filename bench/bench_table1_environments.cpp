@@ -10,22 +10,26 @@
 
 using namespace locble;
 
-int main() {
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("table1_environments", opt, 9000);
+
     bench::print_header("Table 1 — accuracy per environment",
                         "0.8 / 1.4 / 1.4 / 1.6 / 1.6 / 1.8 / 2.3 / 2.1 / 1.2 m "
                         "(mean +- 75% CI) for environments #1-#9");
 
     TextTable table({"#", "environment", "scale (m^2)", "measured acc (m)",
                      "paper acc (m)"});
-    const int runs = 30;
+    const int runs = runner.trials_or(30);
     double measured_sum = 0.0, paper_sum = 0.0;
     std::vector<std::pair<double, double>> pairs;  // (measured, paper)
     for (const auto& sc : sim::all_scenarios()) {
         sim::BeaconPlacement beacon;
         beacon.position = sc.default_beacon;
         const sim::MeasurementConfig cfg;
-        const auto errors = bench::stationary_errors(sc, beacon, cfg, runs,
-                                                     9000 + sc.index * 101);
+        const auto errors =
+            bench::stationary_errors(runner, sc, beacon, cfg, runs,
+                                     runner.sweep_seed(static_cast<std::uint64_t>(sc.index)));
         const EmpiricalCdf cdf(errors);
         // 75% confidence interval half-width around the mean, matching the
         // paper's "+-" presentation.
@@ -35,6 +39,8 @@ int main() {
                        fmt(sc.site.width_m, 0) + "x" + fmt(sc.site.height_m, 0),
                        fmt(cdf.mean(), 2) + " +- " + fmt(half, 2),
                        fmt(sc.paper_accuracy_m, 1) + " +- " + fmt(sc.paper_ci_m, 1)});
+        runner.report().add_summary("env" + std::to_string(sc.index) + "_error_m",
+                                    errors);
         measured_sum += cdf.mean();
         paper_sum += sc.paper_accuracy_m;
         pairs.emplace_back(cdf.mean(), sc.paper_accuracy_m);
@@ -48,5 +54,8 @@ int main() {
                 "(ratio %.2f)\n",
                 measured_sum / 9.0, paper_sum / 9.0, measured_sum / paper_sum);
     std::printf("paper's headline: ~1.8 m indoor / ~1.2 m outdoor average\n");
-    return 0;
+    runner.report().add_scalar("mean_error_m", measured_sum / 9.0);
+    runner.report().add_scalar("paper_mean_error_m", paper_sum / 9.0);
+    runner.report().add_scalar("ratio_vs_paper", measured_sum / paper_sum);
+    return runner.finish();
 }

@@ -1,0 +1,95 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace locble::bench {
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0, int code) {
+    std::printf(
+        "usage: %s [--trials N] [--threads N] [--seed S] [--out DIR] [--no-json]\n"
+        "  --trials N   override every sweep's trial count\n"
+        "  --threads N  worker threads (default: LOCBLE_THREADS or all cores)\n"
+        "  --seed S     master seed (results are identical for any --threads)\n"
+        "  --out DIR    directory for BENCH_<name>.json (default: .)\n"
+        "  --no-json    skip writing the JSON report\n",
+        argv0);
+    std::exit(code);
+}
+
+long long parse_ll(const char* argv0, const char* flag, const char* value) {
+    if (!value) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv0, flag);
+        usage(argv0, 2);
+    }
+    try {
+        return std::stoll(value);
+    } catch (const std::exception&) {
+        std::fprintf(stderr, "%s: bad value for %s: '%s'\n", argv0, flag, value);
+        usage(argv0, 2);
+    }
+}
+
+}  // namespace
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+            usage(argv[0], 0);
+        } else if (std::strcmp(arg, "--trials") == 0) {
+            opt.trials = static_cast<int>(parse_ll(argv[0], arg, next));
+            ++i;
+        } else if (std::strcmp(arg, "--threads") == 0) {
+            opt.threads = static_cast<unsigned>(parse_ll(argv[0], arg, next));
+            ++i;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opt.seed = static_cast<std::uint64_t>(parse_ll(argv[0], arg, next));
+            ++i;
+        } else if (std::strcmp(arg, "--out") == 0) {
+            if (!next) usage(argv[0], 2);
+            opt.out_dir = next;
+            ++i;
+        } else if (std::strcmp(arg, "--no-json") == 0) {
+            opt.json = false;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
+            usage(argv[0], 2);
+        }
+    }
+    return opt;
+}
+
+Runner::Runner(const std::string& name, const Options& opt, std::uint64_t default_seed)
+    : opt_(opt),
+      master_seed_(opt.seed != 0 ? opt.seed : default_seed),
+      runner_(opt.threads != 0 ? opt.threads : runtime::default_thread_count()),
+      report_(name),
+      start_(std::chrono::steady_clock::now()) {}
+
+int Runner::finish() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    report_.set_run(trials_run_, threads(), master_seed_);
+    report_.set_wall_seconds(wall);
+    std::printf("[%d trials, %u threads, seed %llu, %.2f s]\n", trials_run_, threads(),
+                static_cast<unsigned long long>(master_seed_), wall);
+    if (opt_.json) {
+        try {
+            const std::string path = report_.write(opt_.out_dir);
+            std::printf("report: %s\n", path.c_str());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    return 0;
+}
+
+}  // namespace locble::bench

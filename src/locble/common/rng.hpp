@@ -51,6 +51,24 @@ public:
     /// deterministic.
     Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
 
+    /// SplitMix64-style seed derivation: hash a (master seed, stream index)
+    /// pair into a statistically independent 64-bit seed. Pure function of
+    /// its inputs — the foundation of the repo's determinism contract: a
+    /// trial's random stream depends only on (master_seed, trial_index),
+    /// never on which thread runs it or in what order.
+    static std::uint64_t split_seed(std::uint64_t master, std::uint64_t stream) {
+        std::uint64_t z = master + (stream + 1) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Generator for stream `stream` of master seed `master` (see
+    /// split_seed). Every parallel trial gets its Rng through this.
+    static Rng for_stream(std::uint64_t master, std::uint64_t stream) {
+        return Rng(split_seed(master, stream));
+    }
+
     std::mt19937_64& engine() { return engine_; }
 
 private:

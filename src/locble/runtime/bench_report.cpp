@@ -1,0 +1,112 @@
+#include "locble/runtime/bench_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "locble/common/cdf.hpp"
+
+namespace locble::runtime {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string json_number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::set_run(int trials, unsigned threads, std::uint64_t seed) {
+    trials_ = trials;
+    threads_ = threads;
+    seed_ = seed;
+}
+
+void BenchReport::add_scalar(const std::string& key, double value) {
+    metrics_.emplace_back(key, Value(value));
+}
+
+void BenchReport::add_text(const std::string& key, const std::string& value) {
+    metrics_.emplace_back(key, Value(value));
+}
+
+void BenchReport::add_summary(const std::string& key, std::span<const double> samples) {
+    if (samples.empty()) {
+        metrics_.emplace_back(key, Value(Summary{0, 0.0, 0.0, 0.0, 0.0, 0.0}));
+        return;
+    }
+    const EmpiricalCdf cdf(samples);
+    metrics_.emplace_back(key, Value(Summary{cdf.count(), cdf.mean(), cdf.median(),
+                                             cdf.percentile(0.9), cdf.min(),
+                                             cdf.max()}));
+}
+
+std::string BenchReport::to_json() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + json_escape(name_) + "\",\n";
+    out += "  \"trials\": " + std::to_string(trials_) + ",\n";
+    out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+    out += "  \"seed\": " + std::to_string(seed_) + ",\n";
+    out += "  \"wall_seconds\": " + json_number(wall_seconds_) + ",\n";
+    out += "  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        const auto& [key, value] = metrics_[i];
+        out += "    \"" + json_escape(key) + "\": ";
+        if (const auto* d = std::get_if<double>(&value)) {
+            out += json_number(*d);
+        } else if (const auto* s = std::get_if<std::string>(&value)) {
+            out += "\"" + json_escape(*s) + "\"";
+        } else {
+            const auto& sm = std::get<Summary>(value);
+            out += "{\"count\": " + std::to_string(sm.count);
+            out += ", \"mean\": " + json_number(sm.mean);
+            out += ", \"median\": " + json_number(sm.median);
+            out += ", \"p90\": " + json_number(sm.p90);
+            out += ", \"min\": " + json_number(sm.min);
+            out += ", \"max\": " + json_number(sm.max) + "}";
+        }
+        out += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    out += "  }\n}\n";
+    return out;
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+    const std::string path =
+        (dir.empty() || dir == "." ? std::string() : dir + "/") + "BENCH_" + name_ +
+        ".json";
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) throw std::runtime_error("BenchReport: cannot write " + path);
+    file << to_json();
+    return path;
+}
+
+}  // namespace locble::runtime

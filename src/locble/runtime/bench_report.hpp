@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace locble::runtime {
+
+/// Overridable via LOCBLE_THREADS; defined in trial_runner.cpp.
+unsigned default_thread_count();
+
+/// Machine-readable result sink for one bench binary.
+///
+/// Collects scalar metrics and sample summaries in insertion order and
+/// serializes them as `BENCH_<name>.json` next to the human-readable text
+/// output, so that successive runs leave a regression-trackable trajectory.
+/// Doubles are printed with %.17g — two runs that computed bit-identical
+/// values emit byte-identical JSON.
+class BenchReport {
+public:
+    explicit BenchReport(std::string name);
+
+    const std::string& name() const { return name_; }
+
+    /// Execution parameters of the run (threads/trials/seed + wall time).
+    void set_run(int trials, unsigned threads, std::uint64_t seed);
+    void set_wall_seconds(double seconds) { wall_seconds_ = seconds; }
+
+    /// One scalar metric (mean error, speedup, match rate, ...).
+    void add_scalar(const std::string& key, double value);
+    /// One free-text annotation (environment name, shape-check verdict, ...).
+    void add_text(const std::string& key, const std::string& value);
+    /// Full summary of a sample set: count/mean/median/p90/min/max.
+    void add_summary(const std::string& key, std::span<const double> samples);
+
+    std::string to_json() const;
+
+    /// Write BENCH_<name>.json into `dir`; returns the path written.
+    /// Throws std::runtime_error when the file cannot be opened.
+    std::string write(const std::string& dir = ".") const;
+
+private:
+    struct Summary {
+        std::size_t count;
+        double mean, median, p90, min, max;
+    };
+    using Value = std::variant<double, std::string, Summary>;
+
+    std::string name_;
+    int trials_{0};
+    unsigned threads_{0};
+    std::uint64_t seed_{0};
+    double wall_seconds_{0.0};
+    std::vector<std::pair<std::string, Value>> metrics_;
+};
+
+}  // namespace locble::runtime

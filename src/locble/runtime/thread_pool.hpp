@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace locble::runtime {
+
+/// Fixed-size thread pool used by the trial runner and the bench harness.
+///
+/// Deliberately simple — one shared FIFO queue, no work stealing — because
+/// the workloads it serves (Monte-Carlo trials of whole measurement walks)
+/// are coarse enough that queue contention is irrelevant, and a single queue
+/// keeps the execution order easy to reason about. Exceptions thrown by a
+/// task are captured in the task's future and rethrow at `get()`.
+class ThreadPool {
+public:
+    /// `threads == 0` selects the hardware concurrency (at least 1).
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /// Enqueue a task; the future resolves when it has run (or rethrows the
+    /// task's exception).
+    std::future<void> submit(std::function<void()> task);
+
+    /// Resolve a user-facing thread-count request: 0 means "all hardware
+    /// threads", anything else is taken literally (minimum 1).
+    static unsigned resolve_threads(unsigned requested);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_{false};
+};
+
+}  // namespace locble::runtime

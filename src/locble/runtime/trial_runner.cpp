@@ -1,0 +1,22 @@
+#include "locble/runtime/trial_runner.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace locble::runtime {
+
+unsigned default_thread_count() {
+    // LOCBLE_THREADS overrides the hardware default; benches and tools pick
+    // this up so CI can pin thread counts without editing command lines.
+    if (const char* env = std::getenv("LOCBLE_THREADS")) {
+        try {
+            const int n = std::stoi(env);
+            if (n > 0) return static_cast<unsigned>(n);
+        } catch (...) {
+            // fall through to the hardware default on malformed input
+        }
+    }
+    return ThreadPool::resolve_threads(0);
+}
+
+}  // namespace locble::runtime

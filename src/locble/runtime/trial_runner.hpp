@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "locble/common/rng.hpp"
+#include "locble/runtime/thread_pool.hpp"
+
+namespace locble::runtime {
+
+/// How a batch of Monte-Carlo trials should execute.
+struct TrialPlan {
+    int trials{0};
+    std::uint64_t seed{1};  ///< master seed; trial t runs on Rng::for_stream(seed, t)
+    unsigned threads{0};    ///< 0 = all hardware threads
+};
+
+/// Deterministic parallel scheduler for independent Monte-Carlo trials.
+///
+/// Each trial t receives its own Rng seeded with
+/// `Rng::split_seed(master_seed, t)` and writes its result into slot t of
+/// the output vector, so the returned vector is bit-identical whatever the
+/// thread count (including 1) and whatever order the trials actually ran
+/// in. Trials are handed out through a shared atomic counter — effectively
+/// dynamic scheduling, which keeps cores busy when trial costs vary.
+///
+/// The first exception thrown by a trial (lowest trial index wins, for
+/// reproducible failures) cancels the remaining unstarted trials and
+/// rethrows from run().
+class TrialRunner {
+public:
+    /// `threads == 0` selects the hardware concurrency.
+    explicit TrialRunner(unsigned threads = 0)
+        : pool_(ThreadPool::resolve_threads(threads)) {}
+
+    unsigned threads() const { return pool_.size(); }
+
+    /// Run `fn(trial_index, rng)` for trial_index in [0, trials), returning
+    /// the results ordered by trial index.
+    template <class Fn>
+    auto run(int trials, std::uint64_t seed, Fn&& fn)
+        -> std::vector<std::invoke_result_t<Fn&, int, locble::Rng&>> {
+        using T = std::invoke_result_t<Fn&, int, locble::Rng&>;
+        static_assert(!std::is_void_v<T>,
+                      "trial functions must return their result");
+        if (trials <= 0) return {};
+
+        std::vector<std::optional<T>> slots(static_cast<std::size_t>(trials));
+        const auto run_one = [&](int t) {
+            locble::Rng rng = locble::Rng::for_stream(seed, static_cast<std::uint64_t>(t));
+            slots[static_cast<std::size_t>(t)].emplace(fn(t, rng));
+        };
+
+        if (threads() == 1) {
+            for (int t = 0; t < trials; ++t) run_one(t);
+        } else {
+            std::atomic<int> next{0};
+            std::mutex error_mutex;
+            int error_trial = std::numeric_limits<int>::max();
+            std::exception_ptr error;
+
+            const auto worker = [&] {
+                for (;;) {
+                    const int t = next.fetch_add(1, std::memory_order_relaxed);
+                    if (t >= trials) return;
+                    try {
+                        run_one(t);
+                    } catch (...) {
+                        const std::lock_guard lock(error_mutex);
+                        if (t < error_trial) {
+                            error_trial = t;
+                            error = std::current_exception();
+                        }
+                        next.store(trials, std::memory_order_relaxed);
+                        return;
+                    }
+                }
+            };
+
+            std::vector<std::future<void>> done;
+            const unsigned n = std::min<unsigned>(threads(), static_cast<unsigned>(trials));
+            done.reserve(n);
+            for (unsigned i = 0; i < n; ++i) done.push_back(pool_.submit(worker));
+            for (auto& f : done) f.get();
+            if (error) std::rethrow_exception(error);
+        }
+
+        std::vector<T> out;
+        out.reserve(static_cast<std::size_t>(trials));
+        for (auto& slot : slots) out.push_back(std::move(*slot));
+        return out;
+    }
+
+    /// Plan-based overload.
+    template <class Fn>
+    auto run(const TrialPlan& plan, Fn&& fn) {
+        return run(plan.trials, plan.seed, std::forward<Fn>(fn));
+    }
+
+private:
+    ThreadPool pool_;
+};
+
+}  // namespace locble::runtime

@@ -6,6 +6,10 @@
 namespace locble::sim {
 
 const core::EnvAware& shared_envaware() {
+    // Function-local static: concurrent first calls block until the one
+    // training pass finishes (C++11 magic-static guarantee), making this
+    // safe to call from trial-runner worker threads. Benches that want the
+    // training cost out of their timed region can call it once up front.
     static const core::EnvAware instance = [] {
         locble::Rng rng(20170417);
         const core::EnvDatasetConfig cfg{};
@@ -189,6 +193,26 @@ ClusteredOutcome measure_with_cluster(const Scenario& sc, const BeaconPlacement&
     }
     out.calibrated = finish_outcome(calibrated_result, target.position, start, heading);
     return out;
+}
+
+std::vector<MeasurementOutcome> run_stationary_trials(const Scenario& sc,
+                                                      const BeaconPlacement& target,
+                                                      const MeasurementConfig& cfg,
+                                                      const runtime::TrialPlan& plan) {
+    shared_envaware();  // train outside the worker threads / timed region
+    return run_trials_parallel(plan, [&](int, locble::Rng& rng) {
+        return measure_stationary(sc, target, cfg, rng);
+    });
+}
+
+std::vector<ClusteredOutcome> run_cluster_trials(
+    const Scenario& sc, const BeaconPlacement& target,
+    const std::vector<BeaconPlacement>& neighbors, const MeasurementConfig& cfg,
+    const runtime::TrialPlan& plan) {
+    shared_envaware();
+    return run_trials_parallel(plan, [&](int, locble::Rng& rng) {
+        return measure_with_cluster(sc, target, neighbors, cfg, rng);
+    });
 }
 
 }  // namespace locble::sim

@@ -1,11 +1,13 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "locble/core/clustering.hpp"
 #include "locble/core/pipeline.hpp"
 #include "locble/motion/dead_reckoning.hpp"
+#include "locble/runtime/trial_runner.hpp"
 #include "locble/sim/capture.hpp"
 #include "locble/sim/scenarios.hpp"
 
@@ -13,6 +15,13 @@ namespace locble::sim {
 
 /// A default EnvAware trained once on the synthetic LOS/p-LOS/NLOS corpus
 /// (deterministic; reused by every experiment and bench).
+///
+/// Thread safety: the instance is a function-local static, so concurrent
+/// first calls are serialized by the C++11 "magic static" guarantee — the
+/// training runs exactly once and every caller observes the fully trained
+/// model. After construction the object is only read through const methods
+/// (classify() et al. carry no mutable state), so sharing it across the
+/// parallel trial runner's worker threads is safe.
 const core::EnvAware& shared_envaware();
 
 /// Everything configurable about one simulated measurement.
@@ -91,5 +100,36 @@ ClusteredOutcome measure_with_cluster(const Scenario& sc, const BeaconPlacement&
 /// when given, otherwise the scenario's own L-shape).
 imu::Trajectory default_l_walk(const Scenario& sc,
                                const std::optional<LShapeSpec>& spec = std::nullopt);
+
+// ---------------------------------------------------------------------------
+// Parallel Monte-Carlo batch entry points
+//
+// Every bench and sweep in this repo repeats one of the measure_* functions
+// over hundreds of independently seeded trials. These helpers run such a
+// batch on the runtime::TrialRunner: trial t draws from
+// Rng::for_stream(plan.seed, t) and lands in slot t of the result vector,
+// so the output is bit-identical for any thread count.
+// ---------------------------------------------------------------------------
+
+/// Run an arbitrary per-trial function `fn(trial_index, rng)` in parallel
+/// under `plan`; results are ordered by trial index.
+template <class Fn>
+auto run_trials_parallel(const runtime::TrialPlan& plan, Fn&& fn) {
+    runtime::TrialRunner runner(plan.threads);
+    return runner.run(plan.trials, plan.seed, std::forward<Fn>(fn));
+}
+
+/// Batch of stationary-target measurements (one scenario, one beacon,
+/// `plan.trials` independently seeded walks).
+std::vector<MeasurementOutcome> run_stationary_trials(const Scenario& sc,
+                                                      const BeaconPlacement& target,
+                                                      const MeasurementConfig& cfg,
+                                                      const runtime::TrialPlan& plan);
+
+/// Batch of clustered measurements (Sec. 6 layout).
+std::vector<ClusteredOutcome> run_cluster_trials(
+    const Scenario& sc, const BeaconPlacement& target,
+    const std::vector<BeaconPlacement>& neighbors, const MeasurementConfig& cfg,
+    const runtime::TrialPlan& plan);
 
 }  // namespace locble::sim

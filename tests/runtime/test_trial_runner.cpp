@@ -1,0 +1,232 @@
+#include "locble/runtime/trial_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "locble/runtime/bench_report.hpp"
+#include "locble/runtime/thread_pool.hpp"
+#include "locble/sim/harness.hpp"
+
+namespace locble::runtime {
+namespace {
+
+// --- seed splitting -------------------------------------------------------
+
+TEST(SplitSeedTest, PureFunctionOfInputs) {
+    EXPECT_EQ(Rng::split_seed(42, 7), Rng::split_seed(42, 7));
+    EXPECT_NE(Rng::split_seed(42, 7), Rng::split_seed(42, 8));
+    EXPECT_NE(Rng::split_seed(42, 7), Rng::split_seed(43, 7));
+}
+
+TEST(SplitSeedTest, StreamsAreDistinct) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t t = 0; t < 10000; ++t) seeds.insert(Rng::split_seed(1, t));
+    EXPECT_EQ(seeds.size(), 10000u);  // no collisions across a large batch
+}
+
+TEST(SplitSeedTest, ForStreamMatchesSplitSeed) {
+    Rng direct(Rng::split_seed(5, 3));
+    Rng streamed = Rng::for_stream(5, 3);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_DOUBLE_EQ(direct.uniform(0.0, 1.0), streamed.uniform(0.0, 1.0));
+}
+
+// --- thread pool ----------------------------------------------------------
+
+TEST(ThreadPoolTest, ResolvesThreadCounts) {
+    EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+    EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+}
+
+TEST(ThreadPoolTest, RunsManyMoreTasksThanThreads) {
+    ThreadPool pool(4);
+    ASSERT_EQ(pool.size(), 4u);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    const int tasks = 1000;
+    futures.reserve(tasks);
+    for (int i = 0; i < tasks; ++i)
+        futures.push_back(pool.submit([&counter] {
+            counter.fetch_add(1, std::memory_order_relaxed);
+        }));
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(counter.load(), tasks);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+    ThreadPool pool(2);
+    auto ok = pool.submit([] {});
+    auto bad = pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_NO_THROW(ok.get());
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // The pool survives a throwing task.
+    auto after = pool.submit([] {});
+    EXPECT_NO_THROW(after.get());
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&counter] {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                counter.fetch_add(1, std::memory_order_relaxed);
+            });
+    }  // destructor joins after the queue drains
+    EXPECT_EQ(counter.load(), 64);
+}
+
+// --- trial runner determinism --------------------------------------------
+
+std::vector<double> gaussian_walk_trials(unsigned threads, int trials,
+                                         std::uint64_t seed) {
+    TrialRunner runner(threads);
+    return runner.run(trials, seed, [](int t, Rng& rng) {
+        // A trial whose result depends on its full stream and its index.
+        double acc = static_cast<double>(t);
+        for (int i = 0; i < 100; ++i) acc += rng.gaussian(0.0, 1.0);
+        return acc;
+    });
+}
+
+TEST(TrialRunnerTest, ParallelMatchesSerialBitForBit) {
+    const auto serial = gaussian_walk_trials(1, 64, 42);
+    for (unsigned threads : {2u, 8u}) {
+        const auto parallel = gaussian_walk_trials(threads, 64, 42);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(parallel[i], serial[i])  // exact, not NEAR
+                << "trial " << i << " with " << threads << " threads";
+    }
+}
+
+TEST(TrialRunnerTest, SeedChangesResults) {
+    const auto a = gaussian_walk_trials(4, 16, 1);
+    const auto b = gaussian_walk_trials(4, 16, 2);
+    int identical = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) identical += a[i] == b[i];
+    EXPECT_EQ(identical, 0);
+}
+
+TEST(TrialRunnerTest, ResultsOrderedByTrialIndex) {
+    TrialRunner runner(8);
+    const auto out = runner.run(256, 7, [](int t, Rng&) { return t; });
+    for (int i = 0; i < 256; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TrialRunnerTest, EmptyAndSingleBatches) {
+    TrialRunner runner(4);
+    EXPECT_TRUE(runner.run(0, 1, [](int, Rng&) { return 0; }).empty());
+    const auto one = runner.run(1, 1, [](int t, Rng&) { return t + 1; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 1);
+}
+
+TEST(TrialRunnerTest, ExceptionInTrialPropagates) {
+    TrialRunner runner(4);
+    EXPECT_THROW(runner.run(100, 3,
+                            [](int t, Rng&) -> int {
+                                if (t == 7) throw std::runtime_error("trial 7 died");
+                                return t;
+                            }),
+                 std::runtime_error);
+    // The runner (and its pool) stays usable afterwards.
+    const auto ok = runner.run(8, 3, [](int t, Rng&) { return t; });
+    EXPECT_EQ(ok.size(), 8u);
+}
+
+TEST(TrialRunnerTest, PlanOverloadMatchesExplicitArgs) {
+    TrialRunner runner(2);
+    TrialPlan plan;
+    plan.trials = 8;
+    plan.seed = 99;
+    const auto a = runner.run(plan, [](int, Rng& rng) { return rng.uniform(0, 1); });
+    const auto b = runner.run(8, 99, [](int, Rng& rng) { return rng.uniform(0, 1); });
+    EXPECT_EQ(a, b);
+}
+
+// --- harness batch entry points -------------------------------------------
+
+TEST(HarnessBatchTest, StationaryTrialsMatchSerialMeasurements) {
+    const sim::Scenario sc = sim::scenario(1);
+    sim::BeaconPlacement beacon;
+    beacon.position = sc.default_beacon;
+    const sim::MeasurementConfig cfg;
+
+    runtime::TrialPlan plan;
+    plan.trials = 4;
+    plan.seed = 1234;
+    plan.threads = 4;
+    const auto parallel = sim::run_stationary_trials(sc, beacon, cfg, plan);
+    ASSERT_EQ(parallel.size(), 4u);
+
+    for (int t = 0; t < plan.trials; ++t) {
+        Rng rng = Rng::for_stream(plan.seed, static_cast<std::uint64_t>(t));
+        const auto serial = sim::measure_stationary(sc, beacon, cfg, rng);
+        EXPECT_EQ(parallel[static_cast<std::size_t>(t)].ok, serial.ok);
+        EXPECT_EQ(parallel[static_cast<std::size_t>(t)].error_m, serial.error_m);
+        EXPECT_EQ(parallel[static_cast<std::size_t>(t)].estimate_site.x,
+                  serial.estimate_site.x);
+        EXPECT_EQ(parallel[static_cast<std::size_t>(t)].estimate_site.y,
+                  serial.estimate_site.y);
+    }
+}
+
+TEST(HarnessBatchTest, SharedEnvawareSafeUnderConcurrentFirstUse) {
+    // Hammer shared_envaware() from many threads; every caller must see the
+    // same fully trained instance (magic-static guarantee documented on the
+    // function).
+    std::vector<std::thread> threads;
+    std::vector<const core::EnvAware*> seen(8, nullptr);
+    for (int i = 0; i < 8; ++i)
+        threads.emplace_back([i, &seen] { seen[static_cast<std::size_t>(i)] = &sim::shared_envaware(); });
+    for (auto& t : threads) t.join();
+    for (const auto* p : seen) {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p, seen[0]);
+        EXPECT_TRUE(p->trained());
+    }
+}
+
+// --- bench report ---------------------------------------------------------
+
+TEST(BenchReportTest, JsonRoundsTripKeyFields) {
+    BenchReport report("unit_test");
+    report.set_run(10, 4, 42);
+    report.set_wall_seconds(1.5);
+    report.add_scalar("mean_error_m", 1.25);
+    report.add_text("note", "quote \" and \\ backslash");
+    const std::vector<double> samples{3.0, 1.0, 2.0, 4.0};
+    report.add_summary("errors", samples);
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
+    EXPECT_NE(json.find("\"trials\": 10"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"mean_error_m\": 1.25"), std::string::npos);
+    EXPECT_NE(json.find("\\\" and \\\\ backslash"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"median\": 2.5"), std::string::npos);
+}
+
+TEST(BenchReportTest, IdenticalInputsGiveIdenticalJson) {
+    const auto build = [] {
+        BenchReport report("determinism");
+        report.set_run(5, 8, 7);
+        report.set_wall_seconds(0.125);
+        report.add_scalar("value", 0.1 + 0.2);  // non-representable double
+        return report.to_json();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace locble::runtime
