@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "locble/obs/obs.hpp"
+
 namespace locble::bench {
 
 namespace {
@@ -11,11 +13,14 @@ namespace {
 [[noreturn]] void usage(const char* argv0, int code) {
     std::printf(
         "usage: %s [--trials N] [--threads N] [--seed S] [--out DIR] [--no-json]\n"
+        "          [--metrics] [--trace FILE]\n"
         "  --trials N   override every sweep's trial count\n"
         "  --threads N  worker threads (default: LOCBLE_THREADS or all cores)\n"
         "  --seed S     master seed (results are identical for any --threads)\n"
         "  --out DIR    directory for BENCH_<name>.json (default: .)\n"
-        "  --no-json    skip writing the JSON report\n",
+        "  --no-json    skip writing the JSON report\n"
+        "  --metrics    collect stage metrics into the report's \"obs\" section\n"
+        "  --trace FILE write a Chrome trace_event JSON (open in Perfetto)\n",
         argv0);
     std::exit(code);
 }
@@ -57,6 +62,12 @@ Options parse_options(int argc, char** argv) {
             ++i;
         } else if (std::strcmp(arg, "--no-json") == 0) {
             opt.json = false;
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            opt.metrics = true;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (!next) usage(argv[0], 2);
+            opt.trace_file = next;
+            ++i;
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg);
             usage(argv[0], 2);
@@ -70,7 +81,26 @@ Runner::Runner(const std::string& name, const Options& opt, std::uint64_t defaul
       master_seed_(opt.seed != 0 ? opt.seed : default_seed),
       runner_(opt.threads != 0 ? opt.threads : runtime::default_thread_count()),
       report_(name),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()) {
+    if (opt_.metrics) {
+        obs::Registry::global().reset();
+        obs::Registry::global().set_enabled(true);
+#if !LOCBLE_OBS
+        std::fprintf(stderr,
+                     "warning: --metrics requested but this build has "
+                     "LOCBLE_OBS=0; the obs section will be empty\n");
+#endif
+    }
+    if (!opt_.trace_file.empty()) {
+        obs::Tracer::global().reset();
+        obs::Tracer::global().start();
+#if !LOCBLE_OBS
+        std::fprintf(stderr,
+                     "warning: --trace requested but this build has "
+                     "LOCBLE_OBS=0; the trace will be empty\n");
+#endif
+    }
+}
 
 int Runner::finish() {
     const double wall =
@@ -80,6 +110,38 @@ int Runner::finish() {
     report_.set_wall_seconds(wall);
     std::printf("[%d trials, %u threads, seed %llu, %.2f s]\n", trials_run_, threads(),
                 static_cast<unsigned long long>(master_seed_), wall);
+    if (opt_.metrics) {
+        // Snapshot at a quiescent point: the TrialRunner's pool is idle once
+        // every run() call has returned, which finish() requires.
+        const auto snap = obs::Registry::global().snapshot();
+        for (const auto& m : snap) {
+            if (!m.deterministic) continue;  // scheduling-dependent: console only
+            switch (m.kind) {
+                case obs::MetricKind::counter:
+                    report_.add_obs_counter(m.name, m.count);
+                    break;
+                case obs::MetricKind::gauge_max:
+                    report_.add_obs_gauge(m.name, m.value);
+                    break;
+                case obs::MetricKind::histogram:
+                    report_.add_obs_histogram(m.name, m.buckets, m.bounds);
+                    break;
+            }
+        }
+        if (!snap.empty())
+            std::printf("\nobs metrics:\n%s", obs::format_summary(snap).c_str());
+    }
+    if (!opt_.trace_file.empty()) {
+        obs::Tracer::global().stop();
+        try {
+            obs::Tracer::global().write(opt_.trace_file);
+            std::printf("trace: %s (%zu events)\n", opt_.trace_file.c_str(),
+                        obs::Tracer::global().event_count());
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
     if (opt_.json) {
         try {
             const std::string path = report_.write(opt_.out_dir);

@@ -21,10 +21,12 @@ struct Options {
     std::uint64_t seed{0};  ///< 0 = the bench's built-in master seed
     std::string out_dir{"."};
     bool json{true};
+    bool metrics{false};      ///< collect locble::obs metrics into the report
+    std::string trace_file;   ///< non-empty = write a Chrome trace_event JSON
 };
 
-/// Parse `--trials N --threads N --seed S --out DIR --no-json`; prints
-/// usage and exits on `--help` or malformed input.
+/// Parse `--trials N --threads N --seed S --out DIR --no-json --metrics
+/// --trace FILE`; prints usage and exits on `--help` or malformed input.
 Options parse_options(int argc, char** argv);
 
 /// Shared execution harness for one bench binary: owns the parsed options,
@@ -58,8 +60,10 @@ public:
 
     runtime::BenchReport& report() { return report_; }
 
-    /// Stamp run info + wall time, write BENCH_<name>.json (unless
-    /// --no-json) and print where it went. Returns the process exit code.
+    /// Stamp run info + wall time, fold the obs snapshot into the report
+    /// (--metrics), write the trace file (--trace), write BENCH_<name>.json
+    /// (unless --no-json) and print where it went. Returns the process exit
+    /// code.
     int finish();
 
 private:

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "locble/common/cdf.hpp"
+#include "locble/obs/obs.hpp"
 #include "locble/sim/harness.hpp"
 #include "locble/sim/heatmap.hpp"
 #include "locble/sim/navigation_sim.hpp"
@@ -33,6 +34,7 @@ struct Args {
     int beacons{4};
     std::string out;
     std::string in;
+    bool metrics{false};
 };
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -40,6 +42,10 @@ bool parse_args(int argc, char** argv, Args& args) {
     args.mode = argv[1];
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
+        if (flag == "--metrics") {
+            args.metrics = true;
+            continue;
+        }
         if (i + 1 >= argc) return false;
         const std::string value = argv[++i];
         if (flag == "--env")
@@ -64,7 +70,7 @@ void usage() {
     std::printf(
         "usage: locble_cli <measure|moving|navigate|cluster|record|replay|heatmap>\n"
         "       [--env 1..9] [--seed S] [--runs R] [--beacons B]\n"
-        "       [--out PREFIX] [--in PREFIX]\n");
+        "       [--out PREFIX] [--in PREFIX] [--metrics]\n");
 }
 
 int run_measure(const Args& args) {
@@ -241,13 +247,24 @@ int main(int argc, char** argv) {
         usage();
         return 2;
     }
-    if (args.mode == "measure") return run_measure(args);
-    if (args.mode == "moving") return run_moving(args);
-    if (args.mode == "navigate") return run_navigate(args);
-    if (args.mode == "cluster") return run_cluster(args);
-    if (args.mode == "record") return run_record(args);
-    if (args.mode == "replay") return run_replay(args);
-    if (args.mode == "heatmap") return run_heatmap(args);
-    usage();
-    return 2;
+    if (args.metrics) obs::Registry::global().set_enabled(true);
+    int rc = 2;
+    if (args.mode == "measure") rc = run_measure(args);
+    else if (args.mode == "moving") rc = run_moving(args);
+    else if (args.mode == "navigate") rc = run_navigate(args);
+    else if (args.mode == "cluster") rc = run_cluster(args);
+    else if (args.mode == "record") rc = run_record(args);
+    else if (args.mode == "replay") rc = run_replay(args);
+    else if (args.mode == "heatmap") rc = run_heatmap(args);
+    else usage();
+    if (args.metrics) {
+        const auto snap = obs::Registry::global().snapshot();
+        if (snap.empty())
+            std::printf("\n-- pipeline metrics: none recorded"
+                        " (built with LOCBLE_OBS=0?) --\n");
+        else
+            std::printf("\n-- pipeline metrics --\n%s",
+                        obs::format_summary(snap).c_str());
+    }
+    return rc;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "locble/obs/obs.hpp"
+
 namespace locble::ble {
 
 Scanner::Scanner(const Config& cfg) : cfg_(cfg) {
@@ -14,21 +16,43 @@ Scanner::Scanner(const Config& cfg) : cfg_(cfg) {
 
 std::vector<ScanReport> Scanner::receive(const std::vector<Transmission>& transmissions,
                                          locble::Rng& rng) const {
+    LOCBLE_SPAN("scanner.receive");
     std::vector<ScanReport> out;
     if (transmissions.empty()) return out;
+    // Local tallies flushed once per call keep the per-packet loop free of
+    // instrumentation branches.
+    std::uint64_t received_per_ch[3] = {0, 0, 0};
+    std::uint64_t duty_missed = 0, off_channel = 0, crc_lost = 0;
     const double t0 = transmissions.front().t;
     for (const auto& tx : transmissions) {
         // Which scan interval does this transmission land in, and where?
         const double rel = tx.t - t0;
         const auto slot = static_cast<std::int64_t>(std::floor(rel / cfg_.scan_interval_s));
         const double in_slot = rel - static_cast<double>(slot) * cfg_.scan_interval_s;
-        if (in_slot > cfg_.scan_window_s) continue;  // radio idle (duty cycling)
+        if (in_slot > cfg_.scan_window_s) {  // radio idle (duty cycling)
+            ++duty_missed;
+            continue;
+        }
         // Channel rotation: one advertising channel per interval.
         const auto listening = kAdvChannels[static_cast<std::size_t>(slot % 3)];
-        if (listening != tx.channel) continue;
-        if (rng.chance(cfg_.receiver.loss_probability)) continue;  // CRC/interference
+        if (listening != tx.channel) {
+            ++off_channel;
+            continue;
+        }
+        if (rng.chance(cfg_.receiver.loss_probability)) {  // CRC/interference
+            ++crc_lost;
+            continue;
+        }
+        ++received_per_ch[static_cast<std::size_t>(tx.channel) -
+                          static_cast<std::size_t>(AdvChannel::ch37)];
         out.push_back({tx.t, tx.channel, tx.advertiser_id, tx.pdu.address, tx.pdu.payload});
     }
+    LOCBLE_COUNT("scanner.received.ch37", received_per_ch[0]);
+    LOCBLE_COUNT("scanner.received.ch38", received_per_ch[1]);
+    LOCBLE_COUNT("scanner.received.ch39", received_per_ch[2]);
+    LOCBLE_COUNT("scanner.missed.duty_cycle", duty_missed);
+    LOCBLE_COUNT("scanner.missed.off_channel", off_channel);
+    LOCBLE_COUNT("scanner.lost.crc", crc_lost);
     return out;
 }
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "locble/obs/obs.hpp"
+
 namespace locble::core {
 
 namespace {
@@ -88,6 +90,7 @@ double lb_keogh(std::span<const double> target, std::span<const double> candidat
 
 SegmentedDtwMatcher::MatchResult SegmentedDtwMatcher::match(
     std::span<const double> target, std::span<const double> candidate) const {
+    LOCBLE_SPAN("dtw.match");
     MatchResult out;
     const std::size_t n = std::min(target.size(), candidate.size());
     const std::size_t seg = cfg_.segment_length;
@@ -108,6 +111,11 @@ SegmentedDtwMatcher::MatchResult SegmentedDtwMatcher::match(
     }
     out.matched = out.segments_total > 0 &&
                   2 * out.segments_matched > out.segments_total;
+    LOCBLE_COUNT("dtw.match_calls", 1);
+    LOCBLE_COUNT("dtw.segments", out.segments_total);
+    LOCBLE_COUNT("dtw.lb_pruned", out.lb_rejections);
+    LOCBLE_COUNT("dtw.full_evals", out.segments_total - out.lb_rejections);
+    if (out.matched) LOCBLE_COUNT("dtw.matches", 1);
     return out;
 }
 

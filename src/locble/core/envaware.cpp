@@ -7,6 +7,7 @@
 #include "locble/channel/fading.hpp"
 #include "locble/channel/propagation.hpp"
 #include "locble/core/features.hpp"
+#include "locble/obs/obs.hpp"
 
 namespace locble::core {
 
@@ -21,11 +22,18 @@ void EnvAware::train(const ml::Dataset& features) {
 channel::PropagationClass EnvAware::classify(std::span<const double> rss_window) const {
     if (!trained()) throw std::logic_error("EnvAware: classify before train");
     const auto features = extract_env_features_vec(rss_window);
-    return static_cast<channel::PropagationClass>(
+    const auto cls = static_cast<channel::PropagationClass>(
         svm_.predict(scaler_.transform(features)));
+    switch (cls) {
+        case channel::PropagationClass::los: LOCBLE_COUNT("envaware.class.los", 1); break;
+        case channel::PropagationClass::plos: LOCBLE_COUNT("envaware.class.plos", 1); break;
+        case channel::PropagationClass::nlos: LOCBLE_COUNT("envaware.class.nlos", 1); break;
+    }
+    return cls;
 }
 
 EnvAware::Observation EnvAware::observe(std::span<const double> rss_window) {
+    LOCBLE_COUNT("envaware.windows", 1);
     Observation obs{};
     obs.window_class = classify(rss_window);
     if (!regime_) {
@@ -54,6 +62,7 @@ EnvAware::Observation EnvAware::observe(std::span<const double> rss_window) {
             pending_.reset();
             pending_count_ = 0;
             obs.changed = true;
+            LOCBLE_COUNT("envaware.regime_changes", 1);
         }
     }
     obs.regime = *regime_;

@@ -6,6 +6,7 @@
 
 #include "locble/common/linalg.hpp"
 #include "locble/common/stats.hpp"
+#include "locble/obs/obs.hpp"
 
 namespace locble::core {
 
@@ -237,7 +238,9 @@ std::optional<LocationSolver::Candidate> LocationSolver::fit_at_exponent(
             consider({x0, std::sqrt(std::max(h2, 0.0))}, gamma_seed);
         }
     }
+    bool used_multistart = false;
     if (best_rms >= 1e300) {
+        used_multistart = true;
         double mean_rssi = 0.0;
         for (const auto& s : samples) mean_rssi += s.rssi;
         mean_rssi /= static_cast<double>(samples.size());
@@ -264,12 +267,19 @@ std::optional<LocationSolver::Candidate> LocationSolver::fit_at_exponent(
         residual_stats_seg(samples, fit.location, fit.exponent, fit.segment_gammas);
     fit.residual_db = stats.rms_db;
     fit.confidence = stats.confidence;
-    return Candidate{fit, stats.rms_db};
+    return Candidate{fit, stats.rms_db, used_multistart};
 }
 
 std::optional<LocationFit> LocationSolver::solve(const std::vector<FusedSample>& samples,
-                                                 const SolveHints& hints) const {
-    if (samples.size() < cfg_.min_samples) return std::nullopt;
+                                                 const SolveHints& hints,
+                                                 SolveDiagnostics* diag) const {
+    LOCBLE_SPAN("solver.solve");
+    LOCBLE_COUNT("solver.solve_calls", 1);
+    if (diag) *diag = SolveDiagnostics{};
+    if (samples.size() < cfg_.min_samples) {
+        LOCBLE_COUNT("solver.too_few_samples", 1);
+        return std::nullopt;
+    }
 
     // Is there usable lateral (q) excitation, or is the walk effectively 1-D?
     double qmin = samples.front().q, qmax = samples.front().q;
@@ -294,13 +304,33 @@ std::optional<LocationFit> LocationSolver::solve(const std::vector<FusedSample>&
 
     std::optional<Candidate> best;
     std::vector<Candidate> candidates;
+    int grid_points = 0, failures = 0, multistarts = 0;
     for (double n = n_min; n <= n_max + 1e-9; n += cfg_.exponent_step) {
+        ++grid_points;
         auto cand = fit_at_exponent(samples, n, lateral_ok, gamma_min, gamma_max);
-        if (!cand) continue;
+        if (!cand) {
+            ++failures;
+            continue;
+        }
+        if (cand->multistart) ++multistarts;
         candidates.push_back(*cand);
         if (!best || cand->score < best->score) best = cand;
     }
-    if (!best) return std::nullopt;
+    LOCBLE_COUNT("solver.exponent_candidates", grid_points);
+    LOCBLE_COUNT("solver.candidate_failures", failures);
+    LOCBLE_COUNT("solver.multistart_runs", multistarts);
+    if (diag) {
+        diag->exponent_candidates = grid_points;
+        diag->candidate_failures = failures;
+        diag->multistart_runs = multistarts;
+        diag->converged = best.has_value();
+    }
+    if (!best) {
+        LOCBLE_COUNT("solver.convergence_failures", 1);
+        return std::nullopt;
+    }
+    LOCBLE_HISTOGRAM("solver.residual_db", best->fit.residual_db, 0.5, 1.0, 2.0, 3.0,
+                     4.0, 6.0, 8.0, 12.0);
 
     // The residual is nearly flat across neighbouring exponents; averaging
     // the near-optimal candidates (within 15% of the best residual) damps

@@ -50,6 +50,17 @@ struct SolveHints {
 /// Exponent band for a recognized propagation class.
 std::pair<double, double> exponent_band_for(channel::PropagationClass cls);
 
+/// Per-solve work/convergence accounting, filled by LocationSolver::solve
+/// when the caller passes a sink. This is the library-level mirror of the
+/// locble::obs solver metrics: users get stage insight from a plain struct
+/// without enabling (or even compiling) the tracer.
+struct SolveDiagnostics {
+    int exponent_candidates{0};  ///< Eq. 5 grid points evaluated
+    int candidate_failures{0};   ///< grid points rejected (degenerate or implausible)
+    int multistart_runs{0};      ///< grid points that fell back to multi-start GN
+    bool converged{false};       ///< a fit was returned
+};
+
 /// Elliptical-regression location estimator (Sec. 5).
 ///
 /// For a candidate exponent n, the path-loss law becomes linear in
@@ -94,9 +105,11 @@ public:
     /// Full 2-D fit over (typically L-shaped) movement data. Returns
     /// nullopt when there are too few samples or every candidate exponent
     /// yields a degenerate system. `hints` (optional) narrows the exponent
-    /// and Gamma search regions.
+    /// and Gamma search regions; `diag` (optional) receives per-solve
+    /// work/convergence accounting.
     std::optional<LocationFit> solve(const std::vector<FusedSample>& samples,
-                                     const SolveHints& hints = {}) const;
+                                     const SolveHints& hints = {},
+                                     SolveDiagnostics* diag = nullptr) const;
 
     /// The paper's explicit disambiguation (Sec. 5.1): fit each leg of an
     /// L-shaped walk independently (each is 1-D and symmetric about its own
@@ -113,6 +126,7 @@ private:
     struct Candidate {
         LocationFit fit;
         double score{1e300};
+        bool multistart{false};  ///< linear seed failed; multi-start GN produced this
     };
 
     /// One least-squares pass at a fixed exponent; nullopt when the linear

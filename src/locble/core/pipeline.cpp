@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "locble/obs/obs.hpp"
+
 namespace locble::core {
 
 LocBle::LocBle(const Config& cfg, std::optional<EnvAware> envaware)
@@ -34,8 +36,11 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
                          const motion::MotionEstimate& observer,
                          const motion::MotionEstimate* target,
                          double /*target_frame_rotation*/) const {
+    LOCBLE_SPAN("pipeline.locate");
     LocateResult result;
     if (raw_rss.empty()) return result;
+    LOCBLE_COUNT("pipeline.locate_calls", 1);
+    LOCBLE_COUNT("pipeline.samples_in", raw_rss.size());
 
     // ANF runs offline (zero-phase) over the recorded capture; EnvAware
     // sees raw batches (it learns from the raw fluctuation statistics the
@@ -66,9 +71,12 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
 
     auto flush_batch = [&]() {
         if (batch_raw.empty()) return;
+        LOCBLE_COUNT("pipeline.batches", 1);
+        result.diagnostics.batch_samples.push_back(batch_raw.size());
         bool restart = false;
         if (cfg_.use_envaware && env && batch_raw.size() >= 4) {
             const auto obs = env->observe(batch_raw);
+            result.diagnostics.envaware_windows += 1;
             result.window_classes.push_back(obs.window_class);
             regime = obs.regime;
             restart = obs.changed;
@@ -91,6 +99,7 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
         if (restart && level_jumped && cfg_.restart_on_change) {
             ++segment;
             ++result.regression_restarts;
+            LOCBLE_COUNT("pipeline.regression_restarts", 1);
         }
         for (auto& s : batch_fused) s.segment = segment;
         regression.insert(regression.end(), batch_fused.begin(), batch_fused.end());
@@ -116,10 +125,17 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
                                     *cfg_.gamma_prior_dbm + cfg_.gamma_prior_above_db};
         }
 
-        if (auto fit = solver_.solve(regression, hints)) {
+        SolveDiagnostics sd;
+        if (auto fit = solver_.solve(regression, hints, &sd)) {
             last_fit = fit;
             last_fit_samples = regression.size();
         }
+        auto& diag = result.diagnostics;
+        diag.solver_calls += 1;
+        diag.solver_candidates += sd.exponent_candidates;
+        diag.solver_failures += sd.candidate_failures;
+        diag.solver_multistarts += sd.multistart_runs;
+        if (!sd.converged) diag.convergence_failures += 1;
         batch_raw.clear();
         batch_fused.clear();
     };
@@ -147,6 +163,7 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
 
     result.fit = last_fit;
     result.samples_used = last_fit_samples;
+    if (!result.fit) LOCBLE_COUNT("pipeline.no_fix", 1);
     return result;
 }
 

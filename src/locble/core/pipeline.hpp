@@ -13,10 +13,24 @@ namespace locble::core {
 
 /// Output of one LocBLE measurement (Algo. 1's return value).
 struct LocateResult {
+    /// Stage-level accounting for one locate() call, populated on every run
+    /// regardless of the locble::obs build/runtime switches — library users
+    /// get solver and batching insight without linking the tracer.
+    struct Diagnostics {
+        int solver_calls{0};         ///< regression solves (one per flushed batch)
+        int solver_candidates{0};    ///< exponent grid points evaluated in total
+        int solver_failures{0};      ///< grid points rejected (degenerate/implausible)
+        int solver_multistarts{0};   ///< solves that needed the multi-start fallback
+        int convergence_failures{0}; ///< solves that returned no fit at all
+        int envaware_windows{0};     ///< batches EnvAware classified
+        std::vector<std::size_t> batch_samples;  ///< RSS samples per Algo. 1 batch
+    };
+
     std::optional<LocationFit> fit;  ///< nullopt when no regression converged
     int regression_restarts{0};      ///< environment changes that reset the fit
     std::size_t samples_used{0};     ///< samples in the final regression
     std::vector<channel::PropagationClass> window_classes;  ///< per-batch EnvAware output
+    Diagnostics diagnostics;
 };
 
 /// The LocBLE estimation pipeline (Sec. 5.3, Algorithm 1): batches RSS,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "locble/obs/obs.hpp"
+
 namespace locble::dsp {
 
 Anf::Anf(const Config& cfg)
@@ -41,8 +43,11 @@ locble::TimeSeries Anf::process(const locble::TimeSeries& raw) {
 }
 
 locble::TimeSeries Anf::process_offline(const locble::TimeSeries& raw) const {
+    LOCBLE_SPAN("anf.process_offline");
     locble::TimeSeries out;
     if (raw.empty()) return out;
+    LOCBLE_COUNT("anf.offline_passes", 1);
+    LOCBLE_COUNT("anf.samples", raw.size());
     const auto bf = design_butterworth_lowpass(cfg_.butterworth_order, cfg_.cutoff_hz,
                                                cfg_.sample_rate_hz);
     const std::vector<double> smooth = filtfilt(bf, locble::values_of(raw));

@@ -1,0 +1,233 @@
+#include "locble/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace locble::obs {
+
+namespace {
+
+/// One TLS entry per (thread, registry) pair. The generation check makes a
+/// cached pointer to a destroyed registry harmless even if a new registry
+/// is later allocated at the same address.
+struct TlsEntry {
+    const void* reg;
+    std::uint64_t generation;
+    void* shard;
+};
+thread_local std::vector<TlsEntry> tls_shards;
+
+std::atomic<std::uint64_t> g_registry_generation{1};
+
+}  // namespace
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+Registry::Registry()
+    : generation_(g_registry_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+Registry::Shard& Registry::local_shard() {
+    for (const auto& e : tls_shards)
+        if (e.reg == this && e.generation == generation_)
+            return *static_cast<Shard*>(e.shard);
+    auto owned = std::make_unique<Shard>();
+    Shard* shard = owned.get();
+    {
+        const std::lock_guard lock(mutex_);
+        shard->u64.resize(u64_cells_, 0);
+        shard->f64.resize(f64_cells_, 0.0);
+        shards_.push_back(std::move(owned));
+    }
+    tls_shards.push_back({this, generation_, shard});
+    return *shard;
+}
+
+void Registry::ensure_capacity(Shard& shard) const {
+    const std::lock_guard lock(mutex_);
+    if (shard.u64.size() < u64_cells_) shard.u64.resize(u64_cells_, 0);
+    if (shard.f64.size() < f64_cells_) shard.f64.resize(f64_cells_, 0.0);
+}
+
+const Registry::Desc* Registry::find_locked(const std::string& name) const {
+    for (const auto& d : descs_)
+        if (d.name == name) return &d;
+    return nullptr;
+}
+
+Counter Registry::counter(const std::string& name, bool deterministic) {
+    const std::lock_guard lock(mutex_);
+    if (const Desc* d = find_locked(name)) {
+        if (d->kind != MetricKind::counter)
+            throw std::logic_error("obs: '" + name + "' registered with another kind");
+        return Counter(this, d->u64_base);
+    }
+    Desc d{name, MetricKind::counter, deterministic, u64_cells_, 1, 0, 0, {}};
+    u64_cells_ += 1;
+    descs_.push_back(std::move(d));
+    return Counter(this, descs_.back().u64_base);
+}
+
+GaugeMax Registry::gauge_max(const std::string& name, bool deterministic) {
+    const std::lock_guard lock(mutex_);
+    if (const Desc* d = find_locked(name)) {
+        if (d->kind != MetricKind::gauge_max)
+            throw std::logic_error("obs: '" + name + "' registered with another kind");
+        return GaugeMax(this, d->f64_base, d->u64_base);
+    }
+    Desc d{name, MetricKind::gauge_max, deterministic, u64_cells_, 1, f64_cells_, 1, {}};
+    u64_cells_ += 1;  // "was set" flag, so an untouched gauge reports 0
+    f64_cells_ += 1;
+    descs_.push_back(std::move(d));
+    return GaugeMax(this, descs_.back().f64_base, descs_.back().u64_base);
+}
+
+Histogram Registry::histogram(const std::string& name, std::vector<double> bounds,
+                              bool deterministic) {
+    if (bounds.empty()) throw std::invalid_argument("obs: histogram needs bounds");
+    if (!std::is_sorted(bounds.begin(), bounds.end()))
+        throw std::invalid_argument("obs: histogram bounds must be sorted");
+    const std::lock_guard lock(mutex_);
+    if (const Desc* d = find_locked(name)) {
+        if (d->kind != MetricKind::histogram)
+            throw std::logic_error("obs: '" + name + "' registered with another kind");
+        return Histogram(this, d->u64_base, d->bounds, d->f64_base);
+    }
+    const auto n = static_cast<std::uint32_t>(bounds.size());
+    Desc d{name,       MetricKind::histogram, deterministic, u64_cells_, n + 1,
+           f64_cells_, 1,                     std::move(bounds)};
+    u64_cells_ += n + 1;  // n bounded buckets + overflow
+    f64_cells_ += 1;      // sum (display only)
+    descs_.push_back(std::move(d));
+    return Histogram(this, descs_.back().u64_base, descs_.back().bounds,
+                     descs_.back().f64_base);
+}
+
+void Counter::add(std::uint64_t n) const {
+    if (!reg_ || !reg_->enabled()) return;
+    Registry::Shard& shard = reg_->local_shard();
+    if (cell_ >= shard.u64.size()) reg_->ensure_capacity(shard);
+    shard.u64[cell_] += n;
+}
+
+void GaugeMax::record(double v) const {
+    if (!reg_ || !reg_->enabled()) return;
+    Registry::Shard& shard = reg_->local_shard();
+    if (value_cell_ >= shard.f64.size() || set_cell_ >= shard.u64.size())
+        reg_->ensure_capacity(shard);
+    if (shard.u64[set_cell_] == 0 || v > shard.f64[value_cell_])
+        shard.f64[value_cell_] = v;
+    shard.u64[set_cell_] += 1;
+}
+
+void Histogram::record(double v) const {
+    if (!reg_ || !reg_->enabled()) return;
+    Registry::Shard& shard = reg_->local_shard();
+    const auto n_bounds = static_cast<std::uint32_t>(bounds_.size());
+    if (bucket_base_ + n_bounds >= shard.u64.size() || sum_cell_ >= shard.f64.size())
+        reg_->ensure_capacity(shard);
+    // NaN falls into the overflow bucket and adds nothing to the sum.
+    std::uint32_t bucket = n_bounds;
+    if (!std::isnan(v)) {
+        shard.f64[sum_cell_] += v;
+        const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+        if (it != bounds_.end())
+            bucket = static_cast<std::uint32_t>(it - bounds_.begin());
+    }
+    shard.u64[bucket_base_ + bucket] += 1;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+    const std::lock_guard lock(mutex_);
+    std::vector<MetricSnapshot> out;
+    out.reserve(descs_.size());
+    for (const Desc& d : descs_) {
+        MetricSnapshot m;
+        m.name = d.name;
+        m.kind = d.kind;
+        m.deterministic = d.deterministic;
+        m.bounds = d.bounds;
+        switch (d.kind) {
+            case MetricKind::counter:
+                for (const auto& s : shards_)
+                    if (d.u64_base < s->u64.size()) m.count += s->u64[d.u64_base];
+                break;
+            case MetricKind::gauge_max: {
+                bool seen = false;
+                for (const auto& s : shards_) {
+                    if (d.u64_base >= s->u64.size() || s->u64[d.u64_base] == 0) continue;
+                    if (!seen || s->f64[d.f64_base] > m.value) m.value = s->f64[d.f64_base];
+                    m.count += s->u64[d.u64_base];
+                    seen = true;
+                }
+                break;
+            }
+            case MetricKind::histogram: {
+                m.buckets.assign(d.bounds.size() + 1, 0);
+                for (const auto& s : shards_) {
+                    if (d.u64_base + d.u64_cells > s->u64.size()) continue;
+                    for (std::uint32_t i = 0; i < d.u64_cells; ++i)
+                        m.buckets[i] += s->u64[d.u64_base + i];
+                    m.sum += s->f64[d.f64_base];
+                }
+                for (const std::uint64_t b : m.buckets) m.count += b;
+                break;
+            }
+        }
+        out.push_back(std::move(m));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSnapshot& a, const MetricSnapshot& b) { return a.name < b.name; });
+    return out;
+}
+
+void Registry::reset() {
+    const std::lock_guard lock(mutex_);
+    for (const auto& s : shards_) {
+        std::fill(s->u64.begin(), s->u64.end(), 0);
+        std::fill(s->f64.begin(), s->f64.end(), 0.0);
+    }
+}
+
+std::string format_summary(const std::vector<MetricSnapshot>& metrics) {
+    std::string out;
+    char line[256];
+    for (const auto& m : metrics) {
+        switch (m.kind) {
+            case MetricKind::counter:
+                std::snprintf(line, sizeof line, "  %-36s %llu\n", m.name.c_str(),
+                              static_cast<unsigned long long>(m.count));
+                break;
+            case MetricKind::gauge_max:
+                std::snprintf(line, sizeof line, "  %-36s max %.3g (%llu records)\n",
+                              m.name.c_str(), m.value,
+                              static_cast<unsigned long long>(m.count));
+                break;
+            case MetricKind::histogram: {
+                const double mean =
+                    m.count > 0 ? m.sum / static_cast<double>(m.count) : 0.0;
+                std::snprintf(line, sizeof line,
+                              "  %-36s n=%llu mean=%.3g buckets=[", m.name.c_str(),
+                              static_cast<unsigned long long>(m.count), mean);
+                out += line;
+                for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+                    std::snprintf(line, sizeof line, "%s%llu", i ? " " : "",
+                                  static_cast<unsigned long long>(m.buckets[i]));
+                    out += line;
+                }
+                out += "]\n";
+                continue;
+            }
+        }
+        out += line;
+    }
+    return out;
+}
+
+}  // namespace locble::obs

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace locble::obs {
+
+/// What a metric measures and how per-thread shards merge:
+///   - counter:   monotonically increasing u64, merge = sum (exact, so the
+///                merged value is independent of thread count/scheduling);
+///   - gauge_max: high-water mark double, merge = max (order-invariant);
+///   - histogram: fixed-bucket u64 counts, merge = per-bucket sum.
+enum class MetricKind { counter, gauge_max, histogram };
+
+/// One merged metric as returned by Registry::snapshot().
+///
+/// Deliberately integer-centric: counters and bucket counts merge by exact
+/// u64 addition and gauge_max by max, so every field here is bit-identical
+/// whatever the thread count. Histograms track a double `sum` for human
+/// summaries (mean), but because float addition is order-sensitive across
+/// shards, `sum` is NOT part of the determinism contract and is excluded
+/// from bench JSON output.
+struct MetricSnapshot {
+    std::string name;
+    MetricKind kind{MetricKind::counter};
+    /// False for metrics whose *values* depend on scheduling (queue depth,
+    /// per-worker task counts). Non-deterministic metrics are shown in
+    /// console summaries but never serialized into BENCH_*.json.
+    bool deterministic{true};
+    std::uint64_t count{0};             ///< counter value / histogram sample count
+    double value{0.0};                  ///< gauge_max value (0 when never set)
+    double sum{0.0};                    ///< histogram sample sum (display only)
+    std::vector<std::uint64_t> buckets; ///< histogram counts; last = overflow
+    std::vector<double> bounds;         ///< histogram inclusive upper edges
+};
+
+class Registry;
+
+/// Cheap value handles bound to one registered metric. Copyable; safe to
+/// keep in function-local statics. All record operations are no-ops while
+/// the owning registry is disabled.
+class Counter {
+public:
+    Counter() = default;
+    void add(std::uint64_t n = 1) const;
+
+private:
+    friend class Registry;
+    Counter(Registry* reg, std::uint32_t cell) : reg_(reg), cell_(cell) {}
+    Registry* reg_{nullptr};
+    std::uint32_t cell_{0};
+};
+
+class GaugeMax {
+public:
+    GaugeMax() = default;
+    void record(double v) const;
+
+private:
+    friend class Registry;
+    GaugeMax(Registry* reg, std::uint32_t value_cell, std::uint32_t set_cell)
+        : reg_(reg), value_cell_(value_cell), set_cell_(set_cell) {}
+    Registry* reg_{nullptr};
+    std::uint32_t value_cell_{0};
+    std::uint32_t set_cell_{0};
+};
+
+class Histogram {
+public:
+    Histogram() = default;
+    /// Buckets have inclusive upper edges; v > last edge lands in the
+    /// overflow bucket, as does NaN (which contributes 0 to the sum so one
+    /// bad sample cannot poison the display mean).
+    void record(double v) const;
+
+private:
+    friend class Registry;
+    Histogram(Registry* reg, std::uint32_t bucket_base, std::vector<double> bounds,
+              std::uint32_t sum_cell)
+        : reg_(reg), bucket_base_(bucket_base), bounds_(std::move(bounds)),
+          sum_cell_(sum_cell) {}
+    Registry* reg_{nullptr};
+    std::uint32_t bucket_base_{0};
+    std::vector<double> bounds_;  ///< private copy: bucket search without locking
+    std::uint32_t sum_cell_{0};
+};
+
+/// Sharded metrics registry.
+///
+/// Each recording thread writes into its own shard (plain cells, owner
+/// thread only), so the hot path takes no locks; registration and snapshot
+/// take a mutex. Merging walks metrics in registration order and shards in
+/// their registration order, but every merge operation (u64 sum, double
+/// max) is order-invariant, so snapshot values are bit-identical for any
+/// thread count — the property the PR-1 determinism contract needs.
+/// snapshot()/reset() must be called at a quiescent point (no concurrent
+/// recording); the bench harness calls them only after all trials joined.
+///
+/// Registering an existing name returns a handle to the same metric (the
+/// kind must match). Instruments record only while `enabled()` — the
+/// runtime half of the zero-cost toggle; the compile-time half is the
+/// LOCBLE_OBS macro in obs.hpp, which removes call sites entirely.
+class Registry {
+public:
+    /// Process-wide registry used by the LOCBLE_* instrumentation macros.
+    static Registry& global();
+
+    Registry();
+    ~Registry();
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+    Counter counter(const std::string& name, bool deterministic = true);
+    GaugeMax gauge_max(const std::string& name, bool deterministic = true);
+    Histogram histogram(const std::string& name, std::vector<double> bounds,
+                        bool deterministic = true);
+
+    /// Merged view of every registered metric, sorted by name (name order
+    /// is stable across runs even when racing threads register in different
+    /// orders). Quiescent point required.
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /// Zero every cell in every shard (metrics stay registered). Quiescent
+    /// point required.
+    void reset();
+
+private:
+    friend class Counter;
+    friend class GaugeMax;
+    friend class Histogram;
+
+    struct Shard {
+        std::vector<std::uint64_t> u64;
+        std::vector<double> f64;
+    };
+
+    struct Desc {
+        std::string name;
+        MetricKind kind;
+        bool deterministic;
+        std::uint32_t u64_base;   ///< counter cell / first histogram bucket
+        std::uint32_t u64_cells;  ///< cells in the u64 plane
+        std::uint32_t f64_base;   ///< gauge value / histogram sum
+        std::uint32_t f64_cells;
+        std::vector<double> bounds;
+    };
+
+    /// The calling thread's shard, created (and sized to the current cell
+    /// planes) on first use.
+    Shard& local_shard();
+    /// Grow `shard` to cover cells registered after its creation.
+    void ensure_capacity(Shard& shard) const;
+    const Desc* find_locked(const std::string& name) const;
+
+    std::atomic<bool> enabled_{false};
+    std::uint64_t generation_;  ///< distinguishes this instance in TLS caches
+
+    mutable std::mutex mutex_;
+    std::vector<Desc> descs_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::uint32_t u64_cells_{0};
+    std::uint32_t f64_cells_{0};
+};
+
+/// Human-readable one-line-per-metric dump (used by locble_cli and the
+/// bench console summary). Includes non-deterministic metrics.
+std::string format_summary(const std::vector<MetricSnapshot>& metrics);
+
+}  // namespace locble::obs

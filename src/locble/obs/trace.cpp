@@ -1,0 +1,119 @@
+#include "locble/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace locble::obs {
+
+namespace {
+
+struct TlsEntry {
+    const void* tracer;
+    std::uint64_t generation;
+    void* buffer;
+};
+thread_local std::vector<TlsEntry> tls_buffers;
+
+std::atomic<std::uint64_t> g_tracer_generation{1};
+
+std::string format_us(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+    static Tracer instance;
+    return instance;
+}
+
+Tracer::Tracer()
+    : generation_(g_tracer_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+void Tracer::start() {
+    epoch_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::reset() {
+    const std::lock_guard lock(mutex_);
+    for (const auto& b : buffers_) b->events.clear();
+}
+
+double Tracer::now_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     epoch_)
+        .count();
+}
+
+Tracer::Buffer& Tracer::local_buffer() {
+    for (const auto& e : tls_buffers)
+        if (e.tracer == this && e.generation == generation_)
+            return *static_cast<Buffer*>(e.buffer);
+    auto owned = std::make_unique<Buffer>();
+    Buffer* buffer = owned.get();
+    {
+        const std::lock_guard lock(mutex_);
+        buffer->tid = next_tid_++;
+        buffers_.push_back(std::move(owned));
+    }
+    tls_buffers.push_back({this, generation_, buffer});
+    return *buffer;
+}
+
+void Tracer::record(const char* name, double ts_us, double dur_us) {
+    if (!enabled()) return;
+    Buffer& buffer = local_buffer();
+    buffer.events.push_back({name, ts_us, dur_us, buffer.tid});
+}
+
+std::size_t Tracer::event_count() const {
+    const std::lock_guard lock(mutex_);
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b->events.size();
+    return n;
+}
+
+std::string Tracer::to_json() const {
+    std::vector<TraceEvent> events;
+    {
+        const std::lock_guard lock(mutex_);
+        for (const auto& b : buffers_)
+            events.insert(events.end(), b->events.begin(), b->events.end());
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.tid != b.tid) return a.tid < b.tid;
+                         if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                         return a.dur_us > b.dur_us;  // parents before children
+                     });
+    std::string out = "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        if (i) out += ",";
+        out += "\n  {\"name\":\"";
+        out += e.name;
+        out += "\",\"cat\":\"locble\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+        out += std::to_string(e.tid);
+        out += ",\"ts\":" + format_us(e.ts_us);
+        out += ",\"dur\":" + format_us(e.dur_us);
+        out += "}";
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+void Tracer::write(const std::string& path) const {
+    std::ofstream file(path, std::ios::trunc);
+    if (!file) throw std::runtime_error("obs: cannot write trace to " + path);
+    file << to_json();
+}
+
+}  // namespace locble::obs

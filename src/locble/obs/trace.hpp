@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace locble::obs {
+
+/// One completed span, in Chrome trace_event "X" (complete event) form.
+/// Timestamps are microseconds since the tracer was started — trial-
+/// relative, never wall-clock — so two traces of the same run line up
+/// event-for-event in Perfetto no matter when they were recorded.
+struct TraceEvent {
+    const char* name;  ///< must be a string literal (spans pass their name through)
+    double ts_us;
+    double dur_us;
+    std::uint32_t tid;
+};
+
+/// Span tracer with per-thread buffers.
+///
+/// Spans are recorded through the RAII ScopedSpan (or the LOCBLE_SPAN macro
+/// in obs.hpp, which compiles away under LOCBLE_OBS=0). While the tracer is
+/// disabled, a span's constructor does a single relaxed load and nothing
+/// else. Buffers are merged and sorted at serialization time; to_json()
+/// emits the Chrome trace_event JSON array format, loadable in Perfetto or
+/// chrome://tracing.
+///
+/// Like the metrics registry, to_json()/write()/reset() require a
+/// quiescent point (no spans currently open or being recorded).
+class Tracer {
+public:
+    /// Process-wide tracer used by ScopedSpan / LOCBLE_SPAN.
+    static Tracer& global();
+
+    Tracer();
+    ~Tracer();
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    /// Enable recording and reset the epoch: all later timestamps are
+    /// relative to this instant.
+    void start();
+    void stop() { enabled_.store(false, std::memory_order_relaxed); }
+    /// Discard every recorded event (tracer stays enabled/disabled as-is).
+    void reset();
+
+    /// Microseconds since start(); what recorded timestamps are made of.
+    double now_us() const;
+
+    void record(const char* name, double ts_us, double dur_us);
+
+    std::size_t event_count() const;
+
+    /// {"traceEvents":[...]} with events sorted by (tid, ts) — the format
+    /// chrome://tracing and Perfetto load directly.
+    std::string to_json() const;
+
+    /// Write to_json() to `path`; throws std::runtime_error on IO failure.
+    void write(const std::string& path) const;
+
+private:
+    struct Buffer {
+        std::uint32_t tid;
+        std::vector<TraceEvent> events;
+    };
+
+    Buffer& local_buffer();
+
+    std::atomic<bool> enabled_{false};
+    std::uint64_t generation_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Buffer>> buffers_;
+    std::uint32_t next_tid_{0};
+};
+
+/// RAII span: records one complete ("X") event on the global tracer from
+/// construction to destruction. `name` must outlive the tracer's next
+/// serialization — pass string literals.
+class ScopedSpan {
+public:
+    explicit ScopedSpan(const char* name) {
+        Tracer& tracer = Tracer::global();
+        if (tracer.enabled()) {
+            name_ = name;
+            start_us_ = tracer.now_us();
+        }
+    }
+    ~ScopedSpan() {
+        if (name_) {
+            Tracer& tracer = Tracer::global();
+            const double end_us = tracer.now_us();
+            tracer.record(name_, start_us_, end_us - start_us_);
+        }
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    const char* name_{nullptr};
+    double start_us_{0.0};
+};
+
+}  // namespace locble::obs

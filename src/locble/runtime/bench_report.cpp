@@ -69,6 +69,20 @@ void BenchReport::add_summary(const std::string& key, std::span<const double> sa
                                              cdf.max()}));
 }
 
+void BenchReport::add_obs_counter(const std::string& key, std::uint64_t value) {
+    obs_.emplace_back(key, ObsValue(value));
+}
+
+void BenchReport::add_obs_gauge(const std::string& key, double value) {
+    obs_.emplace_back(key, ObsValue(value));
+}
+
+void BenchReport::add_obs_histogram(const std::string& key,
+                                    std::vector<std::uint64_t> buckets,
+                                    std::vector<double> bounds) {
+    obs_.emplace_back(key, ObsValue(ObsHistogram{std::move(buckets), std::move(bounds)}));
+}
+
 std::string BenchReport::to_json() const {
     std::string out = "{\n";
     out += "  \"bench\": \"" + json_escape(name_) + "\",\n";
@@ -95,7 +109,38 @@ std::string BenchReport::to_json() const {
         }
         out += i + 1 < metrics_.size() ? ",\n" : "\n";
     }
-    out += "  }\n}\n";
+    out += "  }";
+    if (!obs_.empty()) {
+        out += ",\n  \"obs\": {\n";
+        for (std::size_t i = 0; i < obs_.size(); ++i) {
+            const auto& [key, value] = obs_[i];
+            out += "    \"" + json_escape(key) + "\": ";
+            if (const auto* c = std::get_if<std::uint64_t>(&value)) {
+                out += std::to_string(*c);
+            } else if (const auto* g = std::get_if<double>(&value)) {
+                out += json_number(*g);
+            } else {
+                const auto& h = std::get<ObsHistogram>(value);
+                std::uint64_t total = 0;
+                for (const std::uint64_t b : h.buckets) total += b;
+                out += "{\"count\": " + std::to_string(total);
+                out += ", \"buckets\": [";
+                for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+                    if (b > 0) out += ", ";
+                    out += std::to_string(h.buckets[b]);
+                }
+                out += "], \"bounds\": [";
+                for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+                    if (b > 0) out += ", ";
+                    out += json_number(h.bounds[b]);
+                }
+                out += "]}";
+            }
+            out += i + 1 < obs_.size() ? ",\n" : "\n";
+        }
+        out += "  }";
+    }
+    out += "\n}\n";
     return out;
 }
 

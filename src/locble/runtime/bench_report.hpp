@@ -35,6 +35,18 @@ public:
     /// Full summary of a sample set: count/mean/median/p90/min/max.
     void add_summary(const std::string& key, std::span<const double> samples);
 
+    /// Stage-level observability metrics (locble::obs snapshot), serialized
+    /// as a separate "obs" JSON section after "metrics". Only merge-order-
+    /// invariant values belong here — u64 counters/bucket counts and max
+    /// gauges — so the section stays byte-identical across thread counts
+    /// (float sums are NOT accepted: their shard merge order varies).
+    /// The section is omitted entirely while empty, which keeps obs-disabled
+    /// reports byte-identical to the pre-obs format.
+    void add_obs_counter(const std::string& key, std::uint64_t value);
+    void add_obs_gauge(const std::string& key, double value);
+    void add_obs_histogram(const std::string& key, std::vector<std::uint64_t> buckets,
+                           std::vector<double> bounds);
+
     std::string to_json() const;
 
     /// Write BENCH_<name>.json into `dir`; returns the path written.
@@ -48,12 +60,19 @@ private:
     };
     using Value = std::variant<double, std::string, Summary>;
 
+    struct ObsHistogram {
+        std::vector<std::uint64_t> buckets;
+        std::vector<double> bounds;
+    };
+    using ObsValue = std::variant<std::uint64_t, double, ObsHistogram>;
+
     std::string name_;
     int trials_{0};
     unsigned threads_{0};
     std::uint64_t seed_{0};
     double wall_seconds_{0.0};
     std::vector<std::pair<std::string, Value>> metrics_;
+    std::vector<std::pair<std::string, ObsValue>> obs_;
 };
 
 }  // namespace locble::runtime

@@ -1,5 +1,7 @@
 #include "locble/runtime/thread_pool.hpp"
 
+#include "locble/obs/obs.hpp"
+
 namespace locble::runtime {
 
 unsigned ThreadPool::resolve_threads(unsigned requested) {
@@ -30,23 +32,32 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     {
         const std::lock_guard lock(mutex_);
         queue_.push_back(std::move(packaged));
+        // Scheduling-dependent by nature, so never part of bench JSON.
+        LOCBLE_GAUGE_MAX_ND("runtime.pool.queue_depth", queue_.size());
     }
     cv_.notify_one();
     return future;
 }
 
 void ThreadPool::worker_loop() {
+    std::uint64_t tasks_run = 0;
     for (;;) {
         std::packaged_task<void()> task;
         {
             std::unique_lock lock(mutex_);
             cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) return;  // stopping_ and drained
+            if (queue_.empty()) break;  // stopping_ and drained
             task = std::move(queue_.front());
             queue_.pop_front();
         }
         task();  // exceptions land in the task's future
+        ++tasks_run;
+        LOCBLE_COUNT_ND("runtime.pool.tasks", 1);
     }
+    // Per-worker distribution, flushed once at pool teardown (snapshots
+    // taken while the pool is alive only see the running total above).
+    LOCBLE_HISTOGRAM_ND("runtime.pool.tasks_per_worker", tasks_run, 1.0, 2.0, 4.0, 8.0,
+                        16.0, 32.0, 64.0, 128.0, 256.0, 512.0);
 }
 
 }  // namespace locble::runtime

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "locble/common/rng.hpp"
+#include "locble/obs/obs.hpp"
 #include "locble/runtime/thread_pool.hpp"
 
 namespace locble::runtime {
@@ -52,9 +53,12 @@ public:
         static_assert(!std::is_void_v<T>,
                       "trial functions must return their result");
         if (trials <= 0) return {};
+        LOCBLE_SPAN("runtime.run_trials");
+        LOCBLE_COUNT("runtime.trials", trials);
 
         std::vector<std::optional<T>> slots(static_cast<std::size_t>(trials));
         const auto run_one = [&](int t) {
+            LOCBLE_SPAN("trial");
             locble::Rng rng = locble::Rng::for_stream(seed, static_cast<std::uint64_t>(t));
             slots[static_cast<std::size_t>(t)].emplace(fn(t, rng));
         };

@@ -172,6 +172,41 @@ TEST(LocBleTest, WindowClassesReportedWithEnvAware) {
         pipeline.locate(rss_for({5.0, 2.0}, -59.0, 2.0, 1.0, 4), ideal_l_motion());
     // 8 s of data in 2 s batches -> ~4 classified windows.
     EXPECT_GE(result.window_classes.size(), 3u);
+    // Diagnostics mirror the classified windows.
+    EXPECT_EQ(result.diagnostics.envaware_windows,
+              static_cast<int>(result.window_classes.size()));
+}
+
+TEST(LocBleTest, DiagnosticsAccountForEveryBatchAndSolve) {
+    const LocBle pipeline(no_env_config());
+    const auto rss = rss_for({5.0, 2.5}, -59.0, 2.0, 0.0, 1);
+    const auto result = pipeline.locate(rss, ideal_l_motion());
+    ASSERT_TRUE(result.fit.has_value());
+
+    const auto& d = result.diagnostics;
+    // One solve per flushed batch, and every input sample lands in exactly
+    // one batch.
+    EXPECT_EQ(d.solver_calls, static_cast<int>(d.batch_samples.size()));
+    EXPECT_GE(d.solver_calls, 3);  // 8 s walk in 2 s batches
+    std::size_t batched = 0;
+    for (const std::size_t n : d.batch_samples) batched += n;
+    EXPECT_EQ(batched, rss.size());
+    // The solver walked its exponent grid and a clean signal converges.
+    EXPECT_GT(d.solver_candidates, 0);
+    EXPECT_LE(d.solver_failures, d.solver_candidates);
+    EXPECT_EQ(d.convergence_failures, 0);
+    EXPECT_EQ(d.envaware_windows, 0);  // EnvAware disabled in this config
+}
+
+TEST(LocBleTest, DiagnosticsReportConvergenceFailures) {
+    const LocBle pipeline(no_env_config());
+    // Two RSS samples make one under-determined batch: no fit, and the
+    // failure must be visible in the diagnostics.
+    locble::TimeSeries rss{{0.0, -60.0}, {0.1, -61.0}};
+    const auto result = pipeline.locate(rss, ideal_l_motion());
+    EXPECT_FALSE(result.fit.has_value());
+    EXPECT_EQ(result.diagnostics.solver_calls, result.diagnostics.convergence_failures);
+    EXPECT_GE(result.diagnostics.convergence_failures, 1);
 }
 
 }  // namespace

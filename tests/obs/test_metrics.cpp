@@ -1,0 +1,223 @@
+#include "locble/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "locble/obs/obs.hpp"
+#include "locble/runtime/trial_runner.hpp"
+
+namespace locble::obs {
+namespace {
+
+const MetricSnapshot* find(const std::vector<MetricSnapshot>& snap,
+                           const std::string& name) {
+    for (const auto& m : snap)
+        if (m.name == name) return &m;
+    return nullptr;
+}
+
+TEST(MetricsTest, CounterAccumulates) {
+    Registry reg;
+    reg.set_enabled(true);
+    const Counter c = reg.counter("test.counter");
+    c.add();
+    c.add(41);
+    const auto snap = reg.snapshot();
+    const auto* m = find(snap, "test.counter");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind, MetricKind::counter);
+    EXPECT_TRUE(m->deterministic);
+    EXPECT_EQ(m->count, 42u);
+}
+
+TEST(MetricsTest, DisabledRegistryRecordsNothing) {
+    Registry reg;  // enabled defaults to false
+    const Counter c = reg.counter("test.counter");
+    c.add(7);
+    const auto snap = reg.snapshot();
+    const auto* m = find(snap, "test.counter");
+    ASSERT_NE(m, nullptr);  // registered, but never incremented
+    EXPECT_EQ(m->count, 0u);
+}
+
+TEST(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+    Registry reg;
+    reg.set_enabled(true);
+    const Counter c = reg.counter("test.counter");
+    const GaugeMax g = reg.gauge_max("test.gauge");
+    c.add(5);
+    g.record(3.5);
+    reg.reset();
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(find(snap, "test.counter")->count, 0u);
+    EXPECT_EQ(find(snap, "test.gauge")->value, 0.0);
+    c.add(1);  // handles stay valid across reset
+    const auto after = reg.snapshot();
+    EXPECT_EQ(find(after, "test.counter")->count, 1u);
+}
+
+TEST(MetricsTest, SameNameSharesOneMetric) {
+    Registry reg;
+    reg.set_enabled(true);
+    const Counter a = reg.counter("test.shared");
+    const Counter b = reg.counter("test.shared");
+    a.add(2);
+    b.add(3);
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].count, 5u);
+}
+
+TEST(MetricsTest, KindMismatchThrows) {
+    Registry reg;
+    reg.counter("test.name");
+    EXPECT_THROW(reg.gauge_max("test.name"), std::logic_error);
+    EXPECT_THROW(reg.histogram("test.name", {1.0}), std::logic_error);
+}
+
+TEST(MetricsTest, GaugeMaxKeepsHighWaterMark) {
+    Registry reg;
+    reg.set_enabled(true);
+    const GaugeMax g = reg.gauge_max("test.gauge");
+    g.record(3.0);
+    g.record(-1.0);
+    g.record(7.5);
+    g.record(7.0);
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(find(snap, "test.gauge")->value, 7.5);
+}
+
+TEST(MetricsTest, HistogramBucketEdgesAreInclusiveUpper) {
+    Registry reg;
+    reg.set_enabled(true);
+    const Histogram h = reg.histogram("test.hist", {1.0, 2.0, 4.0});
+    h.record(0.5);   // bucket 0
+    h.record(1.0);   // bucket 0 (edge is inclusive)
+    h.record(1.001); // bucket 1
+    h.record(4.0);   // bucket 2 (last edge, inclusive)
+    h.record(100.0); // overflow
+    const auto snap = reg.snapshot();
+    const auto* m = find(snap, "test.hist");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->kind, MetricKind::histogram);
+    ASSERT_EQ(m->buckets.size(), 4u);  // 3 bounds + overflow
+    EXPECT_EQ(m->buckets[0], 2u);
+    EXPECT_EQ(m->buckets[1], 1u);
+    EXPECT_EQ(m->buckets[2], 1u);
+    EXPECT_EQ(m->buckets[3], 1u);
+    EXPECT_EQ(m->count, 5u);
+    EXPECT_DOUBLE_EQ(m->sum, 0.5 + 1.0 + 1.001 + 4.0 + 100.0);
+    EXPECT_EQ(m->bounds, (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(MetricsTest, HistogramNanGoesToOverflowWithoutPoisoningSum) {
+    Registry reg;
+    reg.set_enabled(true);
+    const Histogram h = reg.histogram("test.hist", {1.0});
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    h.record(0.5);
+    const auto snap = reg.snapshot();
+    const auto* m = find(snap, "test.hist");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->buckets[0], 1u);
+    EXPECT_EQ(m->buckets[1], 1u);  // NaN lands in overflow
+    EXPECT_EQ(m->count, 2u);
+    EXPECT_DOUBLE_EQ(m->sum, 0.5);  // NaN contributed 0
+}
+
+TEST(MetricsTest, SnapshotSortedByName) {
+    Registry reg;
+    reg.counter("z.last");
+    reg.counter("a.first");
+    reg.counter("m.middle");
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "a.first");
+    EXPECT_EQ(snap[1].name, "m.middle");
+    EXPECT_EQ(snap[2].name, "z.last");
+}
+
+/// The PR-1 determinism contract extended to obs: the merged snapshot must
+/// be identical whether trials ran on 1 thread or 8.
+TEST(MetricsTest, MergedSnapshotIdentical1Vs8Threads) {
+    const auto run_with = [](unsigned threads) {
+        Registry reg;
+        reg.set_enabled(true);
+        const Counter events = reg.counter("trial.events");
+        const Histogram values = reg.histogram("trial.values", {10.0, 20.0, 40.0});
+        const GaugeMax peak = reg.gauge_max("trial.peak");
+        runtime::TrialRunner runner(threads);
+        runner.run(64, /*seed=*/7, [&](int t, locble::Rng& rng) {
+            // Per-trial work is a pure function of the trial's stream.
+            const int n = 1 + t % 5;
+            events.add(static_cast<std::uint64_t>(n));
+            for (int i = 0; i < n; ++i) values.record(rng.uniform(0.0, 50.0));
+            peak.record(static_cast<double>(t % 13));
+            return 0;
+        });
+        return reg.snapshot();
+    };
+
+    const auto s1 = run_with(1);
+    const auto s8 = run_with(8);
+    ASSERT_EQ(s1.size(), s8.size());
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+        EXPECT_EQ(s1[i].name, s8[i].name);
+        EXPECT_EQ(s1[i].count, s8[i].count) << s1[i].name;
+        EXPECT_EQ(s1[i].value, s8[i].value) << s1[i].name;
+        EXPECT_EQ(s1[i].buckets, s8[i].buckets) << s1[i].name;
+    }
+}
+
+TEST(MetricsTest, FormatSummaryNamesEveryMetric) {
+    Registry reg;
+    reg.set_enabled(true);
+    reg.counter("test.counter").add(3);
+    reg.histogram("test.hist", {1.0}).record(0.5);
+    const std::string text = format_summary(reg.snapshot());
+    EXPECT_NE(text.find("test.counter"), std::string::npos);
+    EXPECT_NE(text.find("test.hist"), std::string::npos);
+}
+
+// The macro layer: under LOCBLE_OBS=1 it records into the global registry;
+// under LOCBLE_OBS=0 the very same code must record nothing even while the
+// registry is enabled (the sites compile away).
+TEST(MetricsTest, MacroLayerRespectsCompileTimeToggle) {
+    Registry& reg = Registry::global();
+    reg.reset();
+    reg.set_enabled(true);
+    LOCBLE_COUNT("test.macro.counter", 2);
+    LOCBLE_HISTOGRAM("test.macro.hist", 1.5, 1.0, 2.0);
+    const auto snap = reg.snapshot();
+    const auto* c = find(snap, "test.macro.counter");
+#if LOCBLE_OBS
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->count, 2u);
+    const auto* h = find(snap, "test.macro.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, 1u);
+    EXPECT_EQ(h->buckets[1], 1u);  // 1.5 -> (1, 2] bucket
+#else
+    EXPECT_EQ(c, nullptr);  // the macro left no trace at all
+#endif
+    reg.set_enabled(false);
+    reg.reset();
+}
+
+TEST(MetricsTest, MacroLayerIsNoOpWhileRuntimeDisabled) {
+    Registry& reg = Registry::global();
+    reg.reset();
+    reg.set_enabled(false);
+    LOCBLE_COUNT("test.macro.disabled", 1);
+    const auto snap = reg.snapshot();
+    EXPECT_EQ(find(snap, "test.macro.disabled"), nullptr);
+}
+
+}  // namespace
+}  // namespace locble::obs

@@ -1,0 +1,156 @@
+#include "locble/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "locble/obs/obs.hpp"
+
+namespace locble::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& text, const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+/// Minimal structural JSON check: quotes escape nothing in our output, so
+/// brace/bracket balance outside strings is a faithful validity proxy.
+bool balanced_json(const std::string& text) {
+    int brace = 0, bracket = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (in_string) {
+            if (c == '\\') ++i;
+            else if (c == '"') in_string = false;
+            continue;
+        }
+        if (c == '"') in_string = true;
+        else if (c == '{') ++brace;
+        else if (c == '}') --brace;
+        else if (c == '[') ++bracket;
+        else if (c == ']') --bracket;
+        if (brace < 0 || bracket < 0) return false;
+    }
+    return brace == 0 && bracket == 0 && !in_string;
+}
+
+class TraceTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        Tracer::global().stop();
+        Tracer::global().reset();
+    }
+    void TearDown() override {
+        Tracer::global().stop();
+        Tracer::global().reset();
+    }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+    { ScopedSpan span("test.span"); }
+    EXPECT_EQ(Tracer::global().event_count(), 0u);
+}
+
+TEST_F(TraceTest, NestedSpansEmitProperlyNestedCompleteEvents) {
+    Tracer::global().start();
+    {
+        ScopedSpan outer("outer");
+        { ScopedSpan inner("inner"); }
+    }
+    Tracer::global().stop();
+    // ScopedSpan is a library type, present (and functional) in every build;
+    // only the LOCBLE_SPAN macro sites compile away under LOCBLE_OBS=0.
+    ASSERT_EQ(Tracer::global().event_count(), 2u);
+    const std::string json = Tracer::global().to_json();
+    EXPECT_TRUE(balanced_json(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+    // Parent precedes child in the sorted stream: same tid, earlier (or
+    // equal) ts, and when equal the longer duration first.
+    const std::size_t outer_pos = json.find("\"outer\"");
+    const std::size_t inner_pos = json.find("\"inner\"");
+    ASSERT_NE(outer_pos, std::string::npos);
+    ASSERT_NE(inner_pos, std::string::npos);
+    EXPECT_LT(outer_pos, inner_pos);
+}
+
+TEST_F(TraceTest, TimestampsAreEpochRelative) {
+    Tracer::global().start();
+    { ScopedSpan span("test.span"); }
+    Tracer::global().stop();
+    const std::string json = Tracer::global().to_json();
+    // A fresh epoch means the sole span starts within a second of 0 — far
+    // below any wall-clock-derived microsecond count.
+    const std::size_t ts = json.find("\"ts\":");
+    ASSERT_NE(ts, std::string::npos);
+    const double ts_us = std::stod(json.substr(ts + 5));
+    EXPECT_GE(ts_us, 0.0);
+    EXPECT_LT(ts_us, 1e6);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctTids) {
+    Tracer::global().start();
+    {
+        ScopedSpan main_span("main.span");
+        std::thread worker([] { ScopedSpan span("worker.span"); });
+        worker.join();
+    }
+    Tracer::global().stop();
+    ASSERT_EQ(Tracer::global().event_count(), 2u);
+    const std::string json = Tracer::global().to_json();
+    // The two spans must land in different per-thread buffers.
+    const auto tid_after = [&](const char* name) {
+        const std::size_t at = json.find(name);
+        EXPECT_NE(at, std::string::npos) << name;
+        const std::size_t tid = json.find("\"tid\":", at);
+        EXPECT_NE(tid, std::string::npos);
+        return std::stoul(json.substr(tid + 6));
+    };
+    EXPECT_NE(tid_after("main.span"), tid_after("worker.span"));
+}
+
+TEST_F(TraceTest, ResetDiscardsEvents) {
+    Tracer::global().start();
+    { ScopedSpan span("test.span"); }
+    Tracer::global().reset();
+    EXPECT_EQ(Tracer::global().event_count(), 0u);
+    EXPECT_EQ(count_occurrences(Tracer::global().to_json(), "\"ph\""), 0u);
+}
+
+TEST_F(TraceTest, WriteRoundTripsToDisk) {
+    Tracer::global().start();
+    { ScopedSpan span("test.span"); }
+    Tracer::global().stop();
+    const std::string path = ::testing::TempDir() + "locble_trace_test.json";
+    Tracer::global().write(path);
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good());
+    std::stringstream buf;
+    buf << file.rdbuf();
+    EXPECT_EQ(buf.str(), Tracer::global().to_json());
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, SpanMacroCompilesAwayWhenDisabled) {
+    Tracer::global().start();
+    { LOCBLE_SPAN("test.macro.span"); }
+    Tracer::global().stop();
+#if LOCBLE_OBS
+    EXPECT_EQ(Tracer::global().event_count(), 1u);
+#else
+    EXPECT_EQ(Tracer::global().event_count(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace locble::obs
