@@ -132,6 +132,9 @@ int main(int argc, char** argv) {
     core::LocBle::Config cfg;
     cfg.gamma_prior_dbm = -59.0;
     const core::LocBle pipeline(cfg, sim::shared_envaware());
+    core::LocBle::Config coarse_cfg = cfg;
+    coarse_cfg.solver.search_mode = core::LocationSolver::SearchMode::coarse_to_fine;
+    const core::LocBle pipeline_coarse(coarse_cfg, sim::shared_envaware());
     const dsp::Anf anf;
     const motion::StepDetector detector;
     const baseline::FixedModelRanger ranger;
@@ -164,6 +167,8 @@ int main(int argc, char** argv) {
         {"step_detection",
          [&] { (void)detector.detect(fx.capture.observer_imu.accel_vertical); }},
         {"full_pipeline", [&] { (void)pipeline.locate(fx.rss, fx.motion_est); }},
+        {"full_pipeline_coarse",
+         [&] { (void)pipeline_coarse.locate(fx.rss, fx.motion_est); }},
         {"dartle_baseline", [&] { (void)ranger.estimate_distance(fx.rss); }},
         {"dtw_cluster_match", [&] { (void)matcher.match(trend, trend); }},
     };

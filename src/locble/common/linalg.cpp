@@ -79,4 +79,63 @@ std::vector<double> least_squares(const Matrix& x, const std::vector<double>& y)
     return beta;
 }
 
+bool solve_linear_flat(double* a, double* b, double* x, std::size_t n) noexcept {
+    if (n == 0) return false;
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot (same choice rule and threshold as solve_linear).
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a[r * n + col]) > std::abs(a[pivot * n + col])) pivot = r;
+        if (std::abs(a[pivot * n + col]) < 1e-14) return false;
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+            std::swap(b[col], b[pivot]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r * n + col] / a[col * n + col];
+            if (f == 0.0) continue;
+            for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+            b[r] -= f * b[col];
+        }
+    }
+    for (std::size_t i = n; i-- > 0;) {
+        double s = b[i];
+        for (std::size_t c = i + 1; c < n; ++c) s -= a[i * n + c] * x[c];
+        x[i] = s / a[i * n + i];
+    }
+    return true;
+}
+
+bool least_squares_flat(const double* x, const double* y, std::size_t n,
+                        std::size_t m, double* beta, double* ata, double* atb,
+                        double* scale) noexcept {
+    if (n == 0 || m == 0 || n < m) return false;
+
+    // Column scaling for conditioning (max is order-independent, so the
+    // scales match least_squares exactly).
+    for (std::size_t j = 0; j < m; ++j) scale[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            scale[j] = std::max(scale[j], std::abs(x[i * m + j]));
+    for (std::size_t j = 0; j < m; ++j)
+        if (scale[j] < 1e-300) scale[j] = 1.0;
+
+    for (std::size_t j = 0; j < m * m; ++j) ata[j] = 0.0;
+    for (std::size_t j = 0; j < m; ++j) atb[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            const double xij = x[i * m + j] / scale[j];
+            atb[j] += xij * y[i];
+            for (std::size_t k = j; k < m; ++k)
+                ata[j * m + k] += xij * (x[i * m + k] / scale[k]);
+        }
+    }
+    for (std::size_t j = 0; j < m; ++j)
+        for (std::size_t k = 0; k < j; ++k) ata[j * m + k] = ata[k * m + j];
+
+    if (!solve_linear_flat(ata, atb, beta, m)) return false;
+    for (std::size_t j = 0; j < m; ++j) beta[j] /= scale[j];
+    return true;
+}
+
 }  // namespace locble

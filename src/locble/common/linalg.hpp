@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 namespace locble {
@@ -19,5 +20,23 @@ std::vector<double> solve_linear(Matrix a, std::vector<double> b);
 /// Throws std::invalid_argument on shape problems and std::runtime_error on
 /// a rank-deficient system.
 std::vector<double> least_squares(const Matrix& x, const std::vector<double>& y);
+
+/// Allocation-free twin of solve_linear for hot paths: Gaussian elimination
+/// with partial pivoting on flat row-major storage. `a` (n x n) and `b`
+/// (n) are destroyed; the solution is written to `x`. The arithmetic — the
+/// pivot choice, the elimination order and the 1e-14 singularity threshold —
+/// is identical to solve_linear, so results are bit-identical. Returns
+/// false instead of throwing when the matrix is singular.
+bool solve_linear_flat(double* a, double* b, double* x, std::size_t n) noexcept;
+
+/// Allocation-free twin of least_squares on flat row-major storage
+/// (`x` is n rows by m cols, `y` has n entries). Caller supplies the
+/// normal-equation scratch: `ata` (m*m), `atb` (m) and `scale` (m).
+/// Arithmetic is identical to least_squares (same column scaling, same
+/// accumulation order), so `beta` is bit-identical. Returns false when the
+/// system is rank deficient or n < m.
+bool least_squares_flat(const double* x, const double* y, std::size_t n,
+                        std::size_t m, double* beta, double* ata, double* atb,
+                        double* scale) noexcept;
 
 }  // namespace locble

@@ -5,7 +5,6 @@
 #include <numbers>
 
 #include "locble/common/linalg.hpp"
-#include "locble/common/stats.hpp"
 #include "locble/obs/obs.hpp"
 
 namespace locble::core {
@@ -14,20 +13,37 @@ namespace {
 
 constexpr double kLog10 = 2.302585092994046;
 
-int segment_count(const std::vector<FusedSample>& samples) {
-    int k = 1;
-    for (const auto& s : samples) k = std::max(k, s.segment + 1);
-    return k;
-}
-
-double predict_rssi_seg(const locble::Vec2& location, double exponent,
-                        const std::vector<double>& gammas, const FusedSample& s) {
-    const double dx = location.x + s.p;
-    const double dy = location.y + s.q;
-    const double l = std::max(std::sqrt(dx * dx + dy * dy), 0.1);
-    const double g = gammas[static_cast<std::size_t>(
-        std::min<int>(s.segment, static_cast<int>(gammas.size()) - 1))];
-    return g - 10.0 * exponent * std::log10(l);
+/// Residual statistics with per-segment gammas. One prediction pass over
+/// the samples (residuals parked in `resid_buf`, sized >= count by the
+/// caller) plus one cheap pass for the centered second moment — no
+/// temporary vector, no allocation.
+ResidualStats residual_stats_kernel(const FusedSample* samples, std::size_t count,
+                                    const locble::Vec2& location, double exponent,
+                                    const double* gammas, int k, double* resid_buf) {
+    ResidualStats out;
+    if (count == 0) return out;
+    double sum = 0.0, ss = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto& s = samples[i];
+        const double dx = location.x + s.p;
+        const double dy = location.y + s.q;
+        const double g = gammas[static_cast<std::size_t>(std::min(s.segment, k - 1))];
+        const double r = s.rssi - predict_rssi_db(g, exponent, dx * dx + dy * dy);
+        resid_buf[i] = r;
+        sum += r;
+        ss += r * r;
+    }
+    out.mean_db = sum / static_cast<double>(count);
+    double m2 = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const double d = resid_buf[i] - out.mean_db;
+        m2 += d * d;
+    }
+    out.stddev_db = std::sqrt(m2 / static_cast<double>(count));
+    out.rms_db = std::sqrt(ss / static_cast<double>(count));
+    const double sigma = std::max(out.stddev_db, 1e-6);
+    out.confidence = std::exp(-(out.mean_db * out.mean_db) / (2.0 * sigma * sigma));
+    return out;
 }
 
 /// Gauss-Newton refinement of (x, h, Gamma_1..Gamma_k) at fixed exponent,
@@ -35,49 +51,112 @@ double predict_rssi_seg(const locble::Vec2& location, double exponent,
 /// under Gaussian RSS noise, with one power offset per environment segment
 /// (the paper's Gamma(e)). Gammas are projected into [gamma_min, gamma_max]
 /// each step.
-void refine_fit_db(const std::vector<FusedSample>& samples, double exponent,
-                   locble::Vec2& location, std::vector<double>& gammas,
+///
+/// Allocation-free: the jacobian row has exactly three nonzeros (d/dx,
+/// d/dh and the sample's segment gamma), so JtJ/Jtr are accumulated in one
+/// fused sparse pass into flat workspace storage (jtj is dim*dim, jtr and
+/// delta are dim, caller-sized); the normal system is solved in place with
+/// solve_linear_flat.
+void refine_fit_db(double* jtj, double* jtr, double* delta,
+                   const FusedSample* samples, std::size_t count, double exponent,
+                   locble::Vec2& location, double* gammas, std::size_t k,
                    double gamma_min, double gamma_max) {
     constexpr int kIterations = 12;
-    const std::size_t k = gammas.size();
     const std::size_t dim = 2 + k;
     double x = location.x, h = location.y;
 
+    if (k == 1) {
+        // Single-segment fast path (the common case: dim == 3). Scalar
+        // accumulators perform the same additions in the same order as the
+        // generic path below — results are bit-identical — but live in
+        // registers instead of going through the workspace pointer, which
+        // the compiler must otherwise assume aliases the sample stream.
+        const double c = -10.0 * exponent / kLog10;
+        double gamma = gammas[0];
+        for (int it = 0; it < kIterations; ++it) {
+            double a00 = 0.0, a01 = 0.0, a02 = 0.0, a11 = 0.0, a12 = 0.0, a22 = 0.0;
+            double r0 = 0.0, r1 = 0.0, r2 = 0.0;
+            for (std::size_t i = 0; i < count; ++i) {
+                const auto& s = samples[i];
+                const double dx = x + s.p;
+                const double dy = h + s.q;
+                const double l2 = std::max(dx * dx + dy * dy, kMinDistanceSq);
+                const double r = s.rssi - predict_rssi_db(gamma, exponent, l2);
+                const double jx = c * dx / l2;
+                const double jy = c * dy / l2;
+                r0 += jx * r;
+                r1 += jy * r;
+                r2 += 1.0 * r;
+                a00 += jx * jx;
+                a01 += jx * jy;
+                a02 += jx * 1.0;
+                a11 += jy * jy;
+                a12 += jy * 1.0;
+                a22 += 1.0 * 1.0;
+            }
+            const double damping = 1e-6 + (it < 3 ? 0.1 : 0.0);
+            jtj[0] = a00 * (1.0 + damping) + 1e-9;
+            jtj[1] = a01;
+            jtj[2] = a02;
+            jtj[3] = a01;
+            jtj[4] = a11 * (1.0 + damping) + 1e-9;
+            jtj[5] = a12;
+            jtj[6] = a02;
+            jtj[7] = a12;
+            jtj[8] = a22 * (1.0 + damping) + 1e-9;
+            jtr[0] = r0;
+            jtr[1] = r1;
+            jtr[2] = r2;
+            if (!locble::solve_linear_flat(jtj, jtr, delta, 3)) break;
+            x += delta[0];
+            h += delta[1];
+            double step = std::abs(delta[0]) + std::abs(delta[1]);
+            gamma = std::clamp(gamma + delta[2], gamma_min, gamma_max);
+            step += std::abs(delta[2]);
+            if (step < 1e-6) break;
+        }
+        gammas[0] = gamma;
+        location = {x, h};
+        return;
+    }
+
     for (int it = 0; it < kIterations; ++it) {
-        locble::Matrix jtj(dim, std::vector<double>(dim, 0.0));
-        std::vector<double> jtr(dim, 0.0);
-        for (const auto& s : samples) {
+        std::fill_n(jtj, dim * dim, 0.0);
+        std::fill_n(jtr, dim, 0.0);
+        const double c = -10.0 * exponent / kLog10;  // loop-invariant
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto& s = samples[i];
             const double dx = x + s.p;
             const double dy = h + s.q;
-            const double l2 = std::max(dx * dx + dy * dy, 0.01);
+            const double l2 = std::max(dx * dx + dy * dy, kMinDistanceSq);
             const auto seg = static_cast<std::size_t>(
                 std::min<int>(s.segment, static_cast<int>(k) - 1));
-            const double pred =
-                gammas[seg] - 5.0 * exponent * std::log10(l2) / 1.0;
+            const double pred = predict_rssi_db(gammas[seg], exponent, l2);
             const double r = s.rssi - pred;
-            const double c = -10.0 * exponent / kLog10;
-            std::vector<double> jac(dim, 0.0);
-            jac[0] = c * dx / l2;
-            jac[1] = c * dy / l2;
-            jac[2 + seg] = 1.0;
-            for (std::size_t a = 0; a < dim; ++a) {
-                if (jac[a] == 0.0) continue;
-                jtr[a] += jac[a] * r;
-                for (std::size_t b = 0; b < dim; ++b)
-                    jtj[a][b] += jac[a] * jac[b];
-            }
+            const double jx = c * dx / l2;
+            const double jy = c * dy / l2;
+            // Fused sparse JtJ/Jtr accumulation (upper triangle; mirrored
+            // once after the pass).
+            jtr[0] += jx * r;
+            jtr[1] += jy * r;
+            jtr[2 + seg] += 1.0 * r;
+            jtj[0 * dim + 0] += jx * jx;
+            jtj[0 * dim + 1] += jx * jy;
+            jtj[0 * dim + (2 + seg)] += jx * 1.0;
+            jtj[1 * dim + 1] += jy * jy;
+            jtj[1 * dim + (2 + seg)] += jy * 1.0;
+            jtj[(2 + seg) * dim + (2 + seg)] += 1.0 * 1.0;
         }
+        for (std::size_t a = 0; a < dim; ++a)
+            for (std::size_t b = 0; b < a; ++b) jtj[a * dim + b] = jtj[b * dim + a];
+
         // Levenberg damping keeps early steps conservative; a small ridge
         // also guards segments with very few samples.
         const double damping = 1e-6 + (it < 3 ? 0.1 : 0.0);
-        for (std::size_t a = 0; a < dim; ++a) jtj[a][a] = jtj[a][a] * (1.0 + damping) + 1e-9;
+        for (std::size_t a = 0; a < dim; ++a)
+            jtj[a * dim + a] = jtj[a * dim + a] * (1.0 + damping) + 1e-9;
 
-        std::vector<double> delta;
-        try {
-            delta = locble::solve_linear(std::move(jtj), std::move(jtr));
-        } catch (const std::exception&) {
-            break;
-        }
+        if (!locble::solve_linear_flat(jtj, jtr, delta, dim)) break;
         x += delta[0];
         h += delta[1];
         double step = std::abs(delta[0]) + std::abs(delta[1]);
@@ -90,48 +169,42 @@ void refine_fit_db(const std::vector<FusedSample>& samples, double exponent,
     location = {x, h};
 }
 
-/// Residual statistics with per-segment gammas.
-ResidualStats residual_stats_seg(const std::vector<FusedSample>& samples,
-                                 const locble::Vec2& location, double exponent,
-                                 const std::vector<double>& gammas) {
-    ResidualStats out;
-    if (samples.empty()) return out;
-    std::vector<double> residuals;
-    residuals.reserve(samples.size());
-    for (const auto& s : samples)
-        residuals.push_back(s.rssi - predict_rssi_seg(location, exponent, gammas, s));
-    out.mean_db = locble::mean(residuals);
-    out.stddev_db = std::sqrt(locble::variance(residuals));
-    double ss = 0.0;
-    for (double r : residuals) ss += r * r;
-    out.rms_db = std::sqrt(ss / static_cast<double>(residuals.size()));
-    const double sigma = std::max(out.stddev_db, 1e-6);
-    out.confidence = std::exp(-(out.mean_db * out.mean_db) / (2.0 * sigma * sigma));
-    return out;
-}
-
 /// Initialize per-segment gammas from a single-gamma seed: each segment's
 /// offset is the mean residual of its samples under the seed parameters.
-std::vector<double> init_segment_gammas(const std::vector<FusedSample>& samples,
-                                        const locble::Vec2& location, double exponent,
-                                        double gamma_seed, int k, double gamma_min,
-                                        double gamma_max) {
-    std::vector<double> sum(k, 0.0);
-    std::vector<int> count(k, 0);
-    const std::vector<double> seed_vec{gamma_seed};
-    for (const auto& s : samples) {
-        const int seg = std::min(s.segment, k - 1);
-        FusedSample tmp = s;
-        tmp.segment = 0;
-        sum[seg] += s.rssi - predict_rssi_seg(location, exponent, seed_vec, tmp);
-        count[seg] += 1;
+/// Writes k gammas into `gammas`; `sum`/`cnt` are caller-provided scratch
+/// of k entries each.
+void init_segment_gammas(double* sum, int* cnt, const FusedSample* samples,
+                         std::size_t count, const locble::Vec2& location,
+                         double exponent, double gamma_seed, int k, double gamma_min,
+                         double gamma_max, double* gammas) {
+    if (k == 1) {  // scalar-accumulator twin of the loop below
+        double s0 = 0.0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto& s = samples[i];
+            const double dx = location.x + s.p;
+            const double dy = location.y + s.q;
+            s0 += s.rssi - predict_rssi_db(gamma_seed, exponent, dx * dx + dy * dy);
+        }
+        double g = gamma_seed;
+        if (count > 0) g += s0 / static_cast<double>(count);
+        gammas[0] = std::clamp(g, gamma_min, gamma_max);
+        return;
     }
-    std::vector<double> gammas(k, gamma_seed);
+    std::fill_n(sum, k, 0.0);
+    std::fill_n(cnt, k, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto& s = samples[i];
+        const int seg = std::min(s.segment, k - 1);
+        const double dx = location.x + s.p;
+        const double dy = location.y + s.q;
+        sum[seg] += s.rssi - predict_rssi_db(gamma_seed, exponent, dx * dx + dy * dy);
+        cnt[seg] += 1;
+    }
     for (int s = 0; s < k; ++s) {
-        if (count[s] > 0) gammas[s] += sum[s] / count[s];
+        gammas[s] = gamma_seed;
+        if (cnt[s] > 0) gammas[s] += sum[s] / cnt[s];
         gammas[s] = std::clamp(gammas[s], gamma_min, gamma_max);
     }
-    return gammas;
 }
 
 }  // namespace
@@ -139,7 +212,10 @@ std::vector<double> init_segment_gammas(const std::vector<FusedSample>& samples,
 ResidualStats residual_stats(const std::vector<FusedSample>& samples,
                              const locble::Vec2& location, double exponent,
                              double gamma_dbm) {
-    return residual_stats_seg(samples, location, exponent, {gamma_dbm});
+    std::vector<double> resid(samples.size());
+    const double gammas[1] = {gamma_dbm};
+    return residual_stats_kernel(samples.data(), samples.size(), location, exponent,
+                                 gammas, 1, resid.data());
 }
 
 std::pair<double, double> exponent_band_for(channel::PropagationClass cls) {
@@ -151,143 +227,250 @@ std::pair<double, double> exponent_band_for(channel::PropagationClass cls) {
     return {1.2, 6.0};
 }
 
-std::optional<LocationSolver::Candidate> LocationSolver::fit_at_exponent(
-    const std::vector<FusedSample>& samples, double exponent, bool lateral_ok,
-    double gamma_min, double gamma_max) const {
-    const int k = segment_count(samples);
-
-    // --- Linear elliptical seed (paper Eq. 3) on all samples with a single
-    // Gamma; rho is exponential in RSS, so dB noise becomes multiplicative.
-    // Weighting rows by 1/rho_i minimizes relative error — the first-order
-    // equivalent of fitting in the dB domain, in the same linear form.
-    const double eta = std::pow(10.0, -1.0 / (5.0 * exponent));
-    std::vector<double> rho(samples.size());
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        rho[i] = std::pow(eta, samples[i].rssi);
-        if (!(rho[i] > 0.0) || !std::isfinite(rho[i])) return std::nullopt;
-    }
-    double rho_scale = 0.0;
-    for (double r : rho) rho_scale = std::max(rho_scale, r);
-    locble::Matrix x;
-    std::vector<double> y;
-    x.reserve(samples.size());
-    y.reserve(samples.size());
-    for (std::size_t i = 0; i < samples.size(); ++i) {
-        const auto& s = samples[i];
-        // Plain LS (ablation) keeps the paper's raw Eq. 3 rows (scaled for
-        // conditioning only); WLS divides each row by rho_i.
-        const double w = cfg_.use_wls ? 1.0 / rho[i] : 1.0 / rho_scale;
-        if (lateral_ok)
-            x.push_back({(s.p * s.p + s.q * s.q) * w, s.p * w, s.q * w, w});
-        else
-            x.push_back({s.p * s.p * w, s.p * w, w});
-        y.push_back(cfg_.use_wls ? 1.0 : rho[i] / rho_scale);
-    }
-
-    std::vector<double> beta;
-    bool linear_seed_ok = true;
-    try {
-        beta = locble::least_squares(x, y);
-    } catch (const std::exception&) {
-        linear_seed_ok = false;
-    }
-    if (linear_seed_ok && !(beta[0] > 0.0)) linear_seed_ok = false;  // eps = 1/A > 0
+bool LocationSolver::evaluate_grid_point(SolverWorkspace& ws,
+                                         SolverWorkspace::GridPoint& gp,
+                                         const FusedSample* samples, std::size_t count,
+                                         bool lateral_ok, double gamma_min,
+                                         double gamma_max, int k, double mean_rssi,
+                                         bool warm,
+                                         SolverWorkspace::CandidateSlot& slot) const {
+    const double exponent = gp.n;
+    const std::size_t uk = static_cast<std::size_t>(k);
 
     // Plausibility screen: discard non-physical attempts so a noise-
     // favoured exponent cannot launch the target outside radio range.
-    const auto plausible = [&](const locble::Vec2& loc,
-                               const std::vector<double>& gammas) {
+    const auto plausible = [&](const locble::Vec2& loc, const double* gammas) {
         if (loc.norm() > cfg_.max_range_m) return false;
-        for (double g : gammas)
-            if (g < gamma_min - 1e-9 || g > gamma_max + 1e-9) return false;
+        for (std::size_t s = 0; s < uk; ++s)
+            if (gammas[s] < gamma_min - 1e-9 || gammas[s] > gamma_max + 1e-9)
+                return false;
         return true;
     };
 
-    // Gather refined attempts and keep the best *plausible* one: the linear
-    // seed when it exists, plus multi-start Gauss-Newton from the
-    // level-implied range when it does not (weak quadratic excitation makes
-    // the linear system lose the sign of A) or when its refinement ran away.
+    // Gather refined attempts and keep the best *plausible* one.
     double best_rms = 1e300;
     locble::Vec2 best_loc;
-    std::vector<double> best_gammas;
+    ResidualStats best_stats;
     const auto consider = [&](locble::Vec2 loc, double gamma_seed) {
-        auto gammas = init_segment_gammas(samples, loc, exponent, gamma_seed, k,
-                                          gamma_min, gamma_max);
+        init_segment_gammas(ws.gam_sum.data(), ws.gam_cnt.data(), samples, count, loc,
+                            exponent, gamma_seed, k, gamma_min, gamma_max,
+                            ws.gam_cur.data());
         if (cfg_.use_gn_refinement)
-            refine_fit_db(samples, exponent, loc, gammas, gamma_min, gamma_max);
-        if (!plausible(loc, gammas)) return;
-        const ResidualStats st = residual_stats_seg(samples, loc, exponent, gammas);
+            refine_fit_db(ws.jtj.data(), ws.jtr.data(), ws.delta.data(), samples,
+                          count, exponent, loc, ws.gam_cur.data(), uk, gamma_min,
+                          gamma_max);
+        if (!plausible(loc, ws.gam_cur.data())) return;
+        const ResidualStats st = residual_stats_kernel(
+            samples, count, loc, exponent, ws.gam_cur.data(), k, ws.resid.data());
         if (st.rms_db < best_rms) {
             best_rms = st.rms_db;
             best_loc = loc;
-            best_gammas = std::move(gammas);
+            best_stats = st;
+            std::copy_n(ws.gam_cur.data(), uk, ws.gam_best.data());
         }
     };
 
-    double gamma_seed = 0.5 * (gamma_min + gamma_max);
-    if (linear_seed_ok) {
-        const double a = beta[0];
-        const double eps = 1.0 / a;
-        gamma_seed = std::clamp(5.0 * exponent * std::log10(eps), gamma_min, gamma_max);
-        if (lateral_ok) {
-            consider({beta[1] / (2.0 * a), beta[2] / (2.0 * a)}, gamma_seed);
-        } else {
-            const double x0 = beta[1] / (2.0 * a);
-            const double g = beta[2];
-            const double h2 = g * eps - x0 * x0;
-            consider({x0, std::sqrt(std::max(h2, 0.0))}, gamma_seed);
-        }
-    }
     bool used_multistart = false;
-    if (best_rms >= 1e300) {
-        used_multistart = true;
-        double mean_rssi = 0.0;
-        for (const auto& s : samples) mean_rssi += s.rssi;
-        mean_rssi /= static_cast<double>(samples.size());
-        const double d0 = std::clamp(
-            std::pow(10.0, (gamma_seed - mean_rssi) / (10.0 * exponent)), 0.5,
-            cfg_.max_range_m);
-        constexpr int kBearings = 8;
-        for (int b = 0; b < kBearings; ++b) {
-            const double angle = 2.0 * std::numbers::pi * b / kBearings;
-            consider(locble::unit_from_angle(angle) * d0, gamma_seed);
+    if (warm) {
+        // Warm start (coarse_to_fine sessions): Gauss-Newton seeded from
+        // the previous flush's fit at this grid point. The carried gammas
+        // are re-clamped to the current band and extended if new
+        // environment segments appeared since.
+        locble::Vec2 loc = gp.warm_loc;
+        const std::size_t have = gp.warm_gammas.size();
+        for (std::size_t s = 0; s < uk; ++s) {
+            const double g = s < have ? gp.warm_gammas[s]
+                                      : (have > 0 ? gp.warm_gammas[have - 1]
+                                                  : 0.5 * (gamma_min + gamma_max));
+            ws.gam_cur[s] = std::clamp(g, gamma_min, gamma_max);
         }
+        if (cfg_.use_gn_refinement)
+            refine_fit_db(ws.jtj.data(), ws.jtr.data(), ws.delta.data(), samples,
+                          count, exponent, loc, ws.gam_cur.data(), uk, gamma_min,
+                          gamma_max);
+        if (!plausible(loc, ws.gam_cur.data())) return false;
+        const ResidualStats st = residual_stats_kernel(
+            samples, count, loc, exponent, ws.gam_cur.data(), k, ws.resid.data());
+        best_rms = st.rms_db;
+        best_loc = loc;
+        best_stats = st;
+        std::copy_n(ws.gam_cur.data(), uk, ws.gam_best.data());
+    } else {
+        // --- Catch up this grid point's cached rho powers (the only
+        // exponent-dependent per-sample quantity) on samples added since
+        // the last flush. A sticky failure marks the exponent degenerate.
+        if (!gp.rho_bad && gp.rho_count < count) {
+            ws.ensure_size(gp.rho, count);
+            for (std::size_t i = gp.rho_count; i < count; ++i) {
+                const double r = std::pow(gp.eta, samples[i].rssi);
+                if (!(r > 0.0) || !std::isfinite(r)) {
+                    gp.rho_bad = true;
+                    break;
+                }
+                gp.rho[i] = r;
+                gp.rho_scale = std::max(gp.rho_scale, r);
+                gp.rho_count = i + 1;
+            }
+        }
+        if (gp.rho_bad) return false;
+
+        // --- Linear elliptical seed (paper Eq. 3) on all samples with a
+        // single Gamma; rho is exponential in RSS, so dB noise becomes
+        // multiplicative. Weighting rows by 1/rho_i minimizes relative
+        // error — the first-order equivalent of fitting in the dB domain,
+        // in the same linear form.
+        //
+        // The normal equations are folded incrementally: raw row products
+        // accumulate append-only per grid point, and the conditioning
+        // scales (a running per-column max) are divided out of the m x m
+        // aggregate at solve time. Plain LS (ablation) keeps the paper's
+        // raw Eq. 3 rows, uniformly scaled by 1/rho_scale — which factors
+        // out of the sums, so the same raw folds serve both modes.
+        const std::size_t m = lateral_ok ? 4 : 3;
+        const double* rho = gp.rho.data();
+        if (gp.ls_count == 0 || gp.ls_lateral != lateral_ok) {
+            std::fill_n(gp.ls_ata, 16, 0.0);
+            std::fill_n(gp.ls_atb, 4, 0.0);
+            std::fill_n(gp.ls_max, 4, 0.0);
+            gp.ls_count = 0;
+            gp.ls_lateral = lateral_ok;
+        }
+        for (std::size_t i = gp.ls_count; i < count; ++i) {
+            const auto& s = samples[i];
+            const double u = cfg_.use_wls ? 1.0 / rho[i] : 1.0;
+            double row[4];
+            if (lateral_ok) {
+                row[0] = (s.p * s.p + s.q * s.q) * u;
+                row[1] = s.p * u;
+                row[2] = s.q * u;
+                row[3] = u;
+            } else {
+                row[0] = s.p * s.p * u;
+                row[1] = s.p * u;
+                row[2] = u;
+            }
+            const double t = cfg_.use_wls ? 1.0 : rho[i];
+            for (std::size_t j = 0; j < m; ++j) {
+                gp.ls_max[j] = std::max(gp.ls_max[j], std::abs(row[j]));
+                gp.ls_atb[j] += row[j] * t;
+                for (std::size_t jk = j; jk < m; ++jk)
+                    gp.ls_ata[j * 4 + jk] += row[j] * row[jk];
+            }
+        }
+        gp.ls_count = count;
+
+        // x_ij = raw_ij * f with f the uniform mode factor; dividing the
+        // aggregates by f-adjusted column scales reproduces the scaled
+        // normal equations of locble::least_squares.
+        const double f = cfg_.use_wls ? 1.0 : 1.0 / gp.rho_scale;
+        const double f2 = f * f;
+        double scale[4];
+        for (std::size_t j = 0; j < m; ++j) {
+            scale[j] = gp.ls_max[j] * f;
+            if (scale[j] < 1e-300) scale[j] = 1.0;
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+            ws.atb[j] = f2 * gp.ls_atb[j] / scale[j];
+            for (std::size_t jk = j; jk < m; ++jk)
+                ws.ata[j * m + jk] = f2 * gp.ls_ata[j * 4 + jk] / (scale[j] * scale[jk]);
+        }
+        for (std::size_t j = 0; j < m; ++j)
+            for (std::size_t jk = 0; jk < j; ++jk) ws.ata[j * m + jk] = ws.ata[jk * m + j];
+
+        bool linear_seed_ok =
+            count >= m && locble::solve_linear_flat(ws.ata, ws.atb, ws.beta, m);
+        if (linear_seed_ok)
+            for (std::size_t j = 0; j < m; ++j) ws.beta[j] /= scale[j];
+        if (linear_seed_ok && !(ws.beta[0] > 0.0))
+            linear_seed_ok = false;  // eps = 1/A > 0
+
+        // The linear seed when it exists, plus multi-start Gauss-Newton
+        // from the level-implied range when it does not (weak quadratic
+        // excitation makes the linear system lose the sign of A) or when
+        // its refinement ran away.
+        double gamma_seed = 0.5 * (gamma_min + gamma_max);
+        if (linear_seed_ok) {
+            const double a = ws.beta[0];
+            const double eps = 1.0 / a;
+            gamma_seed =
+                std::clamp(5.0 * exponent * std::log10(eps), gamma_min, gamma_max);
+            if (lateral_ok) {
+                consider({ws.beta[1] / (2.0 * a), ws.beta[2] / (2.0 * a)}, gamma_seed);
+            } else {
+                const double x0 = ws.beta[1] / (2.0 * a);
+                const double g = ws.beta[2];
+                const double h2 = g * eps - x0 * x0;
+                consider({x0, std::sqrt(std::max(h2, 0.0))}, gamma_seed);
+            }
+        }
+        if (best_rms >= 1e300) {
+            used_multistart = true;
+            const double d0 = std::clamp(
+                std::pow(10.0, (gamma_seed - mean_rssi) / (10.0 * exponent)), 0.5,
+                cfg_.max_range_m);
+            constexpr int kBearings = 8;
+            for (int b = 0; b < kBearings; ++b) {
+                const double angle = 2.0 * std::numbers::pi * b / kBearings;
+                consider(locble::unit_from_angle(angle) * d0, gamma_seed);
+            }
+        }
+        if (best_rms >= 1e300) return false;
     }
-    if (best_rms >= 1e300) return std::nullopt;
 
-    LocationFit fit;
-    fit.exponent = exponent;
-    fit.location = best_loc;
-    fit.segment_gammas = std::move(best_gammas);
-    fit.ambiguous = !lateral_ok;
-    if (fit.ambiguous) fit.location.y = std::abs(fit.location.y);
-    fit.gamma_dbm = fit.segment_gammas.back();
+    slot.exponent = exponent;
+    slot.raw_loc = best_loc;
+    slot.loc = best_loc;
+    slot.ambiguous = !lateral_ok;
+    slot.multistart = used_multistart;
+    if (slot.ambiguous) slot.loc.y = std::abs(slot.loc.y);
 
+    // The winning consider() already evaluated the residuals at this exact
+    // (loc, gammas); recompute only when the ambiguity convention actually
+    // moved the location.
     const ResidualStats stats =
-        residual_stats_seg(samples, fit.location, fit.exponent, fit.segment_gammas);
-    fit.residual_db = stats.rms_db;
-    fit.confidence = stats.confidence;
-    return Candidate{fit, stats.rms_db, used_multistart};
+        slot.loc.y == best_loc.y
+            ? best_stats
+            : residual_stats_kernel(samples, count, slot.loc, exponent,
+                                    ws.gam_best.data(), k, ws.resid.data());
+    slot.score = stats.rms_db;
+    slot.residual_db = stats.rms_db;
+    slot.confidence = stats.confidence;
+    return true;
 }
 
-std::optional<LocationFit> LocationSolver::solve(const std::vector<FusedSample>& samples,
-                                                 const SolveHints& hints,
-                                                 SolveDiagnostics* diag) const {
+bool LocationSolver::solve_impl(const FusedSample* samples, std::size_t count,
+                                const SolveHints& hints, SolveDiagnostics* diag,
+                                SolverWorkspace& ws, LocationFit& out,
+                                bool incremental) const {
     LOCBLE_SPAN("solver.solve");
     LOCBLE_COUNT("solver.solve_calls", 1);
     if (diag) *diag = SolveDiagnostics{};
-    if (samples.size() < cfg_.min_samples) {
+    if (!incremental || count < ws.agg_count) ws.invalidate();
+    const std::uint64_t grows_before = ws.grow_events_;
+    if (count < cfg_.min_samples) {
         LOCBLE_COUNT("solver.too_few_samples", 1);
-        return std::nullopt;
+        return false;
     }
 
-    // Is there usable lateral (q) excitation, or is the walk effectively 1-D?
-    double qmin = samples.front().q, qmax = samples.front().q;
-    for (const auto& s : samples) {
-        qmin = std::min(qmin, s.q);
-        qmax = std::max(qmax, s.q);
+    // Fold samples added since the previous solve into the running
+    // aggregates (same left-to-right folds a cold start performs, so the
+    // values are bit-identical either way).
+    if (ws.agg_count == 0 && count > 0) ws.q_min = ws.q_max = samples[0].q;
+    if (ws.agg_count < count)
+        LOCBLE_COUNT("solver.samples_folded", count - ws.agg_count);
+    for (std::size_t i = ws.agg_count; i < count; ++i) {
+        const auto& s = samples[i];
+        ws.seg_k = std::max(ws.seg_k, s.segment + 1);
+        ws.q_min = std::min(ws.q_min, s.q);
+        ws.q_max = std::max(ws.q_max, s.q);
+        ws.rssi_sum += s.rssi;
     }
-    const bool lateral_ok = (qmax - qmin) >= cfg_.min_lateral_spread;
+    ws.agg_count = count;
+
+    // Is there usable lateral (q) excitation, or is the walk effectively 1-D?
+    const bool lateral_ok = (ws.q_max - ws.q_min) >= cfg_.min_lateral_spread;
+    const int k = ws.seg_k;
+    const double mean_rssi = ws.rssi_sum / static_cast<double>(count);
 
     double n_min = cfg_.exponent_min;
     double n_max = cfg_.exponent_max;
@@ -302,61 +485,195 @@ std::optional<LocationFit> LocationSolver::solve(const std::vector<FusedSample>&
         gamma_max = std::min(gamma_max, hints.gamma_band_dbm->second);
     }
 
-    std::optional<Candidate> best;
-    std::vector<Candidate> candidates;
-    int grid_points = 0, failures = 0, multistarts = 0;
-    for (double n = n_min; n <= n_max + 1e-9; n += cfg_.exponent_step) {
-        ++grid_points;
-        auto cand = fit_at_exponent(samples, n, lateral_ok, gamma_min, gamma_max);
-        if (!cand) {
-            ++failures;
-            continue;
+    // (Re)build the exponent grid when the hint-narrowed band changed; the
+    // per-point incremental state (rho caches, warm fits) survives as long
+    // as the grid does.
+    if (!ws.grid_valid || ws.grid_n_min != n_min || ws.grid_n_max != n_max ||
+        ws.grid_step != cfg_.exponent_step) {
+        std::size_t points = 0;
+        for (double n = n_min; n <= n_max + 1e-9; n += cfg_.exponent_step) ++points;
+        ws.ensure_size(ws.grid, points);
+        std::size_t idx = 0;
+        for (double n = n_min; n <= n_max + 1e-9; n += cfg_.exponent_step) {
+            auto& gp = ws.grid[idx++];
+            gp.n = n;
+            gp.eta = std::pow(10.0, -1.0 / (5.0 * n));
+            gp.rho_scale = 0.0;
+            gp.rho_count = 0;
+            gp.rho_bad = false;
+            gp.ls_count = 0;
+            gp.has_fit = false;
         }
-        if (cand->multistart) ++multistarts;
-        candidates.push_back(*cand);
-        if (!best || cand->score < best->score) best = cand;
+        ws.grid_valid = true;
+        ws.grid_n_min = n_min;
+        ws.grid_n_max = n_max;
+        ws.grid_step = cfg_.exponent_step;
+        LOCBLE_COUNT("solver.grid_rebuilds", 1);
     }
+    const std::size_t grid_size = ws.grid.size();
+
+    // Size the flat scratch once per solve (no-ops after warm-up).
+    const std::size_t dim = 2 + static_cast<std::size_t>(k);
+    ws.ensure_size(ws.jtj, dim * dim);
+    ws.ensure_size(ws.jtr, dim);
+    ws.ensure_size(ws.delta, dim);
+    ws.ensure_size(ws.gam_cur, static_cast<std::size_t>(k));
+    ws.ensure_size(ws.gam_best, static_cast<std::size_t>(k));
+    ws.ensure_size(ws.gam_sum, static_cast<std::size_t>(k));
+    ws.ensure_size(ws.gam_cnt, static_cast<std::size_t>(k));
+    ws.ensure_size(ws.best_gammas, static_cast<std::size_t>(k));
+    ws.ensure_size(ws.resid, count);
+    ws.ensure_size(ws.evaluated, grid_size);
+    std::fill(ws.evaluated.begin(), ws.evaluated.end(), std::uint8_t{0});
+    ws.candidates.clear();
+    if (ws.candidates.capacity() < grid_size) {
+        ++ws.grow_events_;
+        ws.candidates.reserve(grid_size);
+    }
+
+    const bool coarse = cfg_.search_mode == SearchMode::coarse_to_fine;
+    int grid_points = 0, failures = 0, multistarts = 0, warm_starts = 0;
+    double best_score = 1e300;
+    int best_idx = -1;
+
+    const auto eval_point = [&](std::size_t gi) {
+        if (ws.evaluated[gi]) return;
+        ws.evaluated[gi] = 1;
+        ++grid_points;
+        auto& gp = ws.grid[gi];
+        SolverWorkspace::CandidateSlot slot;
+        bool ok = false;
+        if (coarse && incremental && gp.has_fit) {
+            ++warm_starts;
+            LOCBLE_COUNT("solver.warm_starts", 1);
+            ok = evaluate_grid_point(ws, gp, samples, count, lateral_ok, gamma_min,
+                                     gamma_max, k, mean_rssi, /*warm=*/true, slot);
+            if (!ok) LOCBLE_COUNT("solver.warm_fallbacks", 1);
+        }
+        if (!ok)
+            ok = evaluate_grid_point(ws, gp, samples, count, lateral_ok, gamma_min,
+                                     gamma_max, k, mean_rssi, /*warm=*/false, slot);
+        if (coarse) {
+            // Remember this flush's fit as the next flush's GN seed.
+            gp.has_fit = ok;
+            if (ok) {
+                gp.warm_loc = slot.raw_loc;
+                ws.ensure_size(gp.warm_gammas, static_cast<std::size_t>(k));
+                std::copy_n(ws.gam_best.data(), static_cast<std::size_t>(k),
+                            gp.warm_gammas.data());
+            }
+        }
+        if (!ok) {
+            ++failures;
+            return;
+        }
+        if (slot.multistart) ++multistarts;
+        slot.grid_idx = static_cast<int>(gi);
+        ws.candidates.push_back(slot);
+        if (slot.score < best_score) {
+            best_score = slot.score;
+            best_idx = static_cast<int>(ws.candidates.size()) - 1;
+            std::copy_n(ws.gam_best.data(), static_cast<std::size_t>(k),
+                        ws.best_gammas.data());
+        }
+    };
+
+    if (!coarse) {
+        for (std::size_t gi = 0; gi < grid_size; ++gi) eval_point(gi);
+    } else {
+        // Coarse pass at 2x the grid step (endpoints always included)...
+        for (std::size_t gi = 0; gi < grid_size; gi += 2) eval_point(gi);
+        if (grid_size > 0) eval_point(grid_size - 1);
+        // ...then hill-descend on the fine grid around the running argmin
+        // until both neighbours have been evaluated and neither wins.
+        int prev_best = -2;
+        while (best_idx >= 0 && prev_best != best_idx) {
+            prev_best = best_idx;
+            const int bg = ws.candidates[static_cast<std::size_t>(best_idx)].grid_idx;
+            for (const int d : {-1, 1}) {
+                const int j = bg + d;
+                if (j >= 0 && j < static_cast<int>(grid_size) &&
+                    !ws.evaluated[static_cast<std::size_t>(j)]) {
+                    LOCBLE_COUNT("solver.refine_evals", 1);
+                    eval_point(static_cast<std::size_t>(j));
+                }
+            }
+        }
+    }
+
     LOCBLE_COUNT("solver.exponent_candidates", grid_points);
     LOCBLE_COUNT("solver.candidate_failures", failures);
     LOCBLE_COUNT("solver.multistart_runs", multistarts);
+    if (ws.grow_events_ != grows_before)
+        LOCBLE_COUNT("solver.workspace_grows", ws.grow_events_ - grows_before);
     if (diag) {
         diag->exponent_candidates = grid_points;
         diag->candidate_failures = failures;
         diag->multistart_runs = multistarts;
-        diag->converged = best.has_value();
+        diag->warm_starts = warm_starts;
+        diag->converged = best_idx >= 0;
     }
-    if (!best) {
+    if (best_idx < 0) {
         LOCBLE_COUNT("solver.convergence_failures", 1);
-        return std::nullopt;
+        return false;
     }
-    LOCBLE_HISTOGRAM("solver.residual_db", best->fit.residual_db, 0.5, 1.0, 2.0, 3.0,
-                     4.0, 6.0, 8.0, 12.0);
+    const auto& best = ws.candidates[static_cast<std::size_t>(best_idx)];
+    LOCBLE_HISTOGRAM("solver.residual_db", best.residual_db, 0.5, 1.0, 2.0, 3.0, 4.0,
+                     6.0, 8.0, 12.0);
+
+    out.location = best.loc;
+    out.exponent = best.exponent;
+    out.segment_gammas.resize(static_cast<std::size_t>(k));
+    std::copy_n(ws.best_gammas.data(), static_cast<std::size_t>(k),
+                out.segment_gammas.data());
+    out.gamma_dbm = out.segment_gammas.back();
+    out.residual_db = best.residual_db;
+    out.confidence = best.confidence;
+    out.ambiguous = best.ambiguous;
 
     // The residual is nearly flat across neighbouring exponents; averaging
     // the near-optimal candidates (within 15% of the best residual) damps
     // the jitter a hard argmin would inherit from noise.
-    if (!cfg_.use_model_averaging) return best->fit;
+    if (!cfg_.use_model_averaging) return true;
 
     locble::Vec2 loc_acc{0.0, 0.0};
     double n_acc = 0.0, weight_acc = 0.0;
-    for (const auto& c : candidates) {
-        if (c.score > best->score * 1.15 + 1e-9) continue;
-        if (c.fit.ambiguous != best->fit.ambiguous) continue;
+    for (const auto& c : ws.candidates) {
+        if (c.score > best.score * 1.15 + 1e-9) continue;
+        if (c.ambiguous != best.ambiguous) continue;
         const double w = 1.0 / std::max(c.score, 1e-6);
-        loc_acc += c.fit.location * w;
-        n_acc += c.fit.exponent * w;
+        loc_acc += c.loc * w;
+        n_acc += c.exponent * w;
         weight_acc += w;
     }
-    LocationFit fit = best->fit;
     if (weight_acc > 0.0) {
-        fit.location = loc_acc / weight_acc;
-        fit.exponent = n_acc / weight_acc;
-        const ResidualStats stats = residual_stats_seg(samples, fit.location,
-                                                       fit.exponent, fit.segment_gammas);
-        fit.residual_db = stats.rms_db;
-        fit.confidence = stats.confidence;
+        out.location = loc_acc / weight_acc;
+        out.exponent = n_acc / weight_acc;
+        const ResidualStats stats =
+            residual_stats_kernel(samples, count, out.location, out.exponent,
+                                  ws.best_gammas.data(), k, ws.resid.data());
+        out.residual_db = stats.rms_db;
+        out.confidence = stats.confidence;
     }
-    return fit;
+    return true;
+}
+
+std::optional<LocationFit> LocationSolver::solve(const std::vector<FusedSample>& samples,
+                                                 const SolveHints& hints,
+                                                 SolveDiagnostics* diag) const {
+    SolverWorkspace ws;
+    LocationFit out;
+    if (!solve_impl(samples.data(), samples.size(), hints, diag, ws, out,
+                    /*incremental=*/false))
+        return std::nullopt;
+    return out;
+}
+
+bool LocationSolver::solve(const std::vector<FusedSample>& samples,
+                           const SolveHints& hints, SolveDiagnostics* diag,
+                           SolverWorkspace& ws, LocationFit& out) const {
+    return solve_impl(samples.data(), samples.size(), hints, diag, ws, out,
+                      /*incremental=*/false);
 }
 
 std::optional<LocationFit> LocationSolver::resolve_l_shape(

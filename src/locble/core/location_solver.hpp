@@ -1,5 +1,8 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -23,6 +26,18 @@ struct FusedSample {
     /// fits one Gamma per segment, which absorbs blockage insertion loss.
     int segment{0};
 };
+
+/// The 0.1 m distance floor of the dB model, expressed on the squared
+/// distance both hot callers already have.
+inline constexpr double kMinDistanceSq = 0.01;
+
+/// The paper's Eq. 1 path-loss model in the dB domain, evaluated on the
+/// *squared* target-observer distance: Gamma - 5 n log10(max(l^2, 0.01)).
+/// This is the single definition shared by RSS prediction, residual
+/// scoring and the Gauss-Newton refinement.
+inline double predict_rssi_db(double gamma_dbm, double exponent, double dist_sq) {
+    return gamma_dbm - 5.0 * exponent * std::log10(std::max(dist_sq, kMinDistanceSq));
+}
 
 /// The solver's output: the target's location in the observer frame plus
 /// the jointly estimated propagation parameters.
@@ -58,7 +73,111 @@ struct SolveDiagnostics {
     int exponent_candidates{0};  ///< Eq. 5 grid points evaluated
     int candidate_failures{0};   ///< grid points rejected (degenerate or implausible)
     int multistart_runs{0};      ///< grid points that fell back to multi-start GN
+    int warm_starts{0};          ///< grid points seeded from a previous flush's fit
     bool converged{false};       ///< a fit was returned
+};
+
+/// Reusable scratch and incremental per-exponent state for LocationSolver.
+///
+/// All buffers grow on first use ("warm-up") and are then reused: a solve
+/// with a workspace that has already seen inputs of the same or larger
+/// size performs zero heap allocations. Treat the contents as opaque —
+/// only LocationSolver reads them.
+class SolverWorkspace {
+public:
+    SolverWorkspace() = default;
+
+    /// Forget all incremental state (cached rho powers, warm fits, sample
+    /// aggregates). Buffer capacity is retained — including each grid
+    /// point's rho cache, which the next solve resets in place — so
+    /// subsequent solves stay allocation-free.
+    void invalidate() {
+        grid_valid = false;
+        agg_count = 0;
+        seg_k = 1;
+        q_min = q_max = 0.0;
+        rssi_sum = 0.0;
+    }
+
+    /// Number of buffer (re)allocations since construction. Stable across
+    /// two identical solves == the zero-allocation guarantee held.
+    std::uint64_t grow_events() const { return grow_events_; }
+
+private:
+    friend class LocationSolver;
+
+    /// Incremental state for one exponent grid point, kept valid across
+    /// batch flushes of an append-only sample stream.
+    struct GridPoint {
+        double n{0.0};            ///< exponent value of this grid point
+        double eta{0.0};          ///< 10^(-1/(5n))
+        double rho_scale{0.0};    ///< running max of rho (conditioning)
+        std::size_t rho_count{0}; ///< samples folded into `rho` so far
+        bool rho_bad{false};      ///< sticky: a rho was nonfinite or <= 0
+        std::vector<double> rho;  ///< cached rho_i = eta^rssi_i powers
+        // Incremental linear-seed state: raw (unscaled) normal-equation
+        // sums of the Eq. 3 design rows, folded append-only; conditioning
+        // scales are applied to the m x m aggregate at solve time, so each
+        // flush pays O(new samples) + O(m^3) instead of O(all samples).
+        std::size_t ls_count{0};  ///< samples folded into the sums
+        bool ls_lateral{false};   ///< row shape (m = 4 vs 3) the sums use
+        double ls_ata[16]{};      ///< upper-triangle raw A^T A sums
+        double ls_atb[4]{};      ///< raw A^T y sums
+        double ls_max[4]{};      ///< running per-column |entry| max
+        // Warm-start state (coarse_to_fine mode only).
+        bool has_fit{false};
+        locble::Vec2 warm_loc;
+        std::vector<double> warm_gammas;
+    };
+
+    /// A surviving exponent candidate (the per-fit gammas live in
+    /// `best_gammas`, only kept for the winning candidate).
+    struct CandidateSlot {
+        double exponent{0.0};
+        locble::Vec2 loc;       ///< reported location (|y| under ambiguity)
+        locble::Vec2 raw_loc;   ///< pre-disambiguation GN fixed point (warm seed)
+        double score{1e300};
+        double confidence{0.0};
+        double residual_db{0.0};
+        int grid_idx{-1};
+        bool ambiguous{false};
+        bool multistart{false};
+    };
+
+    template <class Vec>
+    void ensure_size(Vec& v, std::size_t n) {
+        if (v.capacity() < n) ++grow_events_;
+        v.resize(n);
+    }
+
+    // Grid identity: the incremental state is valid only while the
+    // enumerated exponent grid is unchanged.
+    bool grid_valid{false};
+    double grid_n_min{0.0}, grid_n_max{0.0}, grid_step{0.0};
+    std::vector<GridPoint> grid;
+
+    // Append-only sample aggregates (bitwise equal to the cold-start
+    // full-pass values because they are the same left-to-right folds).
+    std::size_t agg_count{0};
+    int seg_k{1};
+    double q_min{0.0}, q_max{0.0};
+    double rssi_sum{0.0};
+
+    // Flat scratch for the linear seed (m <= 4, fixed arrays).
+    double ata[16]{}, atb[4]{}, beta[4]{};
+
+    // Flat scratch for Gauss-Newton (dim = 2 + segment count).
+    std::vector<double> jtj, jtr, delta;
+    std::vector<double> gam_cur, gam_best, gam_sum;
+    std::vector<int> gam_cnt;
+    std::vector<double> resid;
+
+    // Per-solve candidate set (for argmin + model averaging).
+    std::vector<CandidateSlot> candidates;
+    std::vector<double> best_gammas;
+    std::vector<std::uint8_t> evaluated;  ///< per grid point, current solve
+
+    std::uint64_t grow_events_{0};
 };
 
 /// Elliptical-regression location estimator (Sec. 5).
@@ -73,8 +192,24 @@ struct SolveDiagnostics {
 /// The solver grid-searches n (Eq. 5), solving the least-squares system at
 /// each candidate and scoring it by the dB-domain residual; the target is
 /// read off as (C/2A, D/2A) and Gamma as 5 n log10(1/A).
+///
+/// Hot-path design (docs/PERFORMANCE.md): all kernels run allocation-free
+/// on a SolverWorkspace, and a Session makes the per-batch re-solve of the
+/// pipeline incremental — rho powers and sample aggregates are folded in
+/// once per new sample per grid point instead of rebuilt from scratch.
 class LocationSolver {
 public:
+    /// Exponent grid traversal strategy (Eq. 5).
+    enum class SearchMode {
+        /// Evaluate every grid point. Incremental solves are bit-identical
+        /// to cold-start solves.
+        exhaustive,
+        /// Scan at 2x the grid step, then hill-descend on the fine grid
+        /// around the argmin; previous-flush fits warm-start Gauss-Newton.
+        /// Roughly 2-4x faster per solve, within tolerance of exhaustive.
+        coarse_to_fine,
+    };
+
     struct Config {
         double exponent_min{1.2};
         double exponent_max{6.0};
@@ -97,6 +232,7 @@ public:
         bool use_model_averaging{false};  ///< average near-optimal exponents (measured
                                           ///  counterproductive once GN refinement
                                           ///  exists; kept for the ablation bench)
+        SearchMode search_mode{SearchMode::exhaustive};
     };
 
     LocationSolver() : LocationSolver(Config{}) {}
@@ -111,6 +247,66 @@ public:
                                      const SolveHints& hints = {},
                                      SolveDiagnostics* diag = nullptr) const;
 
+    /// Cold solve into caller-provided workspace and output storage.
+    /// Performs zero heap allocations once `ws` and `out.segment_gammas`
+    /// have warmed up to the problem size. Returns false when no fit
+    /// converged (`out` is left untouched in that case).
+    bool solve(const std::vector<FusedSample>& samples, const SolveHints& hints,
+               SolveDiagnostics* diag, SolverWorkspace& ws, LocationFit& out) const;
+
+    /// Incremental warm-started regression over an append-only sample
+    /// stream — the pipeline's per-batch re-solve. Each solve() folds only
+    /// the samples added since the previous solve into the per-exponent
+    /// state (rho powers, aggregates) and, in coarse_to_fine mode, seeds
+    /// Gauss-Newton from the previous flush's fit per grid point.
+    ///
+    /// Contract: in SearchMode::exhaustive a Session solve is bit-identical
+    /// to a cold-start solve over the same accumulated samples; in
+    /// coarse_to_fine it is within tolerance (see docs/PERFORMANCE.md).
+    class Session {
+    public:
+        explicit Session(const LocationSolver& solver) : solver_(&solver) {}
+
+        /// Forget all samples and incremental state (buffer capacity kept).
+        void clear() {
+            samples_.clear();
+            ws_.invalidate();
+        }
+
+        void add(const FusedSample& s) { samples_.push_back(s); }
+        void add(const std::vector<FusedSample>& batch) {
+            samples_.insert(samples_.end(), batch.begin(), batch.end());
+        }
+
+        const std::vector<FusedSample>& samples() const { return samples_; }
+        std::size_t size() const { return samples_.size(); }
+
+        std::optional<LocationFit> solve(const SolveHints& hints = {},
+                                         SolveDiagnostics* diag = nullptr) {
+            LocationFit out;
+            if (!solver_->solve_impl(samples_.data(), samples_.size(), hints, diag,
+                                     ws_, out, /*incremental=*/true))
+                return std::nullopt;
+            return out;
+        }
+
+        /// Zero-allocation variant: the result is written into `out`
+        /// (reusing its segment_gammas capacity). Returns false when no
+        /// fit converged.
+        bool solve_into(LocationFit& out, const SolveHints& hints = {},
+                        SolveDiagnostics* diag = nullptr) {
+            return solver_->solve_impl(samples_.data(), samples_.size(), hints, diag,
+                                       ws_, out, /*incremental=*/true);
+        }
+
+        SolverWorkspace& workspace() { return ws_; }
+
+    private:
+        const LocationSolver* solver_;
+        SolverWorkspace ws_;
+        std::vector<FusedSample> samples_;
+    };
+
     /// The paper's explicit disambiguation (Sec. 5.1): fit each leg of an
     /// L-shaped walk independently (each is 1-D and symmetric about its own
     /// axis), rotate both candidate pairs into the observer frame, and pick
@@ -123,17 +319,20 @@ public:
     const Config& config() const { return cfg_; }
 
 private:
-    struct Candidate {
-        LocationFit fit;
-        double score{1e300};
-        bool multistart{false};  ///< linear seed failed; multi-start GN produced this
-    };
+    /// The one solve kernel behind every public entry point. `incremental`
+    /// keeps the workspace's per-exponent state; a cold solve resets it
+    /// first, which makes cold == incremental bitwise by construction.
+    bool solve_impl(const FusedSample* samples, std::size_t count,
+                    const SolveHints& hints, SolveDiagnostics* diag,
+                    SolverWorkspace& ws, LocationFit& out, bool incremental) const;
 
-    /// One least-squares pass at a fixed exponent; nullopt when the linear
-    /// system is singular or produces a non-physical A <= 0.
-    std::optional<Candidate> fit_at_exponent(const std::vector<FusedSample>& samples,
-                                             double exponent, bool lateral_ok,
-                                             double gamma_min, double gamma_max) const;
+    /// Evaluate one exponent grid point (linear seed + GN refinement, or a
+    /// warm-started GN when `warm` is true); returns false on failure.
+    bool evaluate_grid_point(SolverWorkspace& ws, SolverWorkspace::GridPoint& gp,
+                             const FusedSample* samples, std::size_t count,
+                             bool lateral_ok, double gamma_min, double gamma_max,
+                             int k, double mean_rssi, bool warm,
+                             SolverWorkspace::CandidateSlot& slot) const;
 
     Config cfg_;
 };

@@ -54,13 +54,17 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
     // One regression shared across the walk; a regime change opens a new
     // environment *segment* (Algo. 1's "new regression"): the solver keeps
     // (x, h) common and fits Gamma per segment, so blockage insertion loss
-    // is absorbed without discarding geometry.
-    std::vector<FusedSample> regression;
+    // is absorbed without discarding geometry. The Session makes the
+    // per-batch re-solve incremental: each flush folds only the new batch
+    // into the per-exponent solver state instead of rebuilding it from the
+    // whole accumulated stream.
+    LocationSolver::Session session(solver_);
     std::optional<LocationFit> last_fit;
     std::size_t last_fit_samples = 0;
     int segment = 0;
     std::optional<channel::PropagationClass> regime;
     double band_min = 10.0, band_max = 0.0;  // union of regime bands seen
+    bool saw_blocked = false;  // any non-LoS window so far (running, not rescanned)
     double prev_batch_mean = 0.0;
     bool have_prev_batch = false;
 
@@ -78,6 +82,7 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
             const auto obs = env->observe(batch_raw);
             result.diagnostics.envaware_windows += 1;
             result.window_classes.push_back(obs.window_class);
+            if (obs.window_class != channel::PropagationClass::los) saw_blocked = true;
             regime = obs.regime;
             restart = obs.changed;
         }
@@ -102,7 +107,7 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
             LOCBLE_COUNT("pipeline.regression_restarts", 1);
         }
         for (auto& s : batch_fused) s.segment = segment;
-        regression.insert(regression.end(), batch_fused.begin(), batch_fused.end());
+        session.add(batch_fused);
 
         SolveHints hints;
         // The regime's exponent band is applied only when a single regime
@@ -117,24 +122,22 @@ LocateResult LocBle::run(const locble::TimeSeries& raw_rss,
             // open downward when any blocked regime was seen (glass/body
             // ~3-8 dB, concrete or metal 8-15 dB below calibration).
             double below = cfg_.gamma_prior_below_db;
-            bool saw_blocked = false;
-            for (const auto cls : result.window_classes)
-                if (cls != channel::PropagationClass::los) saw_blocked = true;
             if (saw_blocked && cfg_.use_regime_bands) below += 14.0;
             hints.gamma_band_dbm = {*cfg_.gamma_prior_dbm - below,
                                     *cfg_.gamma_prior_dbm + cfg_.gamma_prior_above_db};
         }
 
         SolveDiagnostics sd;
-        if (auto fit = solver_.solve(regression, hints, &sd)) {
-            last_fit = fit;
-            last_fit_samples = regression.size();
+        if (auto fit = session.solve(hints, &sd)) {
+            last_fit = std::move(fit);
+            last_fit_samples = session.size();
         }
         auto& diag = result.diagnostics;
         diag.solver_calls += 1;
         diag.solver_candidates += sd.exponent_candidates;
         diag.solver_failures += sd.candidate_failures;
         diag.solver_multistarts += sd.multistart_runs;
+        diag.solver_warm_starts += sd.warm_starts;
         if (!sd.converged) diag.convergence_failures += 1;
         batch_raw.clear();
         batch_fused.clear();

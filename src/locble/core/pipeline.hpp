@@ -21,6 +21,7 @@ struct LocateResult {
         int solver_candidates{0};    ///< exponent grid points evaluated in total
         int solver_failures{0};      ///< grid points rejected (degenerate/implausible)
         int solver_multistarts{0};   ///< solves that needed the multi-start fallback
+        int solver_warm_starts{0};   ///< grid points seeded from a previous flush
         int convergence_failures{0}; ///< solves that returned no fit at all
         int envaware_windows{0};     ///< batches EnvAware classified
         std::vector<std::size_t> batch_samples;  ///< RSS samples per Algo. 1 batch

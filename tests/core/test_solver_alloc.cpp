@@ -1,0 +1,113 @@
+// Zero-allocation guarantee for the solver hot path (ISSUE 3 acceptance):
+// after a SolverWorkspace has warmed up to the problem size, solve() must
+// perform no heap allocation at all. This binary overrides global
+// operator new/delete with counting versions — it must stay a separate
+// test executable so the override cannot interfere with other suites.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "locble/common/vec2.hpp"
+#include "locble/core/location_solver.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace locble::core {
+namespace {
+
+using locble::Vec2;
+
+std::vector<FusedSample> walk_samples(const Vec2& target, double gamma, double n,
+                                      int per_leg = 24) {
+    std::vector<FusedSample> out;
+    auto add = [&](const Vec2& obs, double t) {
+        FusedSample s;
+        s.t = t;
+        s.p = -obs.x;
+        s.q = -obs.y;
+        const double l = locble::Vec2::distance(target, obs);
+        s.rssi = gamma - 10.0 * n * std::log10(std::max(l, 0.1));
+        out.push_back(s);
+    };
+    double t = 0.0;
+    for (int i = 0; i < per_leg; ++i, t += 0.1)
+        add({4.0 * i / (per_leg - 1.0), 0.0}, t);
+    for (int i = 0; i < per_leg; ++i, t += 0.1)
+        add({4.0, 3.0 * i / (per_leg - 1.0)}, t);
+    return out;
+}
+
+TEST(SolverAllocTest, ColdSolveIsAllocationFreeAfterWarmup) {
+    const LocationSolver solver;
+    const auto samples = walk_samples({5.0, 2.0}, -59.0, 2.0);
+
+    SolverWorkspace ws;
+    LocationFit out;
+    out.segment_gammas.reserve(4);  // output storage warms up too
+    ASSERT_TRUE(solver.solve(samples, {}, nullptr, ws, out));  // warm-up
+
+    const std::uint64_t before = g_allocations.load();
+    ASSERT_TRUE(solver.solve(samples, {}, nullptr, ws, out));
+    ASSERT_TRUE(solver.solve(samples, {}, nullptr, ws, out));
+    EXPECT_EQ(g_allocations.load(), before)
+        << "solve() allocated after workspace warm-up";
+    EXPECT_EQ(ws.grow_events(), ws.grow_events());  // stable by definition
+}
+
+TEST(SolverAllocTest, SessionSolveIsAllocationFreeAfterWarmup) {
+    const LocationSolver solver;
+    const auto samples = walk_samples({5.0, 2.0}, -59.0, 2.0);
+
+    LocationSolver::Session session(solver);
+    session.add(samples);
+    LocationFit out;
+    out.segment_gammas.reserve(4);
+    SolveDiagnostics diag;
+    ASSERT_TRUE(session.solve_into(out, {}, &diag));  // warm-up
+
+    const std::uint64_t before = g_allocations.load();
+    ASSERT_TRUE(session.solve_into(out, {}, &diag));
+    ASSERT_TRUE(session.solve_into(out, {}, &diag));
+    EXPECT_EQ(g_allocations.load(), before)
+        << "Session::solve_into allocated after warm-up";
+}
+
+TEST(SolverAllocTest, WorkspaceGrowEventsStabilize) {
+    const LocationSolver solver;
+    const auto samples = walk_samples({5.0, 2.0}, -59.0, 2.0);
+
+    SolverWorkspace ws;
+    LocationFit out;
+    ASSERT_TRUE(solver.solve(samples, {}, nullptr, ws, out));
+    const std::uint64_t after_first = ws.grow_events();
+    EXPECT_GT(after_first, 0u);  // warm-up did size the buffers
+    ASSERT_TRUE(solver.solve(samples, {}, nullptr, ws, out));
+    EXPECT_EQ(ws.grow_events(), after_first);
+}
+
+}  // namespace
+}  // namespace locble::core
