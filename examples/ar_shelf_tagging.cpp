@@ -51,7 +51,8 @@ int main() {
                 out.single.estimate_site.x, out.single.estimate_site.y,
                 out.single.error_m);
     std::printf("cluster members (DTW-matched RSS trends):");
-    for (auto id : out.cluster.members) std::printf(" #%llu", (unsigned long long)id);
+    for (auto id : out.cluster.members)
+        std::printf(" #%llu", static_cast<unsigned long long>(id));
     std::printf("  (rejected %zu)\n", out.cluster.rejected);
     std::printf("calibrated estimate:   (%.2f, %.2f), error %.2f m\n",
                 out.calibrated.estimate_site.x, out.calibrated.estimate_site.y,

@@ -227,14 +227,15 @@ int run_replay(const Args& args) {
     const core::LocBle pipeline(cfg, sim::shared_envaware());
     const auto result = pipeline.locate(rss, motion);
     if (!result.fit) {
-        std::printf("replay of beacon %llu: no fix\n", (unsigned long long)id);
+        std::printf("replay of beacon %llu: no fix\n",
+                    static_cast<unsigned long long>(id));
         return 1;
     }
     const Vec2 est = sim::observer_to_site(result.fit->location, sc.observer_start,
                                            sc.observer_heading);
     std::printf("replay of beacon %llu: estimate (%.2f, %.2f) in %s coordinates, "
                 "confidence %.2f\n",
-                (unsigned long long)id, est.x, est.y, sc.name.c_str(),
+                static_cast<unsigned long long>(id), est.x, est.y, sc.name.c_str(),
                 result.fit->confidence);
     return 0;
 }

@@ -35,8 +35,10 @@ ClassificationReport evaluate_classification(const std::vector<int>& truth,
             pred_c += r.confusion[o][c];
             true_c += r.confusion[c][o];
         }
-        r.precision[c] = pred_c ? static_cast<double>(tp) / pred_c : 0.0;
-        r.recall[c] = true_c ? static_cast<double>(tp) / true_c : 0.0;
+        r.precision[c] =
+            pred_c ? static_cast<double>(tp) / static_cast<double>(pred_c) : 0.0;
+        r.recall[c] =
+            true_c ? static_cast<double>(tp) / static_cast<double>(true_c) : 0.0;
         const double denom = r.precision[c] + r.recall[c];
         r.f1[c] = denom > 0.0 ? 2.0 * r.precision[c] * r.recall[c] / denom : 0.0;
         r.macro_precision += r.precision[c];

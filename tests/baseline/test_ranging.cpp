@@ -13,7 +13,8 @@ namespace {
 
 locble::TimeSeries constant_rss(double value, std::size_t n) {
     locble::TimeSeries ts;
-    for (std::size_t i = 0; i < n; ++i) ts.push_back({0.1 * i, value});
+    for (std::size_t i = 0; i < n; ++i)
+        ts.push_back({0.1 * static_cast<double>(i), value});
     return ts;
 }
 

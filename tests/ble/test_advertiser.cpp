@@ -35,7 +35,9 @@ TEST(AdvertiserTest, TimesSortedAndInRange) {
     for (std::size_t i = 0; i < txs.size(); ++i) {
         EXPECT_GE(txs[i].t, 2.0);
         EXPECT_LT(txs[i].t, 5.0);
-        if (i) EXPECT_GE(txs[i].t, txs[i - 1].t);
+        if (i) {
+            EXPECT_GE(txs[i].t, txs[i - 1].t);
+        }
     }
 }
 

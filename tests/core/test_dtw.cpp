@@ -17,7 +17,9 @@ std::vector<double> sine(std::size_t n, double freq, double phase = 0.0,
                          double amp = 1.0) {
     std::vector<double> out(n);
     for (std::size_t i = 0; i < n; ++i)
-        out[i] = amp * std::sin(2.0 * std::numbers::pi * freq * i / 10.0 + phase);
+        out[i] = amp * std::sin(2.0 * std::numbers::pi * freq *
+                                    static_cast<double>(i) / 10.0 +
+                                phase);
     return out;
 }
 

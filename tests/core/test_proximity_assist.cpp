@@ -11,7 +11,8 @@ locble::TimeSeries rss_at_range(double range_m, double mp = -59.0, double n = 2.
                                 std::size_t count = 15) {
     locble::TimeSeries ts;
     const double v = mp - 10.0 * n * std::log10(std::max(range_m, 0.1));
-    for (std::size_t i = 0; i < count; ++i) ts.push_back({0.1 * i, v});
+    for (std::size_t i = 0; i < count; ++i)
+        ts.push_back({0.1 * static_cast<double>(i), v});
     return ts;
 }
 

@@ -19,6 +19,18 @@ namespace {
 std::atomic<std::uint64_t> g_allocations{0};
 }
 
+// Sanitizer builds (LOCBLE_SAN, docs/CORRECTNESS.md) interpose the
+// allocator and allocate from their runtimes, so allocation counts are not
+// a meaningful property there; the plain CI job enforces them instead.
+// The overrides themselves are compiled out too — a malloc-backed operator
+// new would fight the sanitizer allocator (and trips
+// -Wmismatched-new-delete under ASan's escape analysis).
+#ifdef LOCBLE_SAN_ACTIVE
+#define LOCBLE_SKIP_UNDER_SANITIZERS() \
+    GTEST_SKIP() << "allocation counting is only meaningful in plain builds"
+#else
+#define LOCBLE_SKIP_UNDER_SANITIZERS() (void)0
+
 void* operator new(std::size_t size) {
     g_allocations.fetch_add(1, std::memory_order_relaxed);
     if (void* p = std::malloc(size)) return p;
@@ -35,6 +47,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // LOCBLE_SAN_ACTIVE
 
 namespace locble::core {
 namespace {
@@ -62,6 +75,7 @@ std::vector<FusedSample> walk_samples(const Vec2& target, double gamma, double n
 }
 
 TEST(SolverAllocTest, ColdSolveIsAllocationFreeAfterWarmup) {
+    LOCBLE_SKIP_UNDER_SANITIZERS();
     const LocationSolver solver;
     const auto samples = walk_samples({5.0, 2.0}, -59.0, 2.0);
 
@@ -79,6 +93,7 @@ TEST(SolverAllocTest, ColdSolveIsAllocationFreeAfterWarmup) {
 }
 
 TEST(SolverAllocTest, SessionSolveIsAllocationFreeAfterWarmup) {
+    LOCBLE_SKIP_UNDER_SANITIZERS();
     const LocationSolver solver;
     const auto samples = walk_samples({5.0, 2.0}, -59.0, 2.0);
 
@@ -97,6 +112,7 @@ TEST(SolverAllocTest, SessionSolveIsAllocationFreeAfterWarmup) {
 }
 
 TEST(SolverAllocTest, WorkspaceGrowEventsStabilize) {
+    LOCBLE_SKIP_UNDER_SANITIZERS();
     const LocationSolver solver;
     const auto samples = walk_samples({5.0, 2.0}, -59.0, 2.0);
 

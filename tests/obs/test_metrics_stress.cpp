@@ -1,0 +1,162 @@
+// Concurrency stress tests for the sharded obs metrics registry, aimed at
+// ThreadSanitizer (tools/san, ISSUE 4). The registry's contract: recording
+// threads write only their own shard (no locks), registration/snapshot take
+// the registry mutex, and snapshot() is called only at quiescent points.
+// These tests drive every cross-thread edge of that contract — concurrent
+// registration racing recording, shard creation bursts, and the 1-vs-8
+// thread merge identity under real contention.
+
+#include "locble/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "locble/runtime/trial_runner.hpp"
+
+namespace locble::obs {
+namespace {
+
+const MetricSnapshot* find(const std::vector<MetricSnapshot>& snap,
+                           const std::string& name) {
+    for (const auto& m : snap)
+        if (m.name == name) return &m;
+    return nullptr;
+}
+
+/// The recording workload shared by the merge-identity test: a pure function
+/// of the trial index, so any thread count must merge to the same totals.
+void record_trial(Registry& reg, int trial) {
+    const Counter c = reg.counter("stress.ops");
+    const GaugeMax g = reg.gauge_max("stress.peak");
+    const Histogram h =
+        reg.histogram("stress.latency", {1.0, 2.0, 4.0, 8.0, 16.0});
+    for (int i = 0; i < 200; ++i) {
+        c.add(static_cast<std::uint64_t>(trial % 3 + 1));
+        g.record(static_cast<double>((trial * 31 + i * 7) % 97));
+        h.record(static_cast<double>((trial * 13 + i) % 20));
+    }
+}
+
+std::vector<MetricSnapshot> run_with_threads(unsigned threads) {
+    Registry reg;
+    reg.set_enabled(true);
+    runtime::TrialRunner runner(threads);
+    runner.run(32, 7u, [&](int trial, locble::Rng&) {
+        record_trial(reg, trial);
+        return 0;
+    });
+    return reg.snapshot();
+}
+
+TEST(MetricsStressTest, MergeIdentical1Vs8ThreadsUnderContention) {
+    const auto serial = run_with_threads(1);
+    const auto parallel = run_with_threads(8);
+
+    for (const char* name : {"stress.ops", "stress.peak", "stress.latency"}) {
+        const auto* a = find(serial, name);
+        const auto* b = find(parallel, name);
+        ASSERT_NE(a, nullptr) << name;
+        ASSERT_NE(b, nullptr) << name;
+        EXPECT_EQ(a->count, b->count) << name;
+        EXPECT_EQ(a->value, b->value) << name;  // max is order-invariant
+        EXPECT_EQ(a->buckets, b->buckets) << name;
+    }
+    const auto* ops = find(serial, "stress.ops");
+    // Sum over trials of 200 * (trial % 3 + 1), computable in closed form:
+    // trials 0..29 → 10 full (1+2+3) cycles, plus trials 30,31 → 1+2.
+    EXPECT_EQ(ops->count, 200u * (10u * 6u + 3u));
+}
+
+TEST(MetricsStressTest, ConcurrentRegistrationAndRecording) {
+    // Half the threads register brand-new metrics (forcing cell-plane
+    // growth) while the other half record into already-registered handles
+    // whose shards must then grow lazily via ensure_capacity().
+    Registry reg;
+    reg.set_enabled(true);
+    const Counter warm = reg.counter("churn.warm");
+
+    constexpr int kThreads = 8;
+    constexpr int kRounds = 60;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {}
+            for (int r = 0; r < kRounds; ++r) {
+                if (t % 2 == 0) {
+                    const Counter fresh = reg.counter(
+                        "churn.t" + std::to_string(t) + "." + std::to_string(r));
+                    fresh.add(1);
+                } else {
+                    warm.add(1);
+                }
+                const Histogram h = reg.histogram("churn.hist", {0.5, 1.5});
+                h.record(static_cast<double>(r % 3));
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+
+    const auto snap = reg.snapshot();
+    const auto* w = find(snap, "churn.warm");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->count, static_cast<std::uint64_t>(kThreads / 2 * kRounds));
+    const auto* h = find(snap, "churn.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, static_cast<std::uint64_t>(kThreads * kRounds));
+    // Every per-round registration must have landed exactly once.
+    for (int t = 0; t < kThreads; t += 2)
+        for (int r = 0; r < kRounds; ++r) {
+            const auto* fresh =
+                find(snap, "churn.t" + std::to_string(t) + "." + std::to_string(r));
+            ASSERT_NE(fresh, nullptr);
+            EXPECT_EQ(fresh->count, 1u);
+        }
+}
+
+TEST(MetricsStressTest, ManyThreadsOneCounterNoLostUpdates) {
+    Registry reg;
+    reg.set_enabled(true);
+    const Counter c = reg.counter("burst.count");
+    constexpr int kThreads = 12;
+    constexpr int kAdds = 5000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kAdds; ++i) c.add(1);
+        });
+    for (auto& th : threads) th.join();
+    const auto snap = reg.snapshot();
+    const auto* m = find(snap, "burst.count");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->count, static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST(MetricsStressTest, ResetBetweenParallelRoundsStaysConsistent) {
+    Registry reg;
+    reg.set_enabled(true);
+    runtime::TrialRunner runner(8);
+    for (int round = 0; round < 3; ++round) {
+        reg.reset();  // quiescent: the previous round fully joined
+        runner.run(16, static_cast<std::uint64_t>(round + 1), [&](int trial, locble::Rng&) {
+            record_trial(reg, trial);
+            return 0;
+        });
+        const auto snap = reg.snapshot();
+        const auto* ops = find(snap, "stress.ops");
+        ASSERT_NE(ops, nullptr);
+        // 16 trials: 5 full (1+2+3) cycles plus trial 15 → 1.
+        EXPECT_EQ(ops->count, 200u * (5u * 6u + 1u)) << "round " << round;
+    }
+}
+
+}  // namespace
+}  // namespace locble::obs

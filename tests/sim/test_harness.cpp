@@ -106,7 +106,9 @@ TEST(MeasureMovingTest, EstimatesInitialPosition) {
     const auto walk = default_l_walk(sc, cfg.lshape);
     const MeasurementOutcome out = measure_moving(sc, beacon, walk, cfg, rng);
     EXPECT_EQ(out.truth_site, locble::Vec2(9.0, 9.5));
-    if (out.ok) EXPECT_LT(out.error_m, 8.0);  // sanity bound, not accuracy
+    if (out.ok) {
+        EXPECT_LT(out.error_m, 8.0);  // sanity bound, not accuracy
+    }
 }
 
 TEST(MeasureWithClusterTest, ReturnsBothEstimates) {
@@ -118,7 +120,8 @@ TEST(MeasureWithClusterTest, ReturnsBothEstimates) {
     for (std::uint64_t i = 0; i < 2; ++i) {
         BeaconPlacement nb;
         nb.id = 10 + i;
-        nb.position = sc.default_beacon + locble::Vec2{0.25 * (i + 1.0), 0.1};
+        nb.position =
+            sc.default_beacon + locble::Vec2{0.25 * (static_cast<double>(i) + 1.0), 0.1};
         neighbors.push_back(nb);
     }
     MeasurementConfig cfg;
@@ -126,7 +129,9 @@ TEST(MeasureWithClusterTest, ReturnsBothEstimates) {
     const ClusteredOutcome out = measure_with_cluster(sc, target, neighbors, cfg, rng);
     // The cluster always contains the target itself.
     EXPECT_GE(out.cluster.members.size(), 1u);
-    if (out.single.ok) EXPECT_TRUE(out.calibrated.ok);
+    if (out.single.ok) {
+        EXPECT_TRUE(out.calibrated.ok);
+    }
 }
 
 TEST(MeasureStationaryTest, DeterministicForSeed) {
@@ -138,7 +143,9 @@ TEST(MeasureStationaryTest, DeterministicForSeed) {
     const auto ra = measure_stationary(sc, beacon, cfg, a);
     const auto rb = measure_stationary(sc, beacon, cfg, b);
     ASSERT_EQ(ra.ok, rb.ok);
-    if (ra.ok) EXPECT_DOUBLE_EQ(ra.error_m, rb.error_m);
+    if (ra.ok) {
+        EXPECT_DOUBLE_EQ(ra.error_m, rb.error_m);
+    }
 }
 
 }  // namespace

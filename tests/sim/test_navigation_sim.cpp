@@ -52,7 +52,9 @@ TEST(NavigationSimulatorTest, RecordsErrorsPerRound) {
     const NavigationRun run = sim.run(sc, beacon, {2.0, 2.0}, 0.5, rng);
     for (const auto& rec : run.rounds) {
         EXPECT_GE(rec.distance_to_target_m, 0.0);
-        if (rec.measured) EXPECT_GE(rec.estimate_error_m, 0.0);
+        if (rec.measured) {
+            EXPECT_GE(rec.estimate_error_m, 0.0);
+        }
     }
 }
 

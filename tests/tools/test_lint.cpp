@@ -1,0 +1,173 @@
+// Unit tests for the determinism linter's rule engine (tools/lint).
+
+#include "lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace locble::lint {
+namespace {
+
+std::vector<std::string> rules_hit(const std::string& path, const std::string& src) {
+    std::vector<std::string> out;
+    for (const auto& f : lint_source(path, src)) out.push_back(f.rule);
+    return out;
+}
+
+TEST(LintTest, FlagsAmbientRandomness) {
+    EXPECT_EQ(rules_hit("src/locble/core/foo.cpp", "int x = rand();\n"),
+              std::vector<std::string>{"rand"});
+    EXPECT_EQ(rules_hit("src/locble/core/foo.cpp", "std::random_device rd;\n"),
+              std::vector<std::string>{"rand"});
+    EXPECT_EQ(rules_hit("src/locble/core/foo.cpp", "std::mt19937_64 eng(1);\n"),
+              std::vector<std::string>{"rand"});
+}
+
+TEST(LintTest, RngHomeIsExemptFromRandRule) {
+    EXPECT_TRUE(rules_hit("src/locble/common/rng.hpp", "std::mt19937_64 engine_;\n")
+                    .empty());
+}
+
+TEST(LintTest, IdentifiersContainingRandDoNotMatch) {
+    EXPECT_TRUE(rules_hit("src/a.cpp", "double operand = 1.0;\n").empty());
+    EXPECT_TRUE(rules_hit("src/a.cpp", "int rando_count = 0;\n").empty());
+}
+
+TEST(LintTest, FlagsWallClockReads) {
+    EXPECT_EQ(rules_hit("src/a.cpp", "auto t = std::chrono::system_clock::now();\n"),
+              std::vector<std::string>{"wallclock"});
+    EXPECT_EQ(rules_hit("src/a.cpp", "time_t t = time(nullptr);\n"),
+              std::vector<std::string>{"wallclock"});
+    EXPECT_EQ(rules_hit("src/a.cpp",
+                        "auto t = std::chrono::high_resolution_clock::now();\n"),
+              std::vector<std::string>{"wallclock"});
+}
+
+TEST(LintTest, SteadyClockIsAllowed) {
+    EXPECT_TRUE(
+        rules_hit("bench/b.cpp", "auto t = std::chrono::steady_clock::now();\n")
+            .empty());
+    // `clock::now()` via an alias is not the libc clock() call.
+    EXPECT_TRUE(rules_hit("bench/b.cpp",
+                          "using clock = std::chrono::steady_clock;\n"
+                          "auto t = clock::now();\n")
+                    .empty());
+}
+
+TEST(LintTest, FlagsUnorderedContainersAndVolatile) {
+    EXPECT_EQ(rules_hit("src/a.cpp", "std::unordered_map<int, int> m;\n"),
+              std::vector<std::string>{"unordered"});
+    EXPECT_EQ(rules_hit("bench/b.cpp", "volatile double sink = 0.0;\n"),
+              std::vector<std::string>{"volatile"});
+}
+
+TEST(LintTest, RawNewOnlyPolicesSolverHotPath) {
+    EXPECT_EQ(rules_hit("src/locble/core/location_solver.cpp",
+                        "double* buf = new double[n];\n"),
+              std::vector<std::string>{"raw-new"});
+    EXPECT_EQ(rules_hit("src/locble/core/location_solver.cpp", "delete[] buf;\n"),
+              std::vector<std::string>{"raw-new"});
+    // Deleted special members are declarations, not allocation.
+    EXPECT_TRUE(rules_hit("src/locble/core/location_solver.hpp",
+                          "Session(const Session&) = delete;\n")
+                    .empty());
+    // Outside the hot path, new/delete are the other rules' business.
+    EXPECT_TRUE(rules_hit("src/locble/sim/harness.cpp", "auto* p = new int(3);\n")
+                    .empty());
+}
+
+TEST(LintTest, FlagsUnguardedObsGlobalsInSrcOnly) {
+    EXPECT_EQ(rules_hit("src/locble/core/pipeline.cpp",
+                        "obs::Registry::global().counter(\"x\");\n"),
+              std::vector<std::string>{"obs-guard"});
+    EXPECT_TRUE(rules_hit("src/locble/obs/metrics.cpp",
+                          "Registry& Registry::global() { return instance; }\n")
+                    .empty());
+    EXPECT_TRUE(rules_hit("bench/bench_util.cpp",
+                          "auto snap = obs::Registry::global().snapshot();\n")
+                    .empty());
+}
+
+TEST(LintTest, CommentsAndStringsDoNotTrigger) {
+    EXPECT_TRUE(rules_hit("src/a.cpp", "// the new solver avoids rand()\n").empty());
+    EXPECT_TRUE(rules_hit("src/a.cpp", "/* time( and volatile in prose */\n").empty());
+    EXPECT_TRUE(
+        rules_hit("src/a.cpp", "const char* s = \"unordered_map time( rand\";\n")
+            .empty());
+}
+
+TEST(LintTest, AllowPragmaSuppressesSameAndNextLine) {
+    EXPECT_TRUE(rules_hit("src/a.cpp",
+                          "int x = rand();  // locble-lint: allow(rand)\n")
+                    .empty());
+    EXPECT_TRUE(rules_hit("src/a.cpp",
+                          "// locble-lint: allow(rand, wallclock)\n"
+                          "int x = rand() + time(nullptr);\n")
+                    .empty());
+    // The pragma names a different rule: the finding stands.
+    EXPECT_EQ(rules_hit("src/a.cpp",
+                        "int x = rand();  // locble-lint: allow(volatile)\n"),
+              std::vector<std::string>{"rand"});
+    // And it only reaches one line down.
+    EXPECT_EQ(rules_hit("src/a.cpp",
+                        "// locble-lint: allow(rand)\n"
+                        "int ok = rand();\n"
+                        "int bad = rand();\n"),
+              std::vector<std::string>{"rand"});
+}
+
+TEST(LintTest, LineNumbersAreOneBasedAndAccurate) {
+    const auto findings = lint_source("src/a.cpp",
+                                      "int a = 0;\n"
+                                      "int b = rand();\n"
+                                      "volatile int c = 0;\n");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].line, 2);
+    EXPECT_EQ(findings[0].rule, "rand");
+    EXPECT_EQ(findings[1].line, 3);
+    EXPECT_EQ(findings[1].rule, "volatile");
+}
+
+TEST(LintTest, BaselineParsesAndBudgetsFindings) {
+    const auto baseline = parse_baseline(
+        "# comment\n"
+        "src/a.cpp:rand:2\n"
+        "\n"
+        "bench/b.cpp:volatile:1  # trailing comment\n");
+    ASSERT_EQ(baseline.size(), 2u);
+    EXPECT_EQ(baseline.at("src/a.cpp:rand"), 2);
+    EXPECT_EQ(baseline.at("bench/b.cpp:volatile"), 1);
+
+    const std::vector<Finding> findings = {
+        {"src/a.cpp", 1, "rand", "x"},
+        {"src/a.cpp", 2, "rand", "y"},
+        {"src/a.cpp", 3, "rand", "z"},  // 3rd exceeds the budget of 2
+        {"src/c.cpp", 4, "unordered", "w"},
+    };
+    std::vector<std::string> stale;
+    const auto failing = apply_baseline(findings, baseline, stale);
+    ASSERT_EQ(failing.size(), 2u);
+    EXPECT_EQ(failing[0].line, 3);
+    EXPECT_EQ(failing[1].file, "src/c.cpp");
+    ASSERT_EQ(stale.size(), 1u);  // the volatile budget went unused
+    EXPECT_EQ(stale[0], "bench/b.cpp:volatile");
+}
+
+TEST(LintTest, RawStringLiteralsAreStripped) {
+    EXPECT_TRUE(rules_hit("src/a.cpp",
+                          "const char* s = R\"(rand() volatile time())\";\n")
+                    .empty());
+}
+
+TEST(LintTest, RuleIdListIsStable) {
+    const auto ids = rule_ids();
+    ASSERT_EQ(ids.size(), 6u);
+    EXPECT_EQ(ids[0], "rand");
+    EXPECT_EQ(ids[5], "obs-guard");
+}
+
+}  // namespace
+}  // namespace locble::lint

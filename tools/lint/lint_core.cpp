@@ -1,0 +1,280 @@
+#include "lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace locble::lint {
+
+namespace {
+
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replace comments and string/character literals with spaces (newlines kept,
+/// so line numbers survive). Keeps rule matching away from prose like "the
+/// new solver" in a comment or "time(" inside a log message.
+std::string strip_comments_and_strings(const std::string& src) {
+    std::string out(src.size(), ' ');
+    enum class State { code, line_comment, block_comment, string, chr, raw_string };
+    State state = State::code;
+    std::string raw_close;  // ")<delim>\"" for the active raw string
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+        if (c == '\n') out[i] = '\n';
+        switch (state) {
+            case State::code:
+                if (c == '/' && next == '/') {
+                    state = State::line_comment;
+                } else if (c == '/' && next == '*') {
+                    state = State::block_comment;
+                    ++i;
+                } else if (c == 'R' && next == '"' &&
+                           (i == 0 || !ident_char(src[i - 1]))) {
+                    // R"<delim>( ... )<delim>"
+                    std::size_t open = src.find('(', i + 2);
+                    if (open == std::string::npos) { out[i] = c; break; }
+                    raw_close = ")" + src.substr(i + 2, open - (i + 2)) + "\"";
+                    out[i] = c;
+                    i = open;  // literal body starts after '('
+                    state = State::raw_string;
+                } else if (c == '"' && (i == 0 || src[i - 1] != '\\')) {
+                    state = State::string;
+                } else if (c == '\'' && (i == 0 || !ident_char(src[i - 1]))) {
+                    // ident check skips digit separators like 1'000'000
+                    state = State::chr;
+                } else {
+                    out[i] = c;
+                }
+                break;
+            case State::line_comment:
+                if (c == '\n') state = State::code;
+                break;
+            case State::block_comment:
+                if (c == '*' && next == '/') {
+                    ++i;
+                    state = State::code;
+                }
+                break;
+            case State::string:
+                if (c == '\\') ++i;
+                else if (c == '"') state = State::code;
+                break;
+            case State::chr:
+                if (c == '\\') ++i;
+                else if (c == '\'') state = State::code;
+                break;
+            case State::raw_string:
+                if (src.compare(i, raw_close.size(), raw_close) == 0) {
+                    i += raw_close.size() - 1;
+                    state = State::code;
+                }
+                break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    lines.push_back(cur);
+    return lines;
+}
+
+/// Does `line` contain `word` as a whole identifier?
+bool has_word(const std::string& line, const std::string& word) {
+    std::size_t pos = 0;
+    while ((pos = line.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok = end >= line.size() || !ident_char(line[end]);
+        if (left_ok && right_ok) return true;
+        pos = end;
+    }
+    return false;
+}
+
+/// Whole word `word` immediately followed (modulo spaces) by '('.
+bool has_call(const std::string& line, const std::string& word) {
+    std::size_t pos = 0;
+    while ((pos = line.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !ident_char(line[pos - 1]);
+        std::size_t end = pos + word.size();
+        if (left_ok && (end >= line.size() || !ident_char(line[end]))) {
+            std::size_t p = end;
+            while (p < line.size() && line[p] == ' ') ++p;
+            if (p < line.size() && line[p] == '(') return true;
+        }
+        pos = end;
+    }
+    return false;
+}
+
+/// `delete` used as an operator (not `= delete;` / `= delete ;` defaults).
+bool has_operator_delete(const std::string& line) {
+    std::size_t pos = 0;
+    while ((pos = line.find("delete", pos)) != std::string::npos) {
+        const bool left_ident = pos > 0 && ident_char(line[pos - 1]);
+        const std::size_t end = pos + 6;
+        const bool right_ident = end < line.size() && ident_char(line[end]);
+        if (left_ident || right_ident) { pos = end; continue; }
+        // Walk left past spaces; '=' means a deleted special member.
+        std::size_t l = pos;
+        while (l > 0 && line[l - 1] == ' ') --l;
+        const bool deleted_fn = l > 0 && line[l - 1] == '=';
+        // Walk right past "[]" and spaces; ';' or end means no operand.
+        std::size_t r = end;
+        while (r < line.size() && (line[r] == ' ' || line[r] == '[' || line[r] == ']')) ++r;
+        const bool no_operand = r >= line.size() || line[r] == ';';
+        if (!deleted_fn && !no_operand) return true;
+        pos = end;
+    }
+    return false;
+}
+
+std::string trim(const std::string& s) {
+    std::size_t a = s.find_first_not_of(" \t");
+    if (a == std::string::npos) return "";
+    std::size_t b = s.find_last_not_of(" \t");
+    return s.substr(a, b - a + 1);
+}
+
+/// Rules allowed on `line_no` (1-based) via a `// locble-lint: allow(...)`
+/// pragma on this line or the one above. Parsed from the RAW text, since
+/// pragmas live in comments.
+bool is_allowed(const std::vector<std::string>& raw_lines, int line_no,
+                const std::string& rule) {
+    for (int l = line_no - 1; l <= line_no; ++l) {
+        if (l < 1 || l > static_cast<int>(raw_lines.size())) continue;
+        const std::string& text = raw_lines[static_cast<std::size_t>(l - 1)];
+        std::size_t tag = text.find("locble-lint:");
+        if (tag == std::string::npos) continue;
+        std::size_t open = text.find("allow(", tag);
+        if (open == std::string::npos) continue;
+        std::size_t close = text.find(')', open);
+        if (close == std::string::npos) continue;
+        std::stringstream list(text.substr(open + 6, close - open - 6));
+        std::string item;
+        while (std::getline(list, item, ','))
+            if (trim(item) == rule) return true;
+    }
+    return false;
+}
+
+bool path_contains(const std::string& path, const std::string& part) {
+    return path.find(part) != std::string::npos;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+    return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> rule_ids() {
+    return {"rand", "wallclock", "unordered", "volatile", "raw-new", "obs-guard"};
+}
+
+std::vector<Finding> lint_source(const std::string& path, const std::string& contents) {
+    const std::vector<std::string> raw_lines = split_lines(contents);
+    const std::vector<std::string> code_lines =
+        split_lines(strip_comments_and_strings(contents));
+
+    const bool is_rng_home = path_contains(path, "common/rng.hpp");
+    const bool is_solver_hot_path = path_contains(path, "core/location_solver");
+    const bool is_src = starts_with(path, "src/") || path_contains(path, "/src/");
+    const bool is_obs_home = path_contains(path, "locble/obs/");
+
+    std::vector<Finding> findings;
+    const auto report = [&](int line_no, const char* rule) {
+        if (is_allowed(raw_lines, line_no, rule)) return;
+        findings.push_back({path, line_no, rule,
+                            trim(raw_lines[static_cast<std::size_t>(line_no - 1)])});
+    };
+
+    for (std::size_t i = 0; i < code_lines.size(); ++i) {
+        const std::string& line = code_lines[i];
+        if (line.find_first_not_of(' ') == std::string::npos) continue;
+        const int n = static_cast<int>(i) + 1;
+
+        if (!is_rng_home &&
+            (has_word(line, "rand") || has_word(line, "srand") ||
+             has_word(line, "random_device") || has_word(line, "mt19937") ||
+             has_word(line, "mt19937_64") || has_word(line, "minstd_rand") ||
+             has_word(line, "default_random_engine")))
+            report(n, "rand");
+
+        if (has_word(line, "system_clock") || has_word(line, "high_resolution_clock") ||
+            has_word(line, "gettimeofday") || has_word(line, "clock_gettime") ||
+            has_word(line, "localtime") || has_word(line, "gmtime") ||
+            has_call(line, "time") || has_call(line, "clock"))
+            report(n, "wallclock");
+
+        if (has_word(line, "unordered_map") || has_word(line, "unordered_set") ||
+            has_word(line, "unordered_multimap") || has_word(line, "unordered_multiset"))
+            report(n, "unordered");
+
+        if (has_word(line, "volatile")) report(n, "volatile");
+
+        if (is_solver_hot_path &&
+            (has_word(line, "new") || has_operator_delete(line)))
+            report(n, "raw-new");
+
+        if (is_src && !is_obs_home &&
+            (line.find("Registry::global") != std::string::npos ||
+             line.find("Tracer::global") != std::string::npos))
+            report(n, "obs-guard");
+    }
+    return findings;
+}
+
+std::map<std::string, int> parse_baseline(const std::string& text) {
+    std::map<std::string, int> baseline;
+    std::stringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos) line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) continue;
+        const std::size_t last = line.rfind(':');
+        if (last == std::string::npos) continue;
+        const std::string key = line.substr(0, last);
+        baseline[key] += std::atoi(line.c_str() + last + 1);
+    }
+    return baseline;
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::map<std::string, int>& baseline,
+                                    std::vector<std::string>& stale) {
+    std::map<std::string, int> budget = baseline;
+    std::vector<Finding> failing;
+    for (const Finding& f : findings) {
+        const std::string key = f.file + ":" + f.rule;
+        auto it = budget.find(key);
+        if (it != budget.end() && it->second > 0) {
+            --it->second;
+        } else {
+            failing.push_back(f);
+        }
+    }
+    for (const auto& [key, remaining] : budget)
+        if (remaining > 0) stale.push_back(key);
+    std::sort(stale.begin(), stale.end());
+    return failing;
+}
+
+}  // namespace locble::lint

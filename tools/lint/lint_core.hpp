@@ -1,0 +1,59 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace locble::lint {
+
+/// One rule violation at a specific source line.
+struct Finding {
+    std::string file;   ///< path as handed to lint_source (usually repo-relative)
+    int line{0};        ///< 1-based
+    std::string rule;   ///< rule id, e.g. "rand", "wallclock"
+    std::string excerpt;///< the offending source line, trimmed
+};
+
+/// The determinism rules (docs/CORRECTNESS.md has the rationale for each):
+///   rand        std::rand/srand/random_device/mt19937 outside common/rng.hpp —
+///               all randomness must flow through locble::Rng seed streams.
+///   wallclock   system_clock/high_resolution_clock/time()/clock_gettime/... in
+///               src/ — trial and result paths may only read steady_clock, and
+///               only for display-only timing.
+///   unordered   std::unordered_{map,set} anywhere in src/ or bench/ —
+///               iteration order is implementation-defined, which silently
+///               breaks byte-identical serialization and float-sum ordering.
+///   volatile    the volatile keyword — it is not a synchronization primitive
+///               and usually hides a benchmark sink better expressed by
+///               consuming the value.
+///   raw-new     raw new/delete in solver hot-path files (core/location_solver*)
+///               — the PR-3 zero-allocation guarantee requires every buffer to
+///               live in SolverWorkspace.
+///   obs-guard   direct obs::Registry/Tracer::global() use in src/ outside
+///               src/locble/obs/ — instrumentation must go through the
+///               LOCBLE_* macros so -DLOCBLE_OBS=OFF removes the call site.
+///
+/// A line is exempt when it, or the line directly above it, carries a
+/// `// locble-lint: allow(rule)` (or `allow(rule1,rule2)`) comment.
+std::vector<std::string> rule_ids();
+
+/// Lint one file's contents. `path` should be repo-relative with forward
+/// slashes; it selects which rules apply (see rule list above).
+std::vector<Finding> lint_source(const std::string& path, const std::string& contents);
+
+/// Expected-findings baseline: rule violations that predate the linter and
+/// are tracked rather than fixed. Text format, one entry per line:
+///
+///   <path>:<rule>:<count>
+///
+/// '#' starts a comment. Returns a map from "<path>:<rule>" to count.
+std::map<std::string, int> parse_baseline(const std::string& text);
+
+/// Partition findings against a baseline: returns the findings NOT covered
+/// by the baseline (these fail the lint), and reports stale baseline entries
+/// (more findings budgeted than exist) into `stale` as "<path>:<rule>" keys.
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::map<std::string, int>& baseline,
+                                    std::vector<std::string>& stale);
+
+}  // namespace locble::lint

@@ -1,0 +1,147 @@
+// locble determinism linter (docs/CORRECTNESS.md).
+//
+// Scans C++ sources for the project's banned nondeterminism patterns —
+// ambient randomness, wall-clock reads, unordered-container iteration,
+// volatile, raw allocation in the solver hot path, unguarded obs calls —
+// and fails if any finding is neither `// locble-lint: allow(<rule>)`-ed
+// inline nor budgeted in the expected-findings baseline.
+//
+// Usage:
+//   determinism_lint [--root DIR] [--baseline FILE] <path>...
+//
+// Paths may be files or directories (searched recursively for
+// .cpp/.cc/.hpp/.h). --root makes reported paths (and baseline keys)
+// relative to DIR. Exit code 0 = clean, 1 = unsuppressed findings,
+// 2 = usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_cxx_extension(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::string read_file(const fs::path& p, bool& ok) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+        ok = false;
+        return "";
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    ok = true;
+    return ss.str();
+}
+
+/// Forward-slashed path relative to root (or unchanged if not under root).
+std::string relativize(const fs::path& p, const fs::path& root) {
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    const fs::path& use = (ec || rel.empty() || *rel.begin() == "..") ? p : rel;
+    return use.generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    fs::path root = fs::current_path();
+    fs::path baseline_file;
+    std::vector<fs::path> inputs;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+            baseline_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: determinism_lint [--root DIR] [--baseline FILE] <path>...\n");
+            return 0;
+        } else {
+            inputs.emplace_back(argv[i]);
+        }
+    }
+    if (inputs.empty()) {
+        std::fprintf(stderr, "determinism_lint: no input paths (try --help)\n");
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (const fs::path& in : inputs) {
+        std::error_code ec;
+        if (fs::is_directory(in, ec)) {
+            for (const auto& entry : fs::recursive_directory_iterator(in, ec))
+                if (entry.is_regular_file() && has_cxx_extension(entry.path()))
+                    files.push_back(entry.path());
+            if (ec) {
+                std::fprintf(stderr, "determinism_lint: cannot walk %s: %s\n",
+                             in.string().c_str(), ec.message().c_str());
+                return 2;
+            }
+        } else if (fs::is_regular_file(in, ec)) {
+            files.push_back(in);
+        } else {
+            std::fprintf(stderr, "determinism_lint: no such path: %s\n",
+                         in.string().c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::map<std::string, int> baseline;
+    if (!baseline_file.empty()) {
+        bool ok = false;
+        const std::string text = read_file(baseline_file, ok);
+        if (!ok) {
+            std::fprintf(stderr, "determinism_lint: cannot read baseline %s\n",
+                         baseline_file.string().c_str());
+            return 2;
+        }
+        baseline = locble::lint::parse_baseline(text);
+    }
+
+    std::vector<locble::lint::Finding> findings;
+    for (const fs::path& file : files) {
+        bool ok = false;
+        const std::string contents = read_file(file, ok);
+        if (!ok) {
+            std::fprintf(stderr, "determinism_lint: cannot read %s\n",
+                         file.string().c_str());
+            return 2;
+        }
+        const auto file_findings =
+            locble::lint::lint_source(relativize(file, root), contents);
+        findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    }
+
+    std::vector<std::string> stale;
+    const auto failing = locble::lint::apply_baseline(findings, baseline, stale);
+
+    for (const auto& f : failing)
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.excerpt.c_str());
+    for (const auto& key : stale)
+        std::fprintf(stderr,
+                     "determinism_lint: stale baseline entry '%s' — the finding "
+                     "is gone, remove it from the baseline\n",
+                     key.c_str());
+
+    std::printf("determinism_lint: %zu files, %zu findings (%zu baselined), %zu failing\n",
+                files.size(), findings.size(), findings.size() - failing.size(),
+                failing.size());
+    return failing.empty() ? 0 : 1;
+}
