@@ -1,0 +1,268 @@
+// Serve throughput: the sharded batching TrackingService versus the naive
+// multi-client server one would write straight against the public offline
+// API — one pipeline per (client, beacon) behind one global mutex, full
+// core::LocBle::locate() re-run over the accumulated capture whenever a
+// session saw new data (ISSUE 5 tentpole).
+//
+// Both servers consume the identical interleaved event stream on a single
+// core with the same solver search mode, so the measured gap isolates the
+// serve architecture: bounded-queue ingest, per-epoch batch flushing, the
+// causal (run-once) ANF, and the warm-started incremental solver session,
+// against the naive server's re-filter-and-cold-solve-from-scratch cadence.
+//
+// Reported per sweep point: per-trial wall time of both servers, the
+// median-of-per-trial-ratios speedup (lockstep epochs cancel machine
+// load), an events/sec shard sweep (1/2/4/8 shards, single-threaded — on
+// one core sharding must be free, not faster), an overflow run with a
+// deliberately tiny queue (drop accounting), and a 1-shard vs 8-shard
+// canonical snapshot identity check. Headline CI gate:
+// xlarge.speedup >= 2 and xlarge.determinism_identical == 1.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "locble/common/table.hpp"
+#include "locble/core/pipeline.hpp"
+#include "locble/serve/service.hpp"
+#include "locble/sim/multi_client.hpp"
+
+using namespace locble;
+
+namespace {
+
+constexpr double kEpochSeconds = 4.0;
+
+double now_us() {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+core::LocBle::Config pipeline_config() {
+    core::LocBle::Config cfg;
+    cfg.use_envaware = false;  // identical stages on both sides
+    cfg.gamma_prior_dbm = -59.0;
+    // Both servers get the production fast-path solver, so the ratio
+    // measures the serve architecture, not the exponent grid.
+    cfg.solver.search_mode = core::LocationSolver::SearchMode::coarse_to_fine;
+    return cfg;
+}
+
+serve::TrackingService::Config serve_config(unsigned shards) {
+    serve::TrackingService::Config cfg;
+    cfg.shards = shards;
+    cfg.threads = 1;  // single core: any speedup must come from batching
+    cfg.shard.session.pipeline = pipeline_config();
+    cfg.shard.queue_capacity = 1 << 14;
+    return cfg;
+}
+
+/// The baseline: what the offline API invites you to write. One global
+/// mutex over a map of per-client captures; every epoch re-runs the whole
+/// offline pipeline (zero-phase ANF over the full accumulated series +
+/// cold solve) for every session that saw new data.
+class NaiveServer {
+public:
+    NaiveServer() : pipeline_(pipeline_config()) {}
+
+    void ingest(const serve::Event& e) {
+        const std::lock_guard<std::mutex> lock(mu_);
+        Client& c = clients_[e.client];
+        if (e.kind == serve::EventKind::pose) {
+            c.motion.path.push_back({e.t, e.position});
+        } else {
+            c.rss[e.beacon].push_back({e.t, e.rssi_dbm});
+            c.dirty[e.beacon] = true;
+        }
+    }
+
+    void epoch() {
+        const std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [id, c] : clients_) {
+            if (c.motion.path.empty()) continue;
+            for (auto& [beacon, dirty] : c.dirty) {
+                if (!dirty) continue;
+                dirty = false;
+                const auto result = pipeline_.locate(c.rss[beacon], c.motion);
+                if (result.fit) {
+                    c.fits[beacon] = *result.fit;
+                    ++fits_;
+                }
+                ++solves_;
+            }
+        }
+    }
+
+    std::uint64_t solves() const { return solves_; }
+    std::uint64_t fits() const { return fits_; }
+
+private:
+    struct Client {
+        motion::MotionEstimate motion;
+        std::map<std::uint64_t, locble::TimeSeries> rss;
+        std::map<std::uint64_t, bool> dirty;
+        std::map<std::uint64_t, core::LocationFit> fits;
+    };
+    std::mutex mu_;
+    core::LocBle pipeline_;
+    std::map<serve::ClientId, Client> clients_;
+    std::uint64_t solves_{0};
+    std::uint64_t fits_{0};
+};
+
+/// Drive one server through the workload in epoch slices; returns wall us.
+template <class Ingest, class Epoch>
+double run_pass(const std::vector<serve::Event>& events, Ingest&& ingest,
+                Epoch&& epoch) {
+    const double t0 = now_us();
+    std::size_t i = 0;
+    for (double edge = kEpochSeconds; i < events.size(); edge += kEpochSeconds) {
+        while (i < events.size() && events[i].t <= edge) ingest(events[i++]);
+        epoch();
+    }
+    return now_us() - t0;
+}
+
+double serve_pass(const sim::MultiClientWorkload& wl, unsigned shards,
+                  std::string* canonical = nullptr) {
+    serve::TrackingService svc(serve_config(shards));
+    const double us = run_pass(
+        wl.events, [&](const serve::Event& e) { svc.submit(e); },
+        [&] { svc.run_epoch(); });
+    if (canonical != nullptr) *canonical = serve::canonical_text(svc.snapshot());
+    return us;
+}
+
+double median(std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+struct SweepPoint {
+    const char* key;
+    int clients;
+    int beacons;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto opt = bench::parse_options(argc, argv);
+    bench::Runner runner("serve_throughput", opt, 52000);
+
+    bench::print_header(
+        "Serve throughput — sharded batching service vs naive mutex server",
+        "same event stream, same solver, single core; the serve layer's "
+        "batching + warm-started incremental solves carry the speedup");
+
+    const SweepPoint sweep[] = {
+        {"small", 8, 2},
+        {"medium", 24, 4},
+        {"large", 48, 8},
+        {"xlarge", 64, 8},
+    };
+    const int trials = runner.trials_or(3);
+    const unsigned shard_sweep[] = {1, 2, 4, 8};
+
+    TextTable table({"point", "events", "naive ms", "serve ms", "speedup",
+                     "ev/s (1 shard)", "identical"});
+
+    double xlarge_speedup = 0.0;
+    bool all_identical = true;
+
+    for (std::size_t p = 0; p < std::size(sweep); ++p) {
+        const auto& pt = sweep[p];
+        sim::MultiClientConfig wcfg;
+        wcfg.clients = pt.clients;
+        wcfg.beacons = pt.beacons;
+        const auto wl = sim::make_multi_client_workload(wcfg, runner.sweep_seed(p));
+        const std::string k(pt.key);
+
+        // Warm-up pass of each server (page in code + allocators).
+        { NaiveServer warm; run_pass(wl.events,
+            [&](const serve::Event& e) { warm.ingest(e); }, [&] { warm.epoch(); }); }
+        serve_pass(wl, 1);
+
+        // Lockstep trials: naive then serve back-to-back per trial, so
+        // transient machine load cancels inside each per-trial ratio.
+        std::vector<double> naive_us, serve_us, ratios;
+        std::uint64_t naive_solves = 0;
+        for (int t = 0; t < trials; ++t) {
+            NaiveServer naive;
+            const double n_us = run_pass(
+                wl.events, [&](const serve::Event& e) { naive.ingest(e); },
+                [&] { naive.epoch(); });
+            const double s_us = serve_pass(wl, 1);
+            naive_us.push_back(n_us);
+            serve_us.push_back(s_us);
+            ratios.push_back(n_us / s_us);
+            naive_solves = naive.solves();
+        }
+        const double speedup = median(ratios);
+        if (k == "xlarge") xlarge_speedup = speedup;
+
+        // Shard sweep: events/sec at 1/2/4/8 shards, still one thread.
+        std::string canon1, canon8;
+        double per_shard_evps[std::size(shard_sweep)] = {};
+        for (std::size_t s = 0; s < std::size(shard_sweep); ++s) {
+            std::string* canon = shard_sweep[s] == 1   ? &canon1
+                                 : shard_sweep[s] == 8 ? &canon8
+                                                       : nullptr;
+            const double us = serve_pass(wl, shard_sweep[s], canon);
+            per_shard_evps[s] =
+                static_cast<double>(wl.events.size()) / (us * 1e-6);
+        }
+        const bool identical = canon1 == canon8 && !canon1.empty();
+        all_identical = all_identical && identical;
+
+        // Overflow run: a queue two orders too small must degrade
+        // gracefully and account for every drop.
+        auto ocfg = serve_config(1);
+        ocfg.shard.queue_capacity = 64;
+        serve::TrackingService overloaded(ocfg);
+        for (const auto& e : wl.events) overloaded.submit(e);
+        overloaded.run_epoch();
+        const serve::IngestStats ostats = overloaded.stats();
+
+        table.add_row(k,
+                      {static_cast<double>(wl.events.size()),
+                       median(naive_us) / 1000.0, median(serve_us) / 1000.0,
+                       speedup, per_shard_evps[0], identical ? 1.0 : 0.0},
+                      2);
+
+        auto& rep = runner.report();
+        rep.add_scalar(k + ".clients", pt.clients);
+        rep.add_scalar(k + ".beacons", pt.beacons);
+        rep.add_scalar(k + ".events", static_cast<double>(wl.events.size()));
+        rep.add_scalar(k + ".naive_us", median(naive_us));
+        rep.add_scalar(k + ".serve_us", median(serve_us));
+        rep.add_scalar(k + ".naive_solves", static_cast<double>(naive_solves));
+        rep.add_scalar(k + ".speedup", speedup);
+        for (std::size_t s = 0; s < std::size(shard_sweep); ++s)
+            rep.add_scalar(k + ".events_per_sec_shards" +
+                               std::to_string(shard_sweep[s]),
+                           per_shard_evps[s]);
+        rep.add_scalar(k + ".determinism_identical", identical ? 1.0 : 0.0);
+        rep.add_scalar(k + ".overflow_submitted",
+                       static_cast<double>(ostats.submitted));
+        rep.add_scalar(k + ".overflow_dropped",
+                       static_cast<double>(ostats.dropped));
+        rep.add_scalar(k + ".overflow_accepted",
+                       static_cast<double>(ostats.accepted));
+    }
+
+    std::printf("%s\n", table.str().c_str());
+    runner.report().add_text("largest_point", "xlarge");
+    std::printf("headline (CI gate): xlarge.speedup >= 2 (got %.2f) and every\n"
+                "point's 1-shard vs 8-shard canonical snapshots identical (%s)\n\n",
+                xlarge_speedup, all_identical ? "yes" : "NO");
+    return runner.finish();
+}

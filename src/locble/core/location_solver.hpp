@@ -267,11 +267,18 @@ public:
     public:
         explicit Session(const LocationSolver& solver) : solver_(&solver) {}
 
-        /// Forget all samples and incremental state (buffer capacity kept).
-        void clear() {
+        /// Forget all samples and incremental state while keeping every
+        /// buffer's capacity — the evict-and-recreate path of long-running
+        /// services (locble::serve): a reset-then-refilled Session solves
+        /// allocation-free and stays bit-identical to a cold solve over the
+        /// same samples (exhaustive mode).
+        void reset() {
             samples_.clear();
             ws_.invalidate();
         }
+
+        /// Alias of reset(), kept for symmetry with container APIs.
+        void clear() { reset(); }
 
         void add(const FusedSample& s) { samples_.push_back(s); }
         void add(const std::vector<FusedSample>& batch) {

@@ -85,6 +85,7 @@ void BenchReport::add_obs_histogram(const std::string& key,
 
 std::string BenchReport::to_json() const {
     std::string out = "{\n";
+    out += "  \"schema_version\": " + std::to_string(kBenchReportSchemaVersion) + ",\n";
     out += "  \"bench\": \"" + json_escape(name_) + "\",\n";
     out += "  \"trials\": " + std::to_string(trials_) + ",\n";
     out += "  \"threads\": " + std::to_string(threads_) + ",\n";

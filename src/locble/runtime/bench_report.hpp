@@ -11,6 +11,13 @@ namespace locble::runtime {
 /// Overridable via LOCBLE_THREADS; defined in trial_runner.cpp.
 unsigned default_thread_count();
 
+/// Version of the BENCH_*.json layout. Bump when the serialized shape
+/// changes (new/renamed top-level keys, different metric encoding) so CI
+/// and downstream tooling can reject reports they don't understand.
+///   1  implicit — reports without a "schema_version" field
+///   2  adds the explicit "schema_version" top-level field
+inline constexpr int kBenchReportSchemaVersion = 2;
+
 /// Machine-readable result sink for one bench binary.
 ///
 /// Collects scalar metrics and sample summaries in insertion order and

@@ -1,5 +1,10 @@
 #include "locble/runtime/thread_pool.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
 #include "locble/obs/obs.hpp"
 
 namespace locble::runtime {
@@ -37,6 +42,45 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     }
     cv_.notify_one();
     return future;
+}
+
+void ThreadPool::run_indexed(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (size() == 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) return;
+            try {
+                fn(i);
+            } catch (...) {
+                const std::lock_guard lock(error_mutex);
+                if (i < error_index) {
+                    error_index = i;
+                    error = std::current_exception();
+                }
+                next.store(count, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::future<void>> done;
+    const std::size_t n = std::min<std::size_t>(size(), count);
+    done.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) done.push_back(submit(worker));
+    for (auto& f : done) f.get();
+    if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {

@@ -33,6 +33,22 @@ public:
     /// task's exception).
     std::future<void> submit(std::function<void()> task);
 
+    /// Deterministic indexed fan-out with a barrier: run `fn(i)` for every
+    /// i in [0, count), handing indices to min(size(), count) workers
+    /// through a shared atomic counter (dynamic scheduling), and return
+    /// only after all of them finished. With a single worker (or a single
+    /// index) the loop runs inline on the calling thread.
+    ///
+    /// This is the scheduling primitive behind both the Monte-Carlo
+    /// TrialRunner and the locble::serve epoch scheduler: as long as the
+    /// work of distinct indices touches disjoint state, the result is
+    /// bit-identical whatever the thread count or execution order.
+    ///
+    /// The first exception by *index* (not by completion time) cancels the
+    /// remaining unstarted indices and rethrows from run_indexed(), so
+    /// failures reproduce identically across thread counts too.
+    void run_indexed(std::size_t count, const std::function<void(std::size_t)>& fn);
+
     /// Resolve a user-facing thread-count request: 0 means "all hardware
     /// threads", anything else is taken literally (minimum 1).
     static unsigned resolve_threads(unsigned requested);

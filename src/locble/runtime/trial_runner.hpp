@@ -1,11 +1,6 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
-#include <exception>
-#include <future>
-#include <limits>
-#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
@@ -57,45 +52,14 @@ public:
         LOCBLE_COUNT("runtime.trials", trials);
 
         std::vector<std::optional<T>> slots(static_cast<std::size_t>(trials));
-        const auto run_one = [&](int t) {
+        // Scheduling (dynamic index hand-out, barrier, first-exception-by-
+        // index) is the pool's run_indexed primitive; the trial layer only
+        // adds the per-trial seed stream and the ordered result slots.
+        pool_.run_indexed(static_cast<std::size_t>(trials), [&](std::size_t t) {
             LOCBLE_SPAN("trial");
             locble::Rng rng = locble::Rng::for_stream(seed, static_cast<std::uint64_t>(t));
-            slots[static_cast<std::size_t>(t)].emplace(fn(t, rng));
-        };
-
-        if (threads() == 1) {
-            for (int t = 0; t < trials; ++t) run_one(t);
-        } else {
-            std::atomic<int> next{0};
-            std::mutex error_mutex;
-            int error_trial = std::numeric_limits<int>::max();
-            std::exception_ptr error;
-
-            const auto worker = [&] {
-                for (;;) {
-                    const int t = next.fetch_add(1, std::memory_order_relaxed);
-                    if (t >= trials) return;
-                    try {
-                        run_one(t);
-                    } catch (...) {
-                        const std::lock_guard lock(error_mutex);
-                        if (t < error_trial) {
-                            error_trial = t;
-                            error = std::current_exception();
-                        }
-                        next.store(trials, std::memory_order_relaxed);
-                        return;
-                    }
-                }
-            };
-
-            std::vector<std::future<void>> done;
-            const unsigned n = std::min<unsigned>(threads(), static_cast<unsigned>(trials));
-            done.reserve(n);
-            for (unsigned i = 0; i < n; ++i) done.push_back(pool_.submit(worker));
-            for (auto& f : done) f.get();
-            if (error) std::rethrow_exception(error);
-        }
+            slots[t].emplace(fn(static_cast<int>(t), rng));
+        });
 
         std::vector<T> out;
         out.reserve(static_cast<std::size_t>(trials));

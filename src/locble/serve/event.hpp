@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+
+#include "locble/common/vec2.hpp"
+
+namespace locble::serve {
+
+/// Stable identifier of one connected phone (tracking client).
+using ClientId = std::uint64_t;
+/// Stable identifier of one advertised beacon.
+using BeaconId = std::uint64_t;
+
+/// What one ingest event carries.
+enum class EventKind : std::uint8_t {
+    /// A BLE advertisement report: (beacon, rssi_dbm) at time t.
+    adv,
+    /// A dead-reckoned pose sample: the client's on-device pedestrian dead
+    /// reckoning (Sec. 5.2 runs on the phone) uploads its position in the
+    /// client's observer frame at time t.
+    pose,
+};
+
+/// One interleaved ingest event from one client. Deliberately a flat POD:
+/// events are copied through bounded queues on the ingest hot path, so
+/// there must be nothing to allocate or destroy.
+///
+/// Timestamps are client-clock seconds; per client they must be
+/// non-decreasing (late events are accepted into the current batch and
+/// counted under `serve.ingest.late`).
+struct Event {
+    ClientId client{0};
+    double t{0.0};
+    EventKind kind{EventKind::adv};
+    BeaconId beacon{0};          ///< adv only
+    double rssi_dbm{0.0};        ///< adv only
+    locble::Vec2 position{};     ///< pose only (observer frame)
+};
+
+/// Advertisement event shorthand.
+inline Event adv_event(ClientId client, double t, BeaconId beacon, double rssi_dbm) {
+    Event e;
+    e.client = client;
+    e.t = t;
+    e.kind = EventKind::adv;
+    e.beacon = beacon;
+    e.rssi_dbm = rssi_dbm;
+    return e;
+}
+
+/// Pose event shorthand.
+inline Event pose_event(ClientId client, double t, const locble::Vec2& position) {
+    Event e;
+    e.client = client;
+    e.t = t;
+    e.kind = EventKind::pose;
+    e.position = position;
+    return e;
+}
+
+/// Stable client -> shard assignment: a SplitMix64-style mix of the client
+/// id reduced modulo the shard count. Pure function of (client, shards), so
+/// the assignment never depends on arrival order, map occupancy or thread
+/// count — one of the legs the serve determinism contract stands on.
+inline std::uint32_t shard_of(ClientId client, std::uint32_t shards) {
+    std::uint64_t z = client + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return shards == 0 ? 0u : static_cast<std::uint32_t>(z % shards);
+}
+
+}  // namespace locble::serve

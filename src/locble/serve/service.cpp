@@ -1,0 +1,176 @@
+#include "locble/serve/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "locble/obs/obs.hpp"
+
+namespace locble::serve {
+
+namespace {
+
+/// Round-trip-exact double formatting for the canonical snapshot text.
+std::string fmt(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string canonical_text(const ServiceSnapshot& snap) {
+    std::string out;
+    out.reserve(128 + snap.estimates.size() * 256);
+    out += "snapshot epoch=" + std::to_string(snap.epoch) +
+           " horizon=" + fmt(snap.horizon) +
+           " estimates=" + std::to_string(snap.estimates.size()) + "\n";
+    const IngestStats& s = snap.stats;
+    out += "stats submitted=" + std::to_string(s.submitted) +
+           " accepted=" + std::to_string(s.accepted) +
+           " dropped=" + std::to_string(s.dropped) +
+           " rejected=" + std::to_string(s.rejected) +
+           " late=" + std::to_string(s.late) +
+           " epochs=" + std::to_string(s.epochs) +
+           " clients_created=" + std::to_string(s.clients_created) +
+           " clients_evicted=" + std::to_string(s.clients_evicted) +
+           " sessions_created=" + std::to_string(s.sessions_created) +
+           " sessions_evicted=" + std::to_string(s.sessions_evicted) +
+           " sessions_reset=" + std::to_string(s.sessions_reset) +
+           " batches_flushed=" + std::to_string(s.batches_flushed) +
+           " solves=" + std::to_string(s.solves) +
+           " cluster_runs=" + std::to_string(s.cluster_runs) + "\n";
+    for (const BeaconEstimate& e : snap.estimates) {
+        out += "client=" + std::to_string(e.client) +
+               " beacon=" + std::to_string(e.beacon) +
+               " fit=" + (e.has_fit ? std::string("1") : std::string("0"));
+        if (e.has_fit) {
+            out += " x=" + fmt(e.fit.location.x) + " y=" + fmt(e.fit.location.y) +
+                   " n=" + fmt(e.fit.exponent) + " gamma=" + fmt(e.fit.gamma_dbm) +
+                   " resid=" + fmt(e.fit.residual_db) +
+                   " conf=" + fmt(e.fit.confidence) +
+                   " ambiguous=" + (e.fit.ambiguous ? std::string("1")
+                                                    : std::string("0")) +
+                   " gammas=[";
+            for (std::size_t i = 0; i < e.fit.segment_gammas.size(); ++i) {
+                if (i > 0) out += ",";
+                out += fmt(e.fit.segment_gammas[i]);
+            }
+            out += "]";
+        }
+        out += " used=" + std::to_string(e.samples_used) +
+               " seen=" + std::to_string(e.samples_seen) +
+               " restarts=" + std::to_string(e.regression_restarts) +
+               " resets=" + std::to_string(e.resets) +
+               " last_t=" + fmt(e.last_event_t) +
+               " cluster=" + (e.has_cluster ? std::string("1") : std::string("0"));
+        if (e.has_cluster) {
+            out += " cx=" + fmt(e.cluster.calibrated.x) +
+                   " cy=" + fmt(e.cluster.calibrated.y) +
+                   " cconf=" + fmt(e.cluster.combined_confidence) + " members=[";
+            for (std::size_t i = 0; i < e.cluster.members.size(); ++i) {
+                if (i > 0) out += ",";
+                out += std::to_string(e.cluster.members[i]);
+            }
+            out += "] crejected=" + std::to_string(e.cluster.rejected);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+TrackingService::TrackingService(const Config& cfg,
+                                 std::optional<core::EnvAware> envaware)
+    : cfg_(cfg), envaware_(std::move(envaware)) {
+    const unsigned nshards = cfg_.shards == 0 ? 1u : cfg_.shards;
+    threads_ = cfg_.threads == 0 ? nshards : std::min(cfg_.threads, nshards);
+    if (cfg_.shard.session.pipeline.use_envaware && !envaware_)
+        throw std::invalid_argument(
+            "TrackingService: session config enables EnvAware but no model "
+            "was provided");
+    const core::EnvAware* env = envaware_ ? &*envaware_ : nullptr;
+    shards_.reserve(nshards);
+    for (unsigned i = 0; i < nshards; ++i)
+        shards_.push_back(std::make_unique<Shard>(cfg_.shard, env));
+    // One pool for the service lifetime; with a single worker the epoch
+    // loop runs inline (run_indexed's serial path), so threads == 1 needs
+    // no pool at all.
+    if (threads_ > 1) pool_.emplace(threads_);
+}
+
+void TrackingService::submit(const Event& e) {
+    // The horizon (the service's event-time clock) advances on the ingest
+    // thread over *accepted* events only, so batch closing and eviction
+    // see the same clock whatever the shard count.
+    Shard& shard = *shards_[shard_of(e.client, static_cast<std::uint32_t>(
+                                                   shards_.size()))];
+    const std::uint64_t before = shard.stats().accepted;
+    shard.enqueue(e);
+    if (shard.stats().accepted != before) {
+        horizon_ = has_horizon_ ? std::max(horizon_, e.t) : e.t;
+        has_horizon_ = true;
+    }
+}
+
+void TrackingService::submit(const std::vector<Event>& events) {
+    for (const Event& e : events) submit(e);
+}
+
+std::uint64_t TrackingService::run_epoch() {
+    LOCBLE_SPAN("serve.epoch");
+    ++epoch_;
+    LOCBLE_COUNT("serve.epochs", 1);
+    const double horizon = horizon_;
+    if (pool_) {
+        pool_->run_indexed(shards_.size(), [&](std::size_t i) {
+            shards_[i]->process_epoch(horizon);
+        });
+    } else {
+        for (auto& s : shards_) s->process_epoch(horizon);
+    }
+    return epoch_;
+}
+
+ServiceSnapshot TrackingService::snapshot() const {
+    LOCBLE_SPAN("serve.snapshot");
+    ServiceSnapshot snap;
+    snap.epoch = epoch_;
+    snap.horizon = horizon_;
+    snap.stats = stats();
+    for (const auto& shard : shards_) {
+        for (const auto& [client, state] : shard->clients()) {
+            for (const auto& [beacon, session] : state.sessions) {
+                BeaconEstimate e;
+                e.client = client;
+                e.beacon = beacon;
+                e.has_fit = session.has_fit();
+                if (e.has_fit) e.fit = session.fit();
+                e.samples_used = session.samples_used();
+                e.samples_seen = session.samples_seen();
+                e.regression_restarts = session.regression_restarts();
+                e.resets = session.resets();
+                e.last_event_t = session.last_event_t();
+                e.has_cluster = session.has_cluster();
+                if (e.has_cluster) e.cluster = session.cluster();
+                snap.estimates.push_back(std::move(e));
+            }
+        }
+    }
+    // Shards are visited in index order, but the global order must not
+    // depend on the client -> shard hash: sort by (client, beacon).
+    std::sort(snap.estimates.begin(), snap.estimates.end(),
+              [](const BeaconEstimate& a, const BeaconEstimate& b) {
+                  return a.client != b.client ? a.client < b.client
+                                              : a.beacon < b.beacon;
+              });
+    return snap;
+}
+
+IngestStats TrackingService::stats() const {
+    IngestStats total;
+    for (const auto& s : shards_) total += s->stats();
+    total.epochs = epoch_;
+    return total;
+}
+
+}  // namespace locble::serve

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "locble/core/envaware.hpp"
+#include "locble/runtime/thread_pool.hpp"
+#include "locble/serve/event.hpp"
+#include "locble/serve/shard.hpp"
+#include "locble/serve/stats.hpp"
+
+namespace locble::serve {
+
+/// One (client, beacon) row of a service snapshot.
+struct BeaconEstimate {
+    ClientId client{0};
+    BeaconId beacon{0};
+    bool has_fit{false};
+    core::LocationFit fit{};
+    std::size_t samples_used{0};
+    std::size_t samples_seen{0};
+    int regression_restarts{0};
+    int resets{0};
+    double last_event_t{0.0};
+    bool has_cluster{false};
+    core::ClusterCalibration cluster{};
+};
+
+/// Point-in-time view of the service at an epoch boundary: every live
+/// tracking session's latest estimate, sorted globally by (client, beacon)
+/// so the order carries no trace of the sharding.
+struct ServiceSnapshot {
+    std::uint64_t epoch{0};
+    double horizon{0.0};
+    IngestStats stats{};
+    std::vector<BeaconEstimate> estimates;
+};
+
+/// Canonical text form of a snapshot: fixed field order, one row per
+/// estimate, doubles printed with %.17g (round-trip exact). Two runs of the
+/// same event stream must produce byte-identical canonical text whatever
+/// their shard/thread counts — the determinism suite diffs these strings.
+std::string canonical_text(const ServiceSnapshot& snap);
+
+/// Sharded multi-client tracking service (the serve tentpole).
+///
+/// Sessions are sharded by a stable hash of the client id (shard_of);
+/// a shard owns its clients exclusively, so the epoch hot path takes no
+/// locks. The caller alternates two phases:
+///
+///   submit(events...);   // ingest phase: route into bounded queues
+///   run_epoch();         // epoch phase: shards drain in parallel
+///   snapshot();          // optional: merged, globally sorted view
+///
+/// submit() and snapshot() must not overlap run_epoch(); the epoch barrier
+/// (ThreadPool::run_indexed) is the only synchronization the design needs.
+/// Under that contract the service is deterministic end to end: estimates,
+/// stats, canonical snapshots and deterministic obs metrics are
+/// bit-identical for any (shards, threads) combination — 1 shard on
+/// 1 thread equals 8 shards on 8 threads (docs/SERVING.md spells out why).
+class TrackingService {
+public:
+    struct Config {
+        /// Number of shards (0 is taken as 1). More shards means finer
+        /// parallelism; results never change.
+        unsigned shards{1};
+        /// Worker threads driving shard epochs: 0 means one per shard,
+        /// otherwise capped at the shard count. 1 runs epochs inline on the
+        /// calling thread with no pool at all.
+        unsigned threads{1};
+        Shard::Config shard{};
+    };
+
+    /// `envaware` must be a trained model when the session config enables
+    /// EnvAware; the service keeps the copy alive for all shards.
+    explicit TrackingService(const Config& cfg,
+                             std::optional<core::EnvAware> envaware = std::nullopt);
+
+    TrackingService(const TrackingService&) = delete;
+    TrackingService& operator=(const TrackingService&) = delete;
+
+    /// Route one event to its client's shard queue (ingest phase only).
+    void submit(const Event& e);
+    /// Route a batch in order (ingest phase only).
+    void submit(const std::vector<Event>& events);
+
+    /// Drain every shard up to the current horizon — in parallel when the
+    /// service has more than one thread — and return the epoch index just
+    /// completed. Blocks until every shard finished (barrier).
+    std::uint64_t run_epoch();
+
+    /// Merged, globally (client, beacon)-sorted view of every live session
+    /// (call between epochs).
+    ServiceSnapshot snapshot() const;
+
+    /// Merged ingest/lifecycle accounting (call between epochs).
+    IngestStats stats() const;
+
+    /// Newest accepted event timestamp service-wide: the event-time clock
+    /// that batch closing and idle eviction run on.
+    double horizon() const { return horizon_; }
+
+    unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+    unsigned threads() const { return threads_; }
+
+private:
+    Config cfg_;
+    std::optional<core::EnvAware> envaware_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::optional<runtime::ThreadPool> pool_;
+    unsigned threads_{1};
+    std::uint64_t epoch_{0};
+    double horizon_{0.0};
+    bool has_horizon_{false};
+};
+
+}  // namespace locble::serve

@@ -1,0 +1,161 @@
+#include "locble/serve/shard.hpp"
+
+#include <algorithm>
+
+#include "locble/obs/obs.hpp"
+
+namespace locble::serve {
+
+void Shard::enqueue(const Event& e) {
+    ++stats_.submitted;
+    auto [it, created] = clients_.try_emplace(e.client);
+    ClientState& c = it->second;
+    if (created) {
+        ++stats_.clients_created;
+        LOCBLE_COUNT("serve.clients.created", 1);
+    }
+    if (c.has_event_t && e.t < c.last_event_t) {
+        ++stats_.late;
+        LOCBLE_COUNT("serve.ingest.late", 1);
+    }
+    if (c.pending.size() >= cfg_.queue_capacity) {
+        // Backpressure. The bound is per client, so this decision depends
+        // only on the client's own stream — identical whatever the shard
+        // count (docs/SERVING.md).
+        if (cfg_.overflow == OverflowPolicy::reject) {
+            ++stats_.rejected;
+            LOCBLE_COUNT("serve.ingest.rejected", 1);
+            return;
+        }
+        c.pending.pop_front();
+        ++stats_.dropped;
+        LOCBLE_COUNT("serve.ingest.dropped", 1);
+    }
+    c.pending.push_back(e);
+    ++stats_.accepted;
+    LOCBLE_COUNT("serve.ingest.accepted", 1);
+    c.last_event_t = c.has_event_t ? std::max(c.last_event_t, e.t) : e.t;
+    c.has_event_t = true;
+    LOCBLE_GAUGE_MAX_ND("serve.queue.high_water", c.pending.size());
+}
+
+void Shard::process_epoch(double horizon) {
+    LOCBLE_SPAN("serve.shard.epoch");
+    for (auto& [id, c] : clients_) process_client(id, c, horizon);
+
+    // Idle eviction, driven by event time against the service horizon —
+    // never the wall clock (a stalled client is exactly as evicted in a
+    // replay as it was live).
+    for (auto it = clients_.begin(); it != clients_.end();) {
+        ClientState& c = it->second;
+        const bool idle = c.has_event_t && c.pending.empty() &&
+                          horizon - c.last_event_t > cfg_.idle_timeout_s;
+        if (idle) {
+            stats_.sessions_evicted += c.sessions.size();
+            ++stats_.clients_evicted;
+            LOCBLE_COUNT("serve.sessions.evicted",
+                         static_cast<std::uint64_t>(c.sessions.size()));
+            LOCBLE_COUNT("serve.clients.evicted", 1);
+            it = clients_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void Shard::process_client(ClientId id, ClientState& c, double horizon) {
+    (void)id;
+    // Drain the bounded queue in arrival order. Poses extend the path;
+    // advertisements are fused with the interpolated pose at the
+    // group-delay-compensated pairing time and fed to the beacon's session.
+    while (!c.pending.empty()) {
+        const Event e = c.pending.front();
+        c.pending.pop_front();
+        if (e.kind == EventKind::pose) {
+            // Keep the path time-ordered; a late pose (counted at ingest)
+            // would corrupt interpolation, so it is ignored.
+            if (c.path.empty() || e.t >= c.path.back().t)
+                c.path.push_back({e.t, e.position});
+            continue;
+        }
+        auto [sit, created] = c.sessions.try_emplace(e.beacon, cfg_.session,
+                                                     envaware_, &stats_);
+        if (created) {
+            ++stats_.sessions_created;
+            LOCBLE_COUNT("serve.sessions.created", 1);
+        }
+        TrackingSession& s = sit->second;
+        if (c.path.empty()) continue;  // no pose yet: nothing to fuse against
+        const locble::Vec2 obs = pose_at(c, e.t - s.pose_lag_s());
+        // Beacon position is the unknown; the regression consumes the
+        // *relative* displacement target - observer with the target at the
+        // frame origin — the same convention as the offline pipeline.
+        s.on_adv(e.t, e.rssi_dbm, -obs.x, -obs.y);
+    }
+
+    // Close batches up to the horizon and run the deferred warm-started
+    // solves; remember whether any fit moved for the clustering pass.
+    bool changed = false;
+    for (auto& [beacon, s] : c.sessions) {
+        s.finish_epoch(horizon);
+        if (s.take_epoch_changed()) changed = true;
+    }
+    if (changed && cfg_.enable_clustering) run_clustering(c);
+
+    // Prune pose history that can no longer pair with any admissible
+    // advertisement; keep the last two points so interpolation never loses
+    // its bracket.
+    const double keep_after = horizon - cfg_.pose_history_s;
+    std::size_t drop = 0;
+    while (drop + 2 < c.path.size() && c.path[drop + 1].t < keep_after) ++drop;
+    if (drop > 0) {
+        c.path.erase(c.path.begin(),
+                     c.path.begin() + static_cast<std::ptrdiff_t>(drop));
+        c.path_cursor = c.path_cursor > drop ? c.path_cursor - drop : 0;
+    }
+}
+
+void Shard::run_clustering(ClientState& c) {
+    std::vector<BeaconId> fitted;
+    fitted.reserve(c.sessions.size());
+    for (const auto& [beacon, s] : c.sessions)
+        if (s.has_fit()) fitted.push_back(beacon);
+    if (fitted.size() < 2) return;
+
+    std::vector<core::ClusterCandidate> cands;
+    cands.reserve(fitted.size());
+    for (const BeaconId beacon : fitted) {
+        const TrackingSession& s = c.sessions.at(beacon);
+        cands.push_back({beacon, s.rss_series(), s.fit()});
+    }
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        std::vector<core::ClusterCandidate> neighbors;
+        neighbors.reserve(cands.size() - 1);
+        for (std::size_t j = 0; j < cands.size(); ++j)
+            if (j != i) neighbors.push_back(cands[j]);
+        const auto cal = calibrator_.calibrate(cands[i], neighbors);
+        c.sessions.at(fitted[i]).set_cluster(cal);
+        ++stats_.cluster_runs;
+        LOCBLE_COUNT("serve.cluster.runs", 1);
+    }
+}
+
+locble::Vec2 Shard::pose_at(ClientState& c, double t) const {
+    const auto& path = c.path;
+    if (t <= path.front().t) return path.front().position;
+    if (t >= path.back().t) return path.back().position;
+    // Cursor-hinted bracket search: pairing times are near-monotone within
+    // a drain, so this is O(1) amortized instead of a per-event scan. The
+    // cursor only ever changes results' cost, never their value.
+    std::size_t i = std::min(c.path_cursor, path.size() - 2);
+    while (i > 0 && path[i].t > t) --i;
+    while (i + 2 < path.size() && path[i + 1].t < t) ++i;
+    c.path_cursor = i;
+    const auto& a = path[i];
+    const auto& b = path[i + 1];
+    const double f = b.t > a.t ? (t - a.t) / (b.t - a.t) : 1.0;
+    return {a.position.x + (b.position.x - a.position.x) * f,
+            a.position.y + (b.position.y - a.position.y) * f};
+}
+
+}  // namespace locble::serve

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "locble/core/clustering.hpp"
+#include "locble/motion/dead_reckoning.hpp"
+#include "locble/serve/event.hpp"
+#include "locble/serve/stats.hpp"
+#include "locble/serve/tracking_session.hpp"
+
+namespace locble::serve {
+
+/// One shard of the tracking service: exclusive owner of every client whose
+/// id hashes to it, including their bounded ingest queues, pose tracks and
+/// per-beacon tracking sessions.
+///
+/// Threading contract (docs/SERVING.md): enqueue() runs on the ingest
+/// thread strictly between epochs; process_epoch() runs on exactly one
+/// worker thread per epoch. The epoch barrier (ThreadPool::run_indexed)
+/// orders the two, so no shard state is ever touched concurrently and the
+/// hot path takes no locks.
+class Shard {
+public:
+    struct Config {
+        TrackingSession::Config session{};
+        /// Bounded ingest queue capacity in events, *per client*. A
+        /// per-client bound (rather than per-shard) keeps the overflow
+        /// decision a pure function of that client's own stream, so drops
+        /// are identical whatever the shard count — and one chatty client
+        /// can never evict its neighbors' events.
+        std::size_t queue_capacity{512};
+        OverflowPolicy overflow{OverflowPolicy::drop_oldest};
+        /// Evict a client (and its sessions) once its newest event is this
+        /// far behind the service horizon, in event-time seconds.
+        double idle_timeout_s{60.0};
+        /// Forget pose samples older than this behind the horizon (enough
+        /// history must remain to pair delayed advertisements).
+        double pose_history_s{30.0};
+        /// Run the Sec. 6 clustering calibration across a client's fitted
+        /// beacons at the end of each epoch (only for clients whose fits
+        /// changed).
+        bool enable_clustering{false};
+        core::ClusteringCalibrator::Config clustering{};
+    };
+
+    /// `envaware` may be null when the session config does not use it; it
+    /// must outlive the shard.
+    Shard(const Config& cfg, const core::EnvAware* envaware)
+        : cfg_(cfg), envaware_(envaware), calibrator_(cfg.clustering) {}
+
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+    /// Route one event into its client's bounded queue (creating the client
+    /// on first contact). Ingest-thread only.
+    void enqueue(const Event& e);
+
+    /// Drain every queue, drive the tracking sessions, close batches up to
+    /// `horizon`, solve, cluster, and evict idle clients. Worker-thread
+    /// only; `horizon` is the newest timestamp accepted service-wide.
+    void process_epoch(double horizon);
+
+    /// Stats accumulated by this shard (quiescent point required).
+    const IngestStats& stats() const { return stats_; }
+
+    struct ClientState {
+        std::deque<Event> pending;
+        std::vector<motion::TimedPosition> path;  ///< pose track, time-ordered
+        std::size_t path_cursor{0};               ///< monotone interpolation hint
+        std::map<BeaconId, TrackingSession> sessions;
+        double last_event_t{0.0};  ///< newest accepted event timestamp
+        bool has_event_t{false};
+    };
+
+    /// Owned clients in id order (quiescent point required; the snapshot
+    /// assembly reads estimates through this).
+    const std::map<ClientId, ClientState>& clients() const { return clients_; }
+
+private:
+    void process_client(ClientId id, ClientState& c, double horizon);
+    void run_clustering(ClientState& c);
+    locble::Vec2 pose_at(ClientState& c, double t) const;
+
+    Config cfg_;
+    const core::EnvAware* envaware_;
+    core::ClusteringCalibrator calibrator_;
+    std::map<ClientId, ClientState> clients_;
+    IngestStats stats_;
+};
+
+}  // namespace locble::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+namespace locble::serve {
+
+/// Backpressure policy of a full per-client ingest queue.
+enum class OverflowPolicy : std::uint8_t {
+    /// Evict the oldest queued event to admit the new one (freshest-data
+    /// wins; the drop is counted in `serve.ingest.dropped`).
+    drop_oldest,
+    /// Refuse the new event (history wins; counted in
+    /// `serve.ingest.rejected`).
+    reject,
+};
+
+/// Monotonic u64 accounting of the service. Each shard owns one instance
+/// (touched only by the ingest thread between epochs and by that shard's
+/// worker during an epoch); the service merges them by exact u64 addition,
+/// so every total is identical whatever the shard/thread count. Available
+/// even in LOCBLE_OBS=OFF builds — this struct, not the obs registry, is
+/// the backpressure API of record.
+struct IngestStats {
+    std::uint64_t submitted{0};
+    std::uint64_t accepted{0};
+    std::uint64_t dropped{0};   ///< drop_oldest evictions
+    std::uint64_t rejected{0};  ///< reject refusals
+    std::uint64_t late{0};      ///< t went backwards within a client stream
+    std::uint64_t epochs{0};
+    std::uint64_t clients_created{0};
+    std::uint64_t clients_evicted{0};
+    std::uint64_t sessions_created{0};
+    std::uint64_t sessions_evicted{0};
+    std::uint64_t sessions_reset{0};
+    std::uint64_t batches_flushed{0};
+    std::uint64_t solves{0};
+    std::uint64_t cluster_runs{0};
+
+    IngestStats& operator+=(const IngestStats& o) {
+        submitted += o.submitted;
+        accepted += o.accepted;
+        dropped += o.dropped;
+        rejected += o.rejected;
+        late += o.late;
+        epochs += o.epochs;
+        clients_created += o.clients_created;
+        clients_evicted += o.clients_evicted;
+        sessions_created += o.sessions_created;
+        sessions_evicted += o.sessions_evicted;
+        sessions_reset += o.sessions_reset;
+        batches_flushed += o.batches_flushed;
+        solves += o.solves;
+        cluster_runs += o.cluster_runs;
+        return *this;
+    }
+};
+
+}  // namespace locble::serve

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "locble/core/clustering.hpp"
+#include "locble/core/envaware.hpp"
+#include "locble/core/location_solver.hpp"
+#include "locble/core/pipeline.hpp"
+#include "locble/dsp/anf.hpp"
+#include "locble/serve/stats.hpp"
+
+namespace locble::serve {
+
+/// Streaming per-(client, beacon) tracking chain: causal ANF denoising,
+/// per-batch EnvAware regime tracking, and an incremental warm-started
+/// LocationSolver::Session — the online counterpart of the offline
+/// core::LocBle pipeline (Sec. 5.3, Algorithm 1).
+///
+/// Two deliberate differences from the offline pipeline, documented in
+/// docs/SERVING.md: the ANF runs causally (a service cannot zero-phase
+/// filter the future), so each denoised sample is paired with the pose
+/// `Anf::group_delay_s()` earlier; and the solver re-solve is deferred to
+/// the end of the epoch instead of running at every batch flush, so one
+/// warm-started solve amortizes over every event the epoch delivered —
+/// the serve layer's batching win.
+///
+/// Everything here is driven by event-stream time, never the wall clock,
+/// and by exactly one shard thread at a time, so a session's whole history
+/// is a pure function of its input events — identical whatever the shard
+/// or thread count.
+class TrackingSession {
+public:
+    struct Config {
+        /// Stage configuration shared with the offline pipeline: ANF,
+        /// solver, batch cadence, EnvAware/regime switches, Gamma prior.
+        core::LocBle::Config pipeline{};
+        /// Lifecycle policy for a debounced regime change with a real level
+        /// jump: false splits the regression into a new environment segment
+        /// (Algo. 1's per-segment Gamma, the offline pipeline's behavior);
+        /// true resets the solver session outright and starts a fresh
+        /// regression from the new environment (buffer capacity is kept, so
+        /// the reset is allocation-free).
+        bool reset_on_env_change{false};
+        /// Solve at every batch flush (the offline pipeline's cadence)
+        /// instead of once per epoch. Costs roughly one extra solve per
+        /// flushed batch; only worth it when estimates must not lag an
+        /// epoch behind the freshest batch.
+        bool solve_per_flush{false};
+        /// When > 0, a session whose accumulated regression exceeds this
+        /// many samples is reset (counted in `resets`) before the next
+        /// batch is added — bounds per-session memory on endless streams.
+        std::size_t max_session_samples{0};
+    };
+
+    /// `envaware` must be a trained model when cfg.pipeline.use_envaware is
+    /// set; the session keeps its own copy (the regime tracker carries
+    /// per-session streaming state). When `stats` is non-null the session
+    /// bumps the shard's batches_flushed / solves / sessions_reset counters
+    /// there, so the totals survive the session's own eviction.
+    TrackingSession(const Config& cfg, const core::EnvAware* envaware,
+                    IngestStats* stats = nullptr);
+
+    TrackingSession(const TrackingSession&) = delete;
+    TrackingSession& operator=(const TrackingSession&) = delete;
+
+    /// Feed one advertisement: raw RSSI plus the relative displacement
+    /// (p, q) = target - observer at the pose-pairing time (the caller
+    /// already compensated the ANF group delay). Flushes every batch whose
+    /// window closed before `t`.
+    void on_adv(double t, double rssi_dbm, double p, double q);
+
+    /// Close out the epoch at event-time `horizon`: flush every batch whose
+    /// window has passed, then (unless solve_per_flush already did) run one
+    /// warm-started incremental solve over everything accumulated.
+    void finish_epoch(double horizon);
+
+    /// Pair poses this many seconds before the advertisement timestamp —
+    /// the causal ANF chain's group delay (0 when the ANF is disabled).
+    double pose_lag_s() const;
+
+    bool has_fit() const { return has_fit_; }
+    const core::LocationFit& fit() const { return fit_; }
+    std::size_t samples_used() const { return samples_used_; }
+    std::size_t samples_seen() const { return samples_seen_; }
+    int regression_restarts() const { return restarts_; }
+    int resets() const { return resets_; }
+    double last_event_t() const { return last_event_t_; }
+    const core::LocateResult::Diagnostics& diagnostics() const { return diag_; }
+
+    /// The accumulated (denoised) RSS stream of the current regression —
+    /// the trend signal the clustering stage compares across co-located
+    /// beacons. Timestamped like the input events.
+    locble::TimeSeries rss_series() const;
+
+    bool has_cluster() const { return has_cluster_; }
+    const core::ClusterCalibration& cluster() const { return cluster_; }
+    void set_cluster(const core::ClusterCalibration& c) {
+        cluster_ = c;
+        has_cluster_ = true;
+    }
+
+    /// Did finish_epoch()/on_adv() change the fit since the last
+    /// epoch_changed() reset? The shard uses this to re-run clustering only
+    /// for clients that actually moved.
+    bool take_epoch_changed() {
+        const bool c = epoch_changed_;
+        epoch_changed_ = false;
+        return c;
+    }
+
+private:
+    void flush_batch();
+    void solve_now();
+    void reset_regression();
+
+    Config cfg_;
+    IngestStats* stats_{nullptr};
+    dsp::Anf anf_;
+    std::optional<core::EnvAware> env_;
+    core::LocationSolver solver_;
+    core::LocationSolver::Session session_;
+
+    bool started_{false};
+    double batch_end_{0.0};
+    double last_event_t_{0.0};
+    std::vector<double> batch_raw_;
+    std::vector<core::FusedSample> batch_fused_;
+
+    int segment_{0};
+    int restarts_{0};
+    int resets_{0};
+    std::optional<channel::PropagationClass> regime_;
+    double band_min_{10.0}, band_max_{0.0};
+    bool saw_blocked_{false};
+    double prev_batch_mean_{0.0};
+    bool have_prev_batch_{false};
+
+    bool dirty_{false};
+    bool epoch_changed_{false};
+    bool has_fit_{false};
+    core::LocationFit fit_;
+    std::size_t samples_used_{0};
+    std::size_t samples_seen_{0};
+    core::LocateResult::Diagnostics diag_;
+
+    bool has_cluster_{false};
+    core::ClusterCalibration cluster_;
+};
+
+}  // namespace locble::serve

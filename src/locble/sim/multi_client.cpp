@@ -1,0 +1,87 @@
+#include "locble/sim/multi_client.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "locble/motion/dead_reckoning.hpp"
+#include "locble/sim/capture.hpp"
+
+namespace locble::sim {
+
+namespace {
+
+/// Stable, non-contiguous client ids: exercises the hash-based shard
+/// assignment rather than a trivial modulo layout.
+serve::ClientId client_id_of(int index) {
+    return 0x10000ull + 37ull * static_cast<serve::ClientId>(index);
+}
+
+}  // namespace
+
+MultiClientWorkload make_multi_client_workload(const MultiClientConfig& cfg,
+                                               std::uint64_t seed) {
+    if (cfg.clients < 1 || cfg.beacons < 1)
+        throw std::invalid_argument("multi_client: need >= 1 client and beacon");
+
+    const Scenario sc = scenario(cfg.scenario_index);
+
+    // One shared deployment: beacons on a deterministic ring around the
+    // scenario's default placement, ids 1..beacons.
+    std::vector<BeaconPlacement> beacons;
+    beacons.reserve(static_cast<std::size_t>(cfg.beacons));
+    MultiClientWorkload out;
+    for (int b = 0; b < cfg.beacons; ++b) {
+        BeaconPlacement p;
+        p.id = static_cast<std::uint64_t>(b + 1);
+        const double ang =
+            2.0 * 3.14159265358979323846 * static_cast<double>(b) /
+            static_cast<double>(cfg.beacons);
+        p.position = {sc.default_beacon.x + cfg.beacon_ring_m * std::cos(ang),
+                      sc.default_beacon.y + cfg.beacon_ring_m * std::sin(ang)};
+        out.beacon_ids.push_back(p.id);
+        out.beacon_truth[p.id] = p.position;
+        beacons.push_back(p);
+    }
+    out.measured_power_dbm = beacons.front().profile.measured_power_dbm;
+
+    const imu::Trajectory walk = default_l_walk(sc, cfg.measurement.lshape);
+    const CaptureRunner runner(cfg.measurement.capture);
+    const motion::DeadReckoner reckoner(cfg.measurement.reckoner);
+
+    for (int c = 0; c < cfg.clients; ++c) {
+        const serve::ClientId id = client_id_of(c);
+        out.client_ids.push_back(id);
+        const double t0 = cfg.client_stagger_s * static_cast<double>(c);
+
+        // Per-client seed stream: the capture (channel fading, scanner
+        // losses, IMU noise) is independent across clients yet a pure
+        // function of (seed, client index) — generation order never
+        // matters.
+        locble::Rng rng =
+            locble::Rng::for_stream(seed, static_cast<std::uint64_t>(c));
+        const WalkCapture capture = runner.run(sc.site, beacons, walk, rng);
+        const motion::MotionEstimate motion = reckoner.track(capture.observer_imu);
+
+        for (const auto& p : motion.path)
+            out.events.push_back(serve::pose_event(id, t0 + p.t, p.position));
+        for (const auto& [beacon, rss] : capture.rss)
+            for (const auto& s : rss)
+                out.events.push_back(serve::adv_event(id, t0 + s.t, beacon, s.value));
+    }
+
+    // Global interleave with a total order: by time, then client, then
+    // kind (poses first so a same-instant adv can pair), then beacon.
+    std::sort(out.events.begin(), out.events.end(),
+              [](const serve::Event& a, const serve::Event& b) {
+                  if (a.t != b.t) return a.t < b.t;
+                  if (a.client != b.client) return a.client < b.client;
+                  if (a.kind != b.kind)
+                      return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+                  return a.beacon < b.beacon;
+              });
+    out.duration_s = out.events.empty() ? 0.0 : out.events.back().t;
+    return out;
+}
+
+}  // namespace locble::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "locble/common/vec2.hpp"
+#include "locble/serve/event.hpp"
+#include "locble/sim/harness.hpp"
+#include "locble/sim/scenarios.hpp"
+
+namespace locble::sim {
+
+/// Shape of a synthetic multi-client serve workload: many phones walking
+/// the same site, each scanning the same beacon deployment.
+struct MultiClientConfig {
+    int clients{64};
+    int beacons{8};
+    int scenario_index{2};  ///< Table 1 environment the fleet walks in
+    /// Capture / dead-reckoning configuration shared by every client (the
+    /// pipeline member is unused here — the serve session carries its own).
+    MeasurementConfig measurement{};
+    /// Client c's whole timeline is shifted by c * stagger seconds, so the
+    /// fleet's events interleave instead of marching in lockstep.
+    double client_stagger_s{0.7};
+    /// Ring radius of the beacon deployment around the scenario's default
+    /// target placement.
+    double beacon_ring_m{1.5};
+};
+
+/// A generated workload: one interleaved, time-sorted event stream plus
+/// the ground truth needed by tests and benches.
+struct MultiClientWorkload {
+    /// All clients' pose + advertisement events, sorted by
+    /// (t, client, kind, beacon) — poses sort before advs at equal t so a
+    /// pairing pose is always enqueued first.
+    std::vector<serve::Event> events;
+    std::vector<serve::ClientId> client_ids;  ///< in client index order
+    std::vector<std::uint64_t> beacon_ids;    ///< in beacon index order
+    std::map<std::uint64_t, locble::Vec2> beacon_truth;  ///< site frame
+    int measured_power_dbm{-59};  ///< the deployment's advertised 1 m power
+    double duration_s{0.0};       ///< max event timestamp
+};
+
+/// Deterministically synthesize a multi-client workload: every client runs
+/// its own CaptureRunner measurement walk (channel + scanner randomness
+/// from Rng::for_stream(seed, client), so the stream set is identical
+/// whatever order clients are generated in), dead-reckons its own pose
+/// track, and contributes pose events (from the reckoned path) plus adv
+/// events (from the per-beacon RSS streams).
+MultiClientWorkload make_multi_client_workload(const MultiClientConfig& cfg,
+                                               std::uint64_t seed);
+
+}  // namespace locble::sim

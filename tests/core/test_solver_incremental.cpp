@@ -226,6 +226,45 @@ TEST(SolverIncrementalTest, WorkspaceReuseAcrossProblems) {
     EXPECT_EQ(ws.grow_events(), grows);
 }
 
+// The evict-and-recreate path of long-running services (locble::serve):
+// a Session that is reset() and refilled with a different problem must be
+// bit-identical to a cold Session that only ever saw that problem — no
+// incremental state may leak across the reset.
+TEST(SolverIncrementalTest, ResetThenRefillMatchesColdBitwise) {
+    const LocationSolver solver;
+    LocationSolver::Session reused(solver);
+    LocationFit out, cold_out;
+
+    // Warm the session on problem A, incrementally, with solves between
+    // batches so every piece of warm state (rho powers, normal equations,
+    // warm-start fit) is populated.
+    for (const auto& batch : batched_walk({5.0, 2.0}, -59.0, 2.0, 4, 1.5, 21)) {
+        reused.add(batch);
+        reused.solve_into(out);
+    }
+    ASSERT_GT(reused.size(), 0u);
+
+    reused.reset();
+    EXPECT_EQ(reused.size(), 0u);
+
+    // Refill with problem B (different target, gamma, exponent, seed) and
+    // compare flush-by-flush against a session born cold.
+    LocationSolver::Session cold(solver);
+    for (const auto& batch : batched_walk({1.5, -2.5}, -63.0, 2.4, 4, 1.5, 22)) {
+        reused.add(batch);
+        cold.add(batch);
+        const bool r = reused.solve_into(out);
+        const bool c = cold.solve_into(cold_out);
+        ASSERT_EQ(r, c);
+        if (r) expect_bitwise_equal(out, cold_out);
+    }
+    EXPECT_EQ(reused.size(), cold.size());
+
+    // And a second reset keeps working (clear() is the documented alias).
+    reused.clear();
+    EXPECT_EQ(reused.size(), 0u);
+}
+
 // The flat linalg twins must reproduce the allocating versions bitwise —
 // that equivalence is what keeps the workspace solver's linear algebra
 // identical to the historical implementation.

@@ -207,6 +207,11 @@ TEST(BenchReportTest, JsonRoundsTripKeyFields) {
     const std::vector<double> samples{3.0, 1.0, 2.0, 4.0};
     report.add_summary("errors", samples);
     const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"schema_version\": " +
+                        std::to_string(kBenchReportSchemaVersion)),
+              std::string::npos);
+    // schema_version leads so downstream parsers can dispatch on it early.
+    EXPECT_LT(json.find("\"schema_version\""), json.find("\"bench\""));
     EXPECT_NE(json.find("\"bench\": \"unit_test\""), std::string::npos);
     EXPECT_NE(json.find("\"trials\": 10"), std::string::npos);
     EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);

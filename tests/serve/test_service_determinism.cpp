@@ -1,0 +1,150 @@
+#include "locble/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "locble/obs/metrics.hpp"
+#include "locble/obs/obs.hpp"
+#include "locble/serve/event.hpp"
+#include "locble/sim/multi_client.hpp"
+
+namespace locble::serve {
+namespace {
+
+TrackingService::Config service_config(unsigned shards, unsigned threads) {
+    TrackingService::Config cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.shard.session.pipeline.use_envaware = false;
+    cfg.shard.session.pipeline.gamma_prior_dbm = -59.0;
+    // The production fast path. Sessions see identical event sequences in
+    // every sharding, so even its warm-start state evolves identically —
+    // the invariance under test holds bit-for-bit in either search mode,
+    // and this one keeps the 64-client sweep fast.
+    cfg.shard.session.pipeline.solver.search_mode =
+        core::LocationSolver::SearchMode::coarse_to_fine;
+    cfg.shard.queue_capacity = 4096;
+    return cfg;
+}
+
+/// Canonical text of the deterministic obs metrics (the _ND metrics are
+/// scheduling-dependent by declaration and excluded from the contract).
+std::string obs_canonical_text() {
+    std::string out;
+    for (const auto& m : obs::Registry::global().snapshot()) {
+        if (!m.deterministic) continue;
+        out += m.name + " count=" + std::to_string(m.count);
+        for (const std::uint64_t b : m.buckets)
+            out += " " + std::to_string(b);
+        out += "\n";
+    }
+    return out;
+}
+
+/// Drive one full service run over the workload, snapshotting after every
+/// epoch; returns the concatenated canonical snapshot stream.
+std::string run_service(const sim::MultiClientWorkload& wl, unsigned shards,
+                        unsigned threads, double epoch_s) {
+    TrackingService svc(service_config(shards, threads));
+    std::string stream;
+    std::size_t i = 0;
+    for (double edge = epoch_s; i < wl.events.size(); edge += epoch_s) {
+        while (i < wl.events.size() && wl.events[i].t <= edge)
+            svc.submit(wl.events[i++]);
+        svc.run_epoch();
+        stream += canonical_text(svc.snapshot());
+    }
+    // One final epoch past the idle timeout exercises eviction too.
+    svc.run_epoch();
+    stream += canonical_text(svc.snapshot());
+    return stream;
+}
+
+/// The tentpole's acceptance property: 1 shard on 1 thread and 8 shards on
+/// 8 threads must produce byte-identical snapshot streams and identical
+/// deterministic obs metrics, across seeds, with clients interleaved.
+TEST(ServeDeterminismTest, ShardAndThreadCountAreInvisible) {
+    sim::MultiClientConfig wcfg;
+    wcfg.clients = 64;
+    wcfg.beacons = 8;
+    obs::Registry& reg = obs::Registry::global();
+
+    for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull, 55ull}) {
+        const auto wl = sim::make_multi_client_workload(wcfg, seed);
+        ASSERT_GT(wl.events.size(), 1000u);
+
+        reg.reset();
+        reg.set_enabled(true);
+        const std::string serial = run_service(wl, 1, 1, 4.0);
+        const std::string serial_obs = obs_canonical_text();
+
+        reg.reset();
+        const std::string sharded = run_service(wl, 8, 8, 4.0);
+        const std::string sharded_obs = obs_canonical_text();
+        reg.set_enabled(false);
+
+        ASSERT_FALSE(serial.empty());
+        // Byte-identical snapshot streams: every estimate, every stat,
+        // every epoch.
+        EXPECT_EQ(serial, sharded) << "seed " << seed;
+        // Order-invariant obs merge: deterministic counters/histograms
+        // match exactly too.
+        EXPECT_EQ(serial_obs, sharded_obs) << "seed " << seed;
+    }
+}
+
+/// Intermediate shard counts sit on the same canonical stream (spot-check
+/// with one seed — the property is shard-count-invariance, not just the
+/// two extremes).
+TEST(ServeDeterminismTest, IntermediateShardCountsAgree) {
+    sim::MultiClientConfig wcfg;
+    wcfg.clients = 24;
+    wcfg.beacons = 4;
+    const auto wl = sim::make_multi_client_workload(wcfg, 5);
+    const std::string base = run_service(wl, 1, 1, 4.0);
+    EXPECT_EQ(base, run_service(wl, 2, 1, 4.0));
+    EXPECT_EQ(base, run_service(wl, 3, 2, 4.0));
+    EXPECT_EQ(base, run_service(wl, 5, 4, 4.0));
+}
+
+/// Overflow decisions are per-client, so even a saturated service drops
+/// the exact same events whatever the shard count.
+TEST(ServeDeterminismTest, BackpressureIsShardCountInvariant) {
+    sim::MultiClientConfig wcfg;
+    wcfg.clients = 16;
+    wcfg.beacons = 4;
+    const auto wl = sim::make_multi_client_workload(wcfg, 9);
+
+    for (const OverflowPolicy policy :
+         {OverflowPolicy::drop_oldest, OverflowPolicy::reject}) {
+        std::string streams[2];
+        std::uint64_t overflowed[2] = {0, 0};
+        int k = 0;
+        for (const unsigned shards : {1u, 8u}) {
+            auto cfg = service_config(shards, shards == 1 ? 1u : 4u);
+            cfg.shard.queue_capacity = 48;  // force overflow
+            cfg.shard.overflow = policy;
+            TrackingService svc(cfg);
+            std::size_t i = 0;
+            for (double edge = 8.0; i < wl.events.size(); edge += 8.0) {
+                while (i < wl.events.size() && wl.events[i].t <= edge)
+                    svc.submit(wl.events[i++]);
+                svc.run_epoch();
+                streams[k] += canonical_text(svc.snapshot());
+            }
+            const IngestStats fin = svc.stats();
+            overflowed[k] = policy == OverflowPolicy::drop_oldest ? fin.dropped
+                                                                  : fin.rejected;
+            ++k;
+        }
+        EXPECT_GT(overflowed[0], 0u);  // the workload really saturated
+        EXPECT_EQ(overflowed[0], overflowed[1]);
+        EXPECT_EQ(streams[0], streams[1]);
+    }
+}
+
+}  // namespace
+}  // namespace locble::serve

@@ -91,6 +91,29 @@ TEST(LintTest, FlagsUnguardedObsGlobalsInSrcOnly) {
                     .empty());
 }
 
+TEST(LintTest, TestsGetOnlyReproducibilityRules) {
+    // tests/ paths: rand and wallclock still fire...
+    EXPECT_EQ(rules_hit("tests/core/test_foo.cpp", "int x = rand();\n"),
+              std::vector<std::string>{"rand"});
+    EXPECT_EQ(rules_hit("tests/core/test_foo.cpp",
+                        "auto t = std::chrono::system_clock::now();\n"),
+              std::vector<std::string>{"wallclock"});
+    // ...but the structural rules do not — tests legitimately exercise
+    // unordered containers, volatile, raw new and the obs registry.
+    EXPECT_TRUE(rules_hit("tests/obs/test_metrics.cpp",
+                          "std::unordered_map<int, int> m;\n"
+                          "volatile int sink = 0;\n"
+                          "obs::Registry::global().snapshot();\n")
+                    .empty());
+    EXPECT_TRUE(rules_hit("tests/core/location_solver_helper.hpp",
+                          "auto* p = new int[3];\n")
+                    .empty());
+    // An absolute path containing /tests/ is gated the same way.
+    EXPECT_TRUE(rules_hit("/repo/tests/obs/test_metrics.cpp",
+                          "Tracer::global().reset();\n")
+                    .empty());
+}
+
 TEST(LintTest, CommentsAndStringsDoNotTrigger) {
     EXPECT_TRUE(rules_hit("src/a.cpp", "// the new solver avoids rand()\n").empty());
     EXPECT_TRUE(rules_hit("src/a.cpp", "/* time( and volatile in prose */\n").empty());

@@ -33,6 +33,12 @@ struct Finding {
 ///               src/locble/obs/ — instrumentation must go through the
 ///               LOCBLE_* macros so -DLOCBLE_OBS=OFF removes the call site.
 ///
+/// Scope: src/ and bench/ get every rule. tests/ is scanned too, but only
+/// for the reproducibility rules (rand, wallclock) — hidden entropy or
+/// wall-clock reads make tests flaky, while the structural rules
+/// (unordered, volatile, raw-new, obs-guard) target library/bench code
+/// that tests legitimately need to exercise.
+///
 /// A line is exempt when it, or the line directly above it, carries a
 /// `// locble-lint: allow(rule)` (or `allow(rule1,rule2)`) comment.
 std::vector<std::string> rule_ids();
