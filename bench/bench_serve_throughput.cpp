@@ -13,10 +13,18 @@
 // Reported per sweep point: per-trial wall time of both servers, the
 // median-of-per-trial-ratios speedup (lockstep epochs cancel machine
 // load), an events/sec shard sweep (1/2/4/8 shards, single-threaded — on
-// one core sharding must be free, not faster), an overflow run with a
-// deliberately tiny queue (drop accounting), and a 1-shard vs 8-shard
-// canonical snapshot identity check. Headline CI gate:
-// xlarge.speedup >= 2 and xlarge.determinism_identical == 1.
+// one core sharding must be free, not faster), an *overlapped* shard sweep
+// (threads == shards, ingest submitted while the epoch is in flight — the
+// PR 6 pipelining tentpole; on a multi-core box events/sec must improve
+// with shard count), an overflow run with a deliberately tiny queue (drop
+// accounting), and a 1-shard vs 8-shard canonical snapshot identity check.
+// A final idle-fleet section measures full vs incremental snapshot cost on
+// a 64-client fleet where 56 clients have gone silent.
+//
+// Headline CI gates: xlarge.speedup >= 2 and
+// xlarge.determinism_identical == 1 always; on runners with >= 4 cores
+// (the `cores` scalar) the overlapped sweep must additionally scale:
+// xlarge.overlap_events_per_sec_shards4 > overlap_events_per_sec_shards1.
 
 #include <algorithm>
 #include <chrono>
@@ -24,6 +32,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -54,13 +63,28 @@ core::LocBle::Config pipeline_config() {
     return cfg;
 }
 
-serve::TrackingService::Config serve_config(unsigned shards) {
+serve::TrackingService::Config serve_config(unsigned shards,
+                                            unsigned threads = 1) {
     serve::TrackingService::Config cfg;
     cfg.shards = shards;
-    cfg.threads = 1;  // single core: any speedup must come from batching
+    cfg.threads = threads;
     cfg.shard.session.pipeline = pipeline_config();
     cfg.shard.queue_capacity = 1 << 14;
     return cfg;
+}
+
+/// Slice the workload into per-epoch submission batches (same edges the
+/// phased run_pass uses).
+std::vector<std::vector<serve::Event>> chunk_by_epoch(
+    const std::vector<serve::Event>& events) {
+    std::vector<std::vector<serve::Event>> batches;
+    std::size_t i = 0;
+    for (double edge = kEpochSeconds; i < events.size(); edge += kEpochSeconds) {
+        std::vector<serve::Event> b;
+        while (i < events.size() && events[i].t <= edge) b.push_back(events[i++]);
+        batches.push_back(std::move(b));
+    }
+    return batches;
 }
 
 /// The baseline: what the offline API invites you to write. One global
@@ -135,6 +159,26 @@ double serve_pass(const sim::MultiClientWorkload& wl, unsigned shards,
     const double us = run_pass(
         wl.events, [&](const serve::Event& e) { svc.submit(e); },
         [&] { svc.run_epoch(); });
+    if (canonical != nullptr) *canonical = serve::canonical_text(svc.snapshot());
+    return us;
+}
+
+/// The pipelined schedule: batch k+1 is submitted while epoch k runs on
+/// `threads` workers. Byte-identical results to serve_pass by the
+/// phased-equivalence contract; on a multi-core box the ingest cost hides
+/// behind the epoch and shards add real parallelism.
+double overlapped_pass(const std::vector<std::vector<serve::Event>>& batches,
+                       unsigned shards, unsigned threads,
+                       std::string* canonical = nullptr) {
+    serve::TrackingService svc(serve_config(shards, threads));
+    const double t0 = now_us();
+    if (!batches.empty()) svc.submit(batches.front());
+    for (std::size_t k = 0; k < batches.size(); ++k) {
+        svc.begin_epoch();
+        if (k + 1 < batches.size()) svc.submit(batches[k + 1]);
+        svc.end_epoch();
+    }
+    const double us = now_us() - t0;
     if (canonical != nullptr) *canonical = serve::canonical_text(svc.snapshot());
     return us;
 }
@@ -223,6 +267,23 @@ int main(int argc, char** argv) {
         const bool identical = canon1 == canon8 && !canon1.empty();
         all_identical = all_identical && identical;
 
+        // Overlapped sweep: pipelined ingest with threads == shards. The
+        // canonical snapshot must stay byte-identical to the phased 1-shard
+        // run (the phased-equivalence contract), and on a multi-core box
+        // events/sec must improve with shard count.
+        const auto batches = chunk_by_epoch(wl.events);
+        double overlap_evps[std::size(shard_sweep)] = {};
+        std::string ocanon;
+        for (std::size_t s = 0; s < std::size(shard_sweep); ++s) {
+            const double us = overlapped_pass(
+                batches, shard_sweep[s], shard_sweep[s],
+                shard_sweep[s] == 8 ? &ocanon : nullptr);
+            overlap_evps[s] =
+                static_cast<double>(wl.events.size()) / (us * 1e-6);
+        }
+        const bool overlap_identical = ocanon == canon1 && !canon1.empty();
+        all_identical = all_identical && overlap_identical;
+
         // Overflow run: a queue two orders too small must degrade
         // gracefully and account for every drop.
         auto ocfg = serve_config(1);
@@ -250,7 +311,12 @@ int main(int argc, char** argv) {
             rep.add_scalar(k + ".events_per_sec_shards" +
                                std::to_string(shard_sweep[s]),
                            per_shard_evps[s]);
-        rep.add_scalar(k + ".determinism_identical", identical ? 1.0 : 0.0);
+        for (std::size_t s = 0; s < std::size(shard_sweep); ++s)
+            rep.add_scalar(k + ".overlap_events_per_sec_shards" +
+                               std::to_string(shard_sweep[s]),
+                           overlap_evps[s]);
+        rep.add_scalar(k + ".determinism_identical",
+                       identical && overlap_identical ? 1.0 : 0.0);
         rep.add_scalar(k + ".overflow_submitted",
                        static_cast<double>(ostats.submitted));
         rep.add_scalar(k + ".overflow_dropped",
@@ -260,9 +326,70 @@ int main(int argc, char** argv) {
     }
 
     std::printf("%s\n", table.str().c_str());
+
+    // Idle-fleet snapshot benchmark: 64 clients, 56 silent after 8 s of
+    // their own timeline, idle eviction off so the whole fleet stays
+    // resident. The full snapshot re-reads every session each epoch; the
+    // incremental snapshot's cost scales with the handful of sessions the
+    // active clients keep dirtying.
+    {
+        sim::MultiClientConfig icfg;
+        icfg.clients = 64;
+        icfg.beacons = 8;
+        icfg.idle_clients = 56;
+        icfg.idle_active_s = 8.0;
+        const auto iwl =
+            sim::make_multi_client_workload(icfg, runner.sweep_seed(99));
+        auto cfg = serve_config(4);
+        cfg.shard.idle_timeout_s = 1e9;  // keep the idle cohort resident
+        serve::TrackingService full_svc(cfg);
+        serve::TrackingService inc_svc(cfg);
+
+        std::vector<double> full_us, inc_us;
+        double full_rows = 0.0, inc_rows = 0.0;
+        std::size_t live = 0;
+        for (const auto& batch : chunk_by_epoch(iwl.events)) {
+            full_svc.submit(batch);
+            inc_svc.submit(batch);
+            full_svc.run_epoch();
+            inc_svc.run_epoch();
+            double t0 = now_us();
+            const auto f = full_svc.snapshot(serve::SnapshotMode::full);
+            full_us.push_back(now_us() - t0);
+            t0 = now_us();
+            const auto d = inc_svc.snapshot(serve::SnapshotMode::incremental);
+            inc_us.push_back(now_us() - t0);
+            full_rows += static_cast<double>(f.estimates.size());
+            inc_rows += static_cast<double>(d.estimates.size());
+            live = f.sessions_live;
+        }
+        const double n = static_cast<double>(full_us.size());
+        const double f_med = median(full_us);
+        const double i_med = median(inc_us);
+        std::printf(
+            "idle fleet (%zu live sessions, %d/%d clients silent): full "
+            "snapshot %.0f us/epoch (%.0f rows avg), incremental %.0f "
+            "us/epoch (%.0f rows avg), %.1fx\n\n",
+            live, icfg.idle_clients, icfg.clients, f_med, full_rows / n, i_med,
+            inc_rows / n, i_med > 0.0 ? f_med / i_med : 0.0);
+        auto& rep = runner.report();
+        rep.add_scalar("idle.sessions_live", static_cast<double>(live));
+        rep.add_scalar("idle.epochs", n);
+        rep.add_scalar("idle.snapshot_full_us", f_med);
+        rep.add_scalar("idle.snapshot_incremental_us", i_med);
+        rep.add_scalar("idle.snapshot_rows_full_avg", full_rows / n);
+        rep.add_scalar("idle.snapshot_rows_incremental_avg", inc_rows / n);
+        rep.add_scalar("idle.snapshot_speedup",
+                       i_med > 0.0 ? f_med / i_med : 0.0);
+    }
+
     runner.report().add_text("largest_point", "xlarge");
+    runner.report().add_scalar(
+        "cores", static_cast<double>(std::thread::hardware_concurrency()));
     std::printf("headline (CI gate): xlarge.speedup >= 2 (got %.2f) and every\n"
-                "point's 1-shard vs 8-shard canonical snapshots identical (%s)\n\n",
+                "point's phased and overlapped canonical snapshots identical "
+                "(%s);\non >= 4 cores the overlapped sweep must scale with "
+                "shards\n\n",
                 xlarge_speedup, all_identical ? "yes" : "NO");
     return runner.finish();
 }

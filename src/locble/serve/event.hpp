@@ -58,16 +58,42 @@ inline Event pose_event(ClientId client, double t, const locble::Vec2& position)
     return e;
 }
 
-/// Stable client -> shard assignment: a SplitMix64-style mix of the client
-/// id reduced modulo the shard count. Pure function of (client, shards), so
-/// the assignment never depends on arrival order, map occupancy or thread
-/// count — one of the legs the serve determinism contract stands on.
-inline std::uint32_t shard_of(ClientId client, std::uint32_t shards) {
-    std::uint64_t z = client + 0x9e3779b97f4a7c15ull;
+/// SplitMix64 finalizer: the per-(client, shard) weight mix behind the
+/// rendezvous assignment below.
+inline std::uint64_t shard_weight_mix(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ull;
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    z ^= z >> 31;
-    return shards == 0 ? 0u : static_cast<std::uint32_t>(z % shards);
+    return z ^ (z >> 31);
+}
+
+/// Stable client -> shard assignment by rendezvous (highest-random-weight)
+/// hashing: every (client, shard index) pair gets a SplitMix64 weight and
+/// the client belongs to the argmax shard (lowest index wins ties). Pure
+/// function of (client, shards), so the assignment never depends on arrival
+/// order, map occupancy or thread count — one of the legs the serve
+/// determinism contract stands on.
+///
+/// Unlike the previous `hash % shards` reduction this is a *consistent*
+/// hash: growing from n to n+1 shards leaves a client either where it was
+/// or moves it to the new shard n (the old shards' weights are unchanged,
+/// only the new index can win), so shrinking by one moves only the removed
+/// shard's clients. TrackingService::resize_shards relies on this to
+/// migrate ~1/n of the fleet instead of all of it when the shard count
+/// changes between epochs.
+inline std::uint32_t shard_of(ClientId client, std::uint32_t shards) {
+    if (shards <= 1) return 0;
+    std::uint32_t best = 0;
+    std::uint64_t best_w = 0;
+    for (std::uint32_t i = 0; i < shards; ++i) {
+        const std::uint64_t w =
+            shard_weight_mix(client ^ (0x100000001b3ull * (i + 1)));
+        if (w > best_w) {
+            best_w = w;
+            best = i;
+        }
+    }
+    return best;
 }
 
 }  // namespace locble::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 #include "locble/obs/obs.hpp"
 
@@ -17,6 +18,23 @@ std::string fmt(double v) {
     return buf;
 }
 
+BeaconEstimate make_estimate(ClientId client, BeaconId beacon,
+                             const TrackingSession& session) {
+    BeaconEstimate e;
+    e.client = client;
+    e.beacon = beacon;
+    e.has_fit = session.has_fit();
+    if (e.has_fit) e.fit = session.fit();
+    e.samples_used = session.samples_used();
+    e.samples_seen = session.samples_seen();
+    e.regression_restarts = session.regression_restarts();
+    e.resets = session.resets();
+    e.last_event_t = session.last_event_t();
+    e.has_cluster = session.has_cluster();
+    if (e.has_cluster) e.cluster = session.cluster();
+    return e;
+}
+
 }  // namespace
 
 std::string canonical_text(const ServiceSnapshot& snap) {
@@ -24,7 +42,10 @@ std::string canonical_text(const ServiceSnapshot& snap) {
     out.reserve(128 + snap.estimates.size() * 256);
     out += "snapshot epoch=" + std::to_string(snap.epoch) +
            " horizon=" + fmt(snap.horizon) +
-           " estimates=" + std::to_string(snap.estimates.size()) + "\n";
+           " estimates=" + std::to_string(snap.estimates.size()) +
+           " live=" + std::to_string(snap.sessions_live) +
+           " delta=" + (snap.incremental ? std::string("1") : std::string("0")) +
+           "\n";
     const IngestStats& s = snap.stats;
     out += "stats submitted=" + std::to_string(s.submitted) +
            " accepted=" + std::to_string(s.accepted) +
@@ -83,7 +104,6 @@ TrackingService::TrackingService(const Config& cfg,
                                  std::optional<core::EnvAware> envaware)
     : cfg_(cfg), envaware_(std::move(envaware)) {
     const unsigned nshards = cfg_.shards == 0 ? 1u : cfg_.shards;
-    threads_ = cfg_.threads == 0 ? nshards : std::min(cfg_.threads, nshards);
     if (cfg_.shard.session.pipeline.use_envaware && !envaware_)
         throw std::invalid_argument(
             "TrackingService: session config enables EnvAware but no model "
@@ -92,21 +112,30 @@ TrackingService::TrackingService(const Config& cfg,
     shards_.reserve(nshards);
     for (unsigned i = 0; i < nshards; ++i)
         shards_.push_back(std::make_unique<Shard>(cfg_.shard, env));
-    // One pool for the service lifetime; with a single worker the epoch
-    // loop runs inline (run_indexed's serial path), so threads == 1 needs
-    // no pool at all.
+    threads_ = cfg_.threads == 0 ? nshards : std::min(cfg_.threads, nshards);
+    // One pool for the service lifetime; with a single worker begin_epoch()
+    // runs the whole epoch inline, so threads == 1 needs no pool at all.
     if (threads_ > 1) pool_.emplace(threads_);
 }
 
+TrackingService::~TrackingService() {
+    try {
+        end_epoch();
+    } catch (...) {
+        // A shard worker failed during teardown; the epoch's results are
+        // being discarded anyway.
+    }
+}
+
 void TrackingService::submit(const Event& e) {
-    // The horizon (the service's event-time clock) advances on the ingest
-    // thread over *accepted* events only, so batch closing and eviction
-    // see the same clock whatever the shard count.
     Shard& shard = *shards_[shard_of(e.client, static_cast<std::uint32_t>(
                                                    shards_.size()))];
-    const std::uint64_t before = shard.stats().accepted;
-    shard.enqueue(e);
-    if (shard.stats().accepted != before) {
+    // The horizon (the service's event-time clock) advances on the driver
+    // thread over *accepted* events only, so batch closing and eviction see
+    // the same clock whatever the shard count. enqueue() reports acceptance
+    // directly: the driver must not read shard stats while an epoch is in
+    // flight (the worker owns half of them).
+    if (shard.enqueue(e)) {
         horizon_ = has_horizon_ ? std::max(horizon_, e.t) : e.t;
         has_horizon_ = true;
     }
@@ -116,46 +145,104 @@ void TrackingService::submit(const std::vector<Event>& events) {
     for (const Event& e : events) submit(e);
 }
 
-std::uint64_t TrackingService::run_epoch() {
-    LOCBLE_SPAN("serve.epoch");
+std::uint64_t TrackingService::begin_epoch() {
+    if (in_flight_)
+        throw std::logic_error("TrackingService::begin_epoch: epoch in flight");
+    LOCBLE_SPAN("serve.epoch.swap");
     ++epoch_;
     LOCBLE_COUNT("serve.epochs", 1);
-    const double horizon = horizon_;
-    if (pool_) {
-        pool_->run_indexed(shards_.size(), [&](std::size_t i) {
-            shards_[i]->process_epoch(horizon);
-        });
-    } else {
-        for (auto& s : shards_) s->process_epoch(horizon);
+    epoch_horizon_ = horizon_;
+    // The swap: from here on the driver may submit freely — new events land
+    // in the fresh ingest buffers and belong to the next epoch.
+    for (auto& s : shards_) s->begin_epoch(epoch_horizon_);
+    if (!pool_) {
+        LOCBLE_SPAN("serve.epoch");
+        for (auto& s : shards_) s->process_epoch();
+        return epoch_;
+    }
+    in_flight_ = true;
+    next_shard_.store(0, std::memory_order_relaxed);
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, shards_.size());
+    inflight_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        inflight_.push_back(pool_->submit([this] {
+            // Dynamic shard scheduling; which worker runs which shard never
+            // matters because a shard's epoch is a pure function of its own
+            // state.
+            for (;;) {
+                const std::size_t i =
+                    next_shard_.fetch_add(1, std::memory_order_relaxed);
+                if (i >= shards_.size()) return;
+                shards_[i]->process_epoch();
+            }
+        }));
     }
     return epoch_;
 }
 
-ServiceSnapshot TrackingService::snapshot() const {
+void TrackingService::end_epoch() {
+    if (!in_flight_) return;
+    LOCBLE_SPAN("serve.epoch.barrier");
+    // Drain every worker before rethrowing, so a failure still leaves the
+    // service quiescent (no worker left touching shard state).
+    std::exception_ptr first;
+    for (auto& f : inflight_) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first) first = std::current_exception();
+        }
+    }
+    inflight_.clear();
+    in_flight_ = false;
+    if (first) std::rethrow_exception(first);
+}
+
+std::uint64_t TrackingService::run_epoch() {
+    LOCBLE_SPAN("serve.epoch");
+    begin_epoch();
+    end_epoch();
+    return epoch_;
+}
+
+ServiceSnapshot TrackingService::snapshot(SnapshotMode mode) {
+    if (in_flight_)
+        throw std::logic_error("TrackingService::snapshot: epoch in flight");
     LOCBLE_SPAN("serve.snapshot");
     ServiceSnapshot snap;
     snap.epoch = epoch_;
-    snap.horizon = horizon_;
-    snap.stats = stats();
-    for (const auto& shard : shards_) {
-        for (const auto& [client, state] : shard->clients()) {
-            for (const auto& [beacon, session] : state.sessions) {
-                BeaconEstimate e;
-                e.client = client;
-                e.beacon = beacon;
-                e.has_fit = session.has_fit();
-                if (e.has_fit) e.fit = session.fit();
-                e.samples_used = session.samples_used();
-                e.samples_seen = session.samples_seen();
-                e.regression_restarts = session.regression_restarts();
-                e.resets = session.resets();
-                e.last_event_t = session.last_event_t();
-                e.has_cluster = session.has_cluster();
-                if (e.has_cluster) e.cluster = session.cluster();
-                snap.estimates.push_back(std::move(e));
+    snap.horizon = epoch_horizon_;
+    snap.incremental = mode == SnapshotMode::incremental;
+    snap.stats = merged_stats(/*barrier_view=*/true);
+    for (auto& shard : shards_) {
+        snap.sessions_live += shard->live_sessions();
+        if (mode == SnapshotMode::full) {
+            for (auto& [client, state] : shard->clients_mut()) {
+                for (auto& [beacon, session] : state.sessions) {
+                    snap.estimates.push_back(
+                        make_estimate(client, beacon, session));
+                    session.clear_snapshot_dirty();
+                }
+            }
+        } else {
+            auto& clients = shard->clients_mut();
+            for (const auto& [client, beacon] : shard->dirty_sessions()) {
+                auto cit = clients.find(client);
+                if (cit == clients.end()) continue;  // evicted since listed
+                auto sit = cit->second.sessions.find(beacon);
+                if (sit == cit->second.sessions.end()) continue;
+                snap.estimates.push_back(
+                    make_estimate(client, beacon, sit->second));
+                sit->second.clear_snapshot_dirty();
             }
         }
+        // Either mode resets the incremental baseline: the next delta
+        // reports changes relative to this snapshot.
+        shard->dirty_sessions().clear();
     }
+    LOCBLE_COUNT("serve.snapshot.rows",
+                 static_cast<std::uint64_t>(snap.estimates.size()));
     // Shards are visited in index order, but the global order must not
     // depend on the client -> shard hash: sort by (client, beacon).
     std::sort(snap.estimates.begin(), snap.estimates.end(),
@@ -167,10 +254,42 @@ ServiceSnapshot TrackingService::snapshot() const {
 }
 
 IngestStats TrackingService::stats() const {
-    IngestStats total;
-    for (const auto& s : shards_) total += s->stats();
+    if (in_flight_)
+        throw std::logic_error("TrackingService::stats: epoch in flight");
+    return merged_stats(/*barrier_view=*/false);
+}
+
+IngestStats TrackingService::merged_stats(bool barrier_view) const {
+    IngestStats total = retired_ingest_;
+    total += retired_epoch_;
+    for (const auto& s : shards_)
+        total += barrier_view ? s->barrier_stats() : s->stats();
     total.epochs = epoch_;
     return total;
+}
+
+void TrackingService::resize_shards(unsigned shards) {
+    if (in_flight_)
+        throw std::logic_error(
+            "TrackingService::resize_shards: epoch in flight");
+    const unsigned n = shards == 0 ? 1u : shards;
+    if (n == shards_.size()) return;
+    LOCBLE_SPAN("serve.resize");
+    LOCBLE_COUNT("serve.resizes", 1);
+    const core::EnvAware* env = envaware_ ? &*envaware_ : nullptr;
+    std::vector<std::unique_ptr<Shard>> next;
+    next.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        next.push_back(std::make_unique<Shard>(cfg_.shard, env));
+    // The rendezvous hash keeps all clients whose assignment is unchanged
+    // in place conceptually; here every client object moves, but its
+    // observable state — sessions, buffered events, dirty marks — moves
+    // with it, so the canonical snapshot stream does not notice.
+    for (auto& s : shards_) s->migrate_into(next, retired_ingest_, retired_epoch_);
+    shards_ = std::move(next);
+    threads_ = cfg_.threads == 0 ? n : std::min(cfg_.threads, n);
+    pool_.reset();
+    if (threads_ > 1) pool_.emplace(threads_);
 }
 
 }  // namespace locble::serve

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,12 +31,28 @@ struct BeaconEstimate {
     core::ClusterCalibration cluster{};
 };
 
-/// Point-in-time view of the service at an epoch boundary: every live
-/// tracking session's latest estimate, sorted globally by (client, beacon)
-/// so the order carries no trace of the sharding.
+/// Which sessions a snapshot covers.
+enum class SnapshotMode : std::uint8_t {
+    /// Every live session — the `full=true` escape hatch; also resets the
+    /// incremental baseline.
+    full,
+    /// Only sessions whose row changed since the last snapshot (of either
+    /// mode). Cost scales with the dirty set, not the fleet: a large idle
+    /// cohort contributes nothing. Evicted sessions simply stop appearing —
+    /// there are no tombstone rows (docs/SERVING.md, staleness caveats).
+    incremental,
+};
+
+/// View of the service as of the last epoch barrier: tracked sessions'
+/// latest estimates, sorted globally by (client, beacon) so the order
+/// carries no trace of the sharding. `incremental` snapshots carry only the
+/// rows dirtied since the last snapshot; `sessions_live` always counts the
+/// whole live fleet so consumers can tell coverage from fleet size.
 struct ServiceSnapshot {
     std::uint64_t epoch{0};
     double horizon{0.0};
+    bool incremental{false};
+    std::size_t sessions_live{0};
     IngestStats stats{};
     std::vector<BeaconEstimate> estimates;
 };
@@ -45,22 +63,36 @@ struct ServiceSnapshot {
 /// their shard/thread counts — the determinism suite diffs these strings.
 std::string canonical_text(const ServiceSnapshot& snap);
 
-/// Sharded multi-client tracking service (the serve tentpole).
+/// Sharded multi-client tracking service with a pipelined epoch loop (the
+/// serve tentpole, reworked for ingest/epoch overlap in PR 6).
 ///
-/// Sessions are sharded by a stable hash of the client id (shard_of);
-/// a shard owns its clients exclusively, so the epoch hot path takes no
-/// locks. The caller alternates two phases:
+/// Sessions are sharded by a consistent (rendezvous) hash of the client id
+/// (shard_of); a shard owns its clients exclusively, so the epoch hot path
+/// takes no locks. The driver thread runs either the classic phased loop
 ///
-///   submit(events...);   // ingest phase: route into bounded queues
-///   run_epoch();         // epoch phase: shards drain in parallel
-///   snapshot();          // optional: merged, globally sorted view
+///   submit(events...);   // ingest: route into double-buffered queues
+///   run_epoch();         // swap + drain every shard, barrier at the end
+///   snapshot();          // merged view as of the barrier
 ///
-/// submit() and snapshot() must not overlap run_epoch(); the epoch barrier
-/// (ThreadPool::run_indexed) is the only synchronization the design needs.
-/// Under that contract the service is deterministic end to end: estimates,
-/// stats, canonical snapshots and deterministic obs metrics are
-/// bit-identical for any (shards, threads) combination — 1 shard on
-/// 1 thread equals 8 shards on 8 threads (docs/SERVING.md spells out why).
+/// or the pipelined loop that overlaps ingest with epoch execution:
+///
+///   begin_epoch();       // swap buffers, launch shard workers, return
+///   submit(events...);   // lands in the fresh ingest buffers, overlapped
+///   end_epoch();         // barrier
+///
+/// Overlap changes nothing observable: submissions made while an epoch is
+/// in flight are processed by the *next* epoch, exactly as if they had been
+/// submitted after end_epoch() — the overlapped and phase-separated
+/// schedules produce byte-identical snapshot streams (property-tested in
+/// tests/serve/test_service_pipeline.cpp). Under that contract the service
+/// stays deterministic end to end: estimates, stats, canonical snapshots
+/// and deterministic obs metrics are bit-identical for any (shards,
+/// threads) combination — and across resize_shards() calls between epochs
+/// (docs/SERVING.md spells out why).
+///
+/// All driver-side entry points (submit, begin/end_epoch, snapshot, stats,
+/// resize_shards) must be called from one thread; only shard processing is
+/// concurrent.
 class TrackingService {
 public:
     struct Config {
@@ -69,7 +101,8 @@ public:
         unsigned shards{1};
         /// Worker threads driving shard epochs: 0 means one per shard,
         /// otherwise capped at the shard count. 1 runs epochs inline on the
-        /// calling thread with no pool at all.
+        /// calling thread with no pool at all (begin_epoch then completes
+        /// the epoch synchronously).
         unsigned threads{1};
         Shard::Config shard{};
     };
@@ -78,35 +111,63 @@ public:
     /// EnvAware; the service keeps the copy alive for all shards.
     explicit TrackingService(const Config& cfg,
                              std::optional<core::EnvAware> envaware = std::nullopt);
+    ~TrackingService();
 
     TrackingService(const TrackingService&) = delete;
     TrackingService& operator=(const TrackingService&) = delete;
 
-    /// Route one event to its client's shard queue (ingest phase only).
+    /// Route one event to its client's shard ingest buffer. Driver thread;
+    /// legal while an epoch is in flight (the event lands in the buffer the
+    /// *next* epoch will drain).
     void submit(const Event& e);
-    /// Route a batch in order (ingest phase only).
+    /// Route a batch in order.
     void submit(const std::vector<Event>& events);
 
-    /// Drain every shard up to the current horizon — in parallel when the
-    /// service has more than one thread — and return the epoch index just
-    /// completed. Blocks until every shard finished (barrier).
+    /// Swap every shard's ingest buffers, apply eviction decisions, and
+    /// launch the shard workers; returns the epoch index now in flight.
+    /// With a single worker thread the epoch completes inline before
+    /// returning (end_epoch is then a no-op). Throws std::logic_error if an
+    /// epoch is already in flight.
+    std::uint64_t begin_epoch();
+
+    /// Barrier: wait for every shard worker launched by begin_epoch().
+    /// No-op when no epoch is in flight.
+    void end_epoch();
+
+    /// begin_epoch() + end_epoch(): the phase-separated driver loop.
     std::uint64_t run_epoch();
 
-    /// Merged, globally (client, beacon)-sorted view of every live session
-    /// (call between epochs).
-    ServiceSnapshot snapshot() const;
+    bool epoch_in_flight() const { return in_flight_; }
 
-    /// Merged ingest/lifecycle accounting (call between epochs).
+    /// Merged, globally (client, beacon)-sorted view as of the last epoch
+    /// barrier. Both modes reset the dirty baseline: the next incremental
+    /// snapshot reports changes since this call. Throws std::logic_error
+    /// while an epoch is in flight.
+    ServiceSnapshot snapshot(SnapshotMode mode = SnapshotMode::full);
+
+    /// Live merged ingest/lifecycle accounting (includes events submitted
+    /// since the last swap). Throws std::logic_error while an epoch is in
+    /// flight.
     IngestStats stats() const;
 
     /// Newest accepted event timestamp service-wide: the event-time clock
     /// that batch closing and idle eviction run on.
     double horizon() const { return horizon_; }
 
+    /// Change the shard count between epochs. Thanks to the consistent
+    /// rendezvous assignment only ~1/n of the fleet migrates; results are
+    /// unchanged — the canonical snapshot stream continues exactly as if
+    /// the service had run at the new shard count from the start of time
+    /// (modulo nothing: the contract is bit-identity, property-tested).
+    /// Throws std::logic_error while an epoch is in flight.
+    void resize_shards(unsigned shards);
+
     unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
     unsigned threads() const { return threads_; }
 
 private:
+    IngestStats merged_stats(bool barrier_view) const;
+
     Config cfg_;
     std::optional<core::EnvAware> envaware_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -115,6 +176,14 @@ private:
     std::uint64_t epoch_{0};
     double horizon_{0.0};
     bool has_horizon_{false};
+    /// Horizon captured at the last begin_epoch(): what snapshots report.
+    double epoch_horizon_{0.0};
+    bool in_flight_{false};
+    std::vector<std::future<void>> inflight_;
+    std::atomic<std::size_t> next_shard_{0};
+    /// Stats of shards dissolved by resize_shards().
+    IngestStats retired_ingest_;
+    IngestStats retired_epoch_;
 };
 
 }  // namespace locble::serve

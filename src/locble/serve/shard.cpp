@@ -6,105 +6,171 @@
 
 namespace locble::serve {
 
-void Shard::enqueue(const Event& e) {
-    ++stats_.submitted;
-    auto [it, created] = clients_.try_emplace(e.client);
-    ClientState& c = it->second;
+bool Shard::enqueue(const Event& e) {
+    ++ingest_stats_.submitted;
+    auto [it, created] = ingest_.try_emplace(e.client);
+    IngestQueue& q = it->second;
     if (created) {
-        ++stats_.clients_created;
+        ++ingest_stats_.clients_created;
         LOCBLE_COUNT("serve.clients.created", 1);
     }
-    if (c.has_event_t && e.t < c.last_event_t) {
-        ++stats_.late;
+    if (q.has_event_t && e.t < q.last_event_t) {
+        ++ingest_stats_.late;
         LOCBLE_COUNT("serve.ingest.late", 1);
     }
-    if (c.pending.size() >= cfg_.queue_capacity) {
+    if (q.buf.size() >= cfg_.queue_capacity) {
         // Backpressure. The bound is per client, so this decision depends
         // only on the client's own stream — identical whatever the shard
         // count (docs/SERVING.md).
         if (cfg_.overflow == OverflowPolicy::reject) {
-            ++stats_.rejected;
+            ++ingest_stats_.rejected;
             LOCBLE_COUNT("serve.ingest.rejected", 1);
-            return;
+            return false;
         }
-        c.pending.pop_front();
-        ++stats_.dropped;
+        q.buf.pop_front();
+        ++ingest_stats_.dropped;
         LOCBLE_COUNT("serve.ingest.dropped", 1);
     }
-    c.pending.push_back(e);
-    ++stats_.accepted;
+    q.buf.push_back(e);
+    ++ingest_stats_.accepted;
     LOCBLE_COUNT("serve.ingest.accepted", 1);
-    c.last_event_t = c.has_event_t ? std::max(c.last_event_t, e.t) : e.t;
-    c.has_event_t = true;
-    LOCBLE_GAUGE_MAX_ND("serve.queue.high_water", c.pending.size());
+    q.last_event_t = q.has_event_t ? std::max(q.last_event_t, e.t) : e.t;
+    q.has_event_t = true;
+    LOCBLE_GAUGE_MAX_ND("serve.queue.high_water", q.buf.size());
+    return true;
 }
 
-void Shard::process_epoch(double horizon) {
-    LOCBLE_SPAN("serve.shard.epoch");
-    for (auto& [id, c] : clients_) process_client(id, c, horizon);
+void Shard::begin_epoch(double horizon) {
+    epoch_horizon_ = horizon;
+    inbox_.clear();
+    for (auto it = ingest_.begin(); it != ingest_.end();) {
+        IngestQueue& q = it->second;
+        // Idle eviction, driven by event time against the service horizon —
+        // never the wall clock (a stalled client is exactly as evicted in a
+        // replay as it was live). last_event_t already covers every event
+        // accepted up to this swap, so the decision is the same one the
+        // phase-separated service would make after draining.
+        const bool evict = q.has_event_t &&
+                           horizon - q.last_event_t > cfg_.idle_timeout_s;
+        if (!q.buf.empty() || evict) {
+            Delivery d;
+            d.client = it->first;
+            d.events = std::move(q.buf);
+            d.evict = evict;
+            inbox_.push_back(std::move(d));
+            q.buf.clear();  // moved-from: make it definitively empty
+        }
+        if (evict)
+            it = ingest_.erase(it);
+        else
+            ++it;
+    }
+    ingest_stats_at_swap_ = ingest_stats_;
+}
 
-    // Idle eviction, driven by event time against the service horizon —
-    // never the wall clock (a stalled client is exactly as evicted in a
-    // replay as it was live).
-    for (auto it = clients_.begin(); it != clients_.end();) {
-        ClientState& c = it->second;
-        const bool idle = c.has_event_t && c.pending.empty() &&
-                          horizon - c.last_event_t > cfg_.idle_timeout_s;
-        if (idle) {
-            stats_.sessions_evicted += c.sessions.size();
-            ++stats_.clients_evicted;
+void Shard::process_epoch() {
+    LOCBLE_SPAN("serve.shard.epoch");
+    const double horizon = epoch_horizon_;
+
+    // Merge-walk the inbox (sorted by client id — built from the ordered
+    // ingest map) against the resident clients. A resident client with no
+    // delivery is visited only while it still holds an open batch; fully
+    // idle clients cost nothing per epoch.
+    std::size_t d = 0;
+    auto it = clients_.begin();
+    while (d < inbox_.size() || it != clients_.end()) {
+        const bool has_delivery =
+            d < inbox_.size() &&
+            (it == clients_.end() || inbox_[d].client <= it->first);
+        const ClientId id = has_delivery ? inbox_[d].client : it->first;
+        const bool resident = it != clients_.end() && it->first == id;
+
+        if (!has_delivery) {
+            if (!it->second.open_batches) {
+                ++it;
+                continue;
+            }
+            process_client(id, it->second, nullptr, horizon);
+            ++it;
+            continue;
+        }
+
+        Delivery& del = inbox_[d++];
+        auto s = resident ? it : clients_.try_emplace(id).first;
+        if (resident) ++it;
+        process_client(id, s->second, &del.events, horizon);
+        if (del.evict) {
+            ClientState& c = s->second;
+            epoch_stats_.sessions_evicted += c.sessions.size();
+            ++epoch_stats_.clients_evicted;
+            live_sessions_ -= c.sessions.size();
             LOCBLE_COUNT("serve.sessions.evicted",
                          static_cast<std::uint64_t>(c.sessions.size()));
             LOCBLE_COUNT("serve.clients.evicted", 1);
-            it = clients_.erase(it);
-        } else {
-            ++it;
+            clients_.erase(s);
         }
     }
 }
 
-void Shard::process_client(ClientId id, ClientState& c, double horizon) {
-    (void)id;
-    // Drain the bounded queue in arrival order. Poses extend the path;
+void Shard::process_client(ClientId id, ClientState& c,
+                           std::deque<Event>* events, double horizon) {
+    // Drain the delivered buffer in arrival order. Poses extend the path;
     // advertisements are fused with the interpolated pose at the
     // group-delay-compensated pairing time and fed to the beacon's session.
-    while (!c.pending.empty()) {
-        const Event e = c.pending.front();
-        c.pending.pop_front();
-        if (e.kind == EventKind::pose) {
-            // Keep the path time-ordered; a late pose (counted at ingest)
-            // would corrupt interpolation, so it is ignored.
-            if (c.path.empty() || e.t >= c.path.back().t)
-                c.path.push_back({e.t, e.position});
-            continue;
+    if (events != nullptr) {
+        while (!events->empty()) {
+            const Event e = events->front();
+            events->pop_front();
+            if (e.kind == EventKind::pose) {
+                // Keep the path time-ordered; a late pose (counted at
+                // ingest) would corrupt interpolation, so it is ignored.
+                if (c.path.empty() || e.t >= c.path.back().t)
+                    c.path.push_back({e.t, e.position});
+                continue;
+            }
+            auto [sit, created] = c.sessions.try_emplace(
+                e.beacon, cfg_.session, envaware_, &epoch_stats_);
+            if (created) {
+                ++epoch_stats_.sessions_created;
+                ++live_sessions_;
+                LOCBLE_COUNT("serve.sessions.created", 1);
+            }
+            TrackingSession& s = sit->second;
+            if (c.path.empty()) continue;  // no pose yet: nothing to fuse
+            const locble::Vec2 obs = pose_at(c, e.t - s.pose_lag_s());
+            // Beacon position is the unknown; the regression consumes the
+            // *relative* displacement target - observer with the target at
+            // the frame origin — the same convention as the offline
+            // pipeline.
+            s.on_adv(e.t, e.rssi_dbm, -obs.x, -obs.y);
         }
-        auto [sit, created] = c.sessions.try_emplace(e.beacon, cfg_.session,
-                                                     envaware_, &stats_);
-        if (created) {
-            ++stats_.sessions_created;
-            LOCBLE_COUNT("serve.sessions.created", 1);
-        }
-        TrackingSession& s = sit->second;
-        if (c.path.empty()) continue;  // no pose yet: nothing to fuse against
-        const locble::Vec2 obs = pose_at(c, e.t - s.pose_lag_s());
-        // Beacon position is the unknown; the regression consumes the
-        // *relative* displacement target - observer with the target at the
-        // frame origin — the same convention as the offline pipeline.
-        s.on_adv(e.t, e.rssi_dbm, -obs.x, -obs.y);
     }
 
     // Close batches up to the horizon and run the deferred warm-started
-    // solves; remember whether any fit moved for the clustering pass.
+    // solves; remember whether any fit moved for the clustering pass, and
+    // whether any batch window is still open (so the next epoch revisits).
     bool changed = false;
+    bool open = false;
     for (auto& [beacon, s] : c.sessions) {
         s.finish_epoch(horizon);
         if (s.take_epoch_changed()) changed = true;
+        if (s.has_open_batch()) open = true;
     }
+    c.open_batches = open;
     if (changed && cfg_.enable_clustering) run_clustering(c);
+
+    // Record sessions whose snapshot row changed for the incremental
+    // snapshot path (docs/SERVING.md); dirty_listed dedupes across epochs.
+    for (auto& [beacon, s] : c.sessions) {
+        if (s.snapshot_dirty() && !s.dirty_listed()) {
+            s.mark_dirty_listed();
+            dirty_.emplace_back(id, beacon);
+        }
+    }
 
     // Prune pose history that can no longer pair with any admissible
     // advertisement; keep the last two points so interpolation never loses
-    // its bracket.
+    // its bracket. Lazy: runs only when the client is visited.
     const double keep_after = horizon - cfg_.pose_history_s;
     std::size_t drop = 0;
     while (drop + 2 < c.path.size() && c.path[drop + 1].t < keep_after) ++drop;
@@ -113,6 +179,47 @@ void Shard::process_client(ClientId id, ClientState& c, double horizon) {
                      c.path.begin() + static_cast<std::ptrdiff_t>(drop));
         c.path_cursor = c.path_cursor > drop ? c.path_cursor - drop : 0;
     }
+}
+
+IngestStats Shard::stats() const {
+    IngestStats total = ingest_stats_;
+    total += epoch_stats_;
+    return total;
+}
+
+IngestStats Shard::barrier_stats() const {
+    IngestStats total = ingest_stats_at_swap_;
+    total += epoch_stats_;
+    return total;
+}
+
+void Shard::migrate_into(std::vector<std::unique_ptr<Shard>>& dst,
+                         IngestStats& retired_ingest,
+                         IngestStats& retired_epoch) {
+    const auto n = static_cast<std::uint32_t>(dst.size());
+    for (auto& [id, q] : ingest_)
+        dst[shard_of(id, n)]->ingest_.emplace(id, std::move(q));
+    ingest_.clear();
+    while (!clients_.empty()) {
+        auto node = clients_.extract(clients_.begin());
+        Shard& target = *dst[shard_of(node.key(), n)];
+        ClientState& c = node.mapped();
+        target.live_sessions_ += c.sessions.size();
+        // Sessions keep pumping lifecycle counters into their shard's
+        // stats; re-point them at the new owner (node-based maps never
+        // relocate the sessions themselves).
+        for (auto& [beacon, s] : c.sessions) s.rebind_stats(&target.epoch_stats_);
+        target.clients_.insert(std::move(node));
+    }
+    live_sessions_ = 0;
+    for (const auto& key : dirty_)
+        dst[shard_of(key.first, n)]->dirty_.push_back(key);
+    dirty_.clear();
+    retired_ingest += ingest_stats_;
+    retired_epoch += epoch_stats_;
+    ingest_stats_ = IngestStats{};
+    epoch_stats_ = IngestStats{};
+    ingest_stats_at_swap_ = IngestStats{};
 }
 
 void Shard::run_clustering(ClientState& c) {
@@ -135,7 +242,7 @@ void Shard::run_clustering(ClientState& c) {
             if (j != i) neighbors.push_back(cands[j]);
         const auto cal = calibrator_.calibrate(cands[i], neighbors);
         c.sessions.at(fitted[i]).set_cluster(cal);
-        ++stats_.cluster_runs;
+        ++epoch_stats_.cluster_runs;
         LOCBLE_COUNT("serve.cluster.runs", 1);
     }
 }

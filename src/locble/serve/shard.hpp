@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "locble/core/clustering.hpp"
@@ -14,19 +15,28 @@
 namespace locble::serve {
 
 /// One shard of the tracking service: exclusive owner of every client whose
-/// id hashes to it, including their bounded ingest queues, pose tracks and
+/// id hashes to it — their double-buffered ingest queues, pose tracks and
 /// per-beacon tracking sessions.
 ///
-/// Threading contract (docs/SERVING.md): enqueue() runs on the ingest
-/// thread strictly between epochs; process_epoch() runs on exactly one
-/// worker thread per epoch. The epoch barrier (ThreadPool::run_indexed)
-/// orders the two, so no shard state is ever touched concurrently and the
-/// hot path takes no locks.
+/// Threading contract (docs/SERVING.md): state is split into two disjoint
+/// halves so ingest can overlap epoch execution.
+///
+///  - *Ingest side* (`ingest_`, `ingest_stats_`) is touched only by the
+///    driver thread, at any time — including while an epoch is in flight.
+///  - *Worker side* (`clients_`, `epoch_stats_`, `dirty_`) is touched only
+///    by the one worker thread running `process_epoch()`, and read at
+///    quiescent points (between epochs) for snapshots.
+///  - The handoff (`inbox_`, `epoch_horizon_`, `ingest_stats_at_swap_`) is
+///    written by `begin_epoch()` on the driver thread while no epoch is in
+///    flight, then consumed by the worker; the epoch barrier orders the
+///    two, so nothing is ever touched concurrently and the hot path takes
+///    no locks.
 class Shard {
 public:
     struct Config {
         TrackingSession::Config session{};
-        /// Bounded ingest queue capacity in events, *per client*. A
+        /// Bounded ingest buffer capacity in events, *per client*, per
+        /// epoch interval (the buffer swaps empty at every epoch start). A
         /// per-client bound (rather than per-shard) keeps the overflow
         /// decision a pure function of that client's own stream, so drops
         /// are identical whatever the shard count — and one chatty client
@@ -37,7 +47,9 @@ public:
         /// far behind the service horizon, in event-time seconds.
         double idle_timeout_s{60.0};
         /// Forget pose samples older than this behind the horizon (enough
-        /// history must remain to pair delayed advertisements).
+        /// history must remain to pair delayed advertisements). Pruning is
+        /// lazy: it runs when the client is next processed, so an idle
+        /// client's path is frozen, not leaked.
         double pose_history_s{30.0};
         /// Run the Sec. 6 clustering calibration across a client's fitted
         /// beacons at the end of each epoch (only for clients whose fits
@@ -54,41 +66,110 @@ public:
     Shard(const Shard&) = delete;
     Shard& operator=(const Shard&) = delete;
 
-    /// Route one event into its client's bounded queue (creating the client
-    /// on first contact). Ingest-thread only.
-    void enqueue(const Event& e);
+    /// Route one event into its client's bounded ingest buffer (creating
+    /// the client on first contact). Driver thread; may overlap a running
+    /// epoch — it only ever touches ingest-side state. Returns whether the
+    /// event was accepted (false only under OverflowPolicy::reject), so the
+    /// caller can advance its horizon without reading worker-side stats.
+    bool enqueue(const Event& e);
 
-    /// Drain every queue, drive the tracking sessions, close batches up to
-    /// `horizon`, solve, cluster, and evict idle clients. Worker-thread
-    /// only; `horizon` is the newest timestamp accepted service-wide.
-    void process_epoch(double horizon);
+    /// The epoch swap (driver thread, no epoch in flight): move every
+    /// client's accumulated buffer into the epoch inbox, decide idle
+    /// evictions against `horizon` (the decision is a pure function of the
+    /// ingest-side timestamps, so it lands identically whatever the shard
+    /// count), and capture the ingest-side stats for epoch-consistent
+    /// snapshots.
+    void begin_epoch(double horizon);
 
-    /// Stats accumulated by this shard (quiescent point required).
-    const IngestStats& stats() const { return stats_; }
+    /// Drain the inbox, drive the tracking sessions, close batches up to
+    /// the swap horizon, solve, cluster, and apply the evictions decided at
+    /// the swap. Exactly one worker thread per epoch.
+    void process_epoch();
+
+    /// Live merged accounting: everything ingested and processed so far.
+    /// Quiescent point required (the worker writes half of it mid-epoch).
+    IngestStats stats() const;
+
+    /// Epoch-consistent accounting: ingest-side counters as captured at the
+    /// last begin_epoch() plus the worker-side counters (final once the
+    /// barrier passed). This is the stats view a snapshot reports, equal to
+    /// stats() whenever ingest never overlapped an epoch.
+    IngestStats barrier_stats() const;
 
     struct ClientState {
-        std::deque<Event> pending;
         std::vector<motion::TimedPosition> path;  ///< pose track, time-ordered
         std::size_t path_cursor{0};               ///< monotone interpolation hint
         std::map<BeaconId, TrackingSession> sessions;
-        double last_event_t{0.0};  ///< newest accepted event timestamp
-        bool has_event_t{false};
+        /// Some session still holds un-flushed batch samples: keep visiting
+        /// this client at epoch end even when no new events arrive.
+        bool open_batches{false};
     };
 
     /// Owned clients in id order (quiescent point required; the snapshot
     /// assembly reads estimates through this).
     const std::map<ClientId, ClientState>& clients() const { return clients_; }
+    /// Mutable access for the snapshot assembly (it clears per-session
+    /// dirty flags). Quiescent point required.
+    std::map<ClientId, ClientState>& clients_mut() { return clients_; }
+
+    /// Sessions dirtied since the last snapshot, in the order the worker
+    /// discovered them (deduplicated via TrackingSession::dirty_listed).
+    /// The service consumes — and clears — this at snapshot assembly.
+    std::vector<std::pair<ClientId, BeaconId>>& dirty_sessions() {
+        return dirty_;
+    }
+
+    /// Live session count across this shard's clients (maintained by the
+    /// worker; quiescent point required).
+    std::size_t live_sessions() const { return live_sessions_; }
+
+    /// Move every client — ingest buffers, session state, dirty marks —
+    /// into the shard of `dst` selected by shard_of(client, dst.size()),
+    /// and fold this shard's accumulated stats into the retired totals.
+    /// Driver thread, no epoch in flight (TrackingService::resize_shards).
+    void migrate_into(std::vector<std::unique_ptr<Shard>>& dst,
+                      IngestStats& retired_ingest, IngestStats& retired_epoch);
 
 private:
-    void process_client(ClientId id, ClientState& c, double horizon);
+    /// Ingest half of one client: the accumulating event buffer plus the
+    /// event-time bookkeeping that backpressure, late detection and idle
+    /// eviction run on.
+    struct IngestQueue {
+        std::deque<Event> buf;
+        double last_event_t{0.0};  ///< newest accepted event timestamp
+        bool has_event_t{false};
+    };
+
+    /// One swapped-out buffer handed to the worker at the epoch barrier.
+    struct Delivery {
+        ClientId client{0};
+        std::deque<Event> events;
+        bool evict{false};  ///< idle-evict after processing (decided at swap)
+    };
+
+    void process_client(ClientId id, ClientState& c, std::deque<Event>* events,
+                        double horizon);
     void run_clustering(ClientState& c);
     locble::Vec2 pose_at(ClientState& c, double t) const;
 
     Config cfg_;
     const core::EnvAware* envaware_;
     core::ClusteringCalibrator calibrator_;
+
+    // --- ingest side (driver thread, any time) ---
+    std::map<ClientId, IngestQueue> ingest_;
+    IngestStats ingest_stats_;
+
+    // --- barrier handoff (written at begin_epoch, read by the worker) ---
+    std::vector<Delivery> inbox_;
+    double epoch_horizon_{0.0};
+    IngestStats ingest_stats_at_swap_;
+
+    // --- worker side (one worker thread per epoch) ---
     std::map<ClientId, ClientState> clients_;
-    IngestStats stats_;
+    IngestStats epoch_stats_;
+    std::vector<std::pair<ClientId, BeaconId>> dirty_;
+    std::size_t live_sessions_{0};
 };
 
 }  // namespace locble::serve

@@ -46,6 +46,7 @@ void TrackingSession::on_adv(double t, double rssi_dbm, double p, double q) {
     batch_fused_.push_back(fused);
     ++samples_seen_;
     last_event_t_ = t;
+    snap_dirty_ = true;  // samples_seen / last_event_t are snapshot fields
 }
 
 void TrackingSession::finish_epoch(double horizon) {
@@ -68,6 +69,7 @@ void TrackingSession::reset_regression() {
     band_max_ = 0.0;
     ++resets_;
     epoch_changed_ = true;
+    snap_dirty_ = true;
     if (stats_ != nullptr) ++stats_->sessions_reset;
     LOCBLE_COUNT("serve.sessions.reset", 1);
 }
@@ -113,6 +115,7 @@ void TrackingSession::flush_batch() {
         } else {
             ++segment_;
             ++restarts_;
+            snap_dirty_ = true;
             LOCBLE_COUNT("serve.regression_restarts", 1);
         }
     }
@@ -150,6 +153,7 @@ void TrackingSession::solve_now() {
         has_fit_ = true;
         samples_used_ = session_.size();
         epoch_changed_ = true;
+        snap_dirty_ = true;
     }
     diag_.solver_calls += 1;
     diag_.solver_candidates += sd.exponent_candidates;

@@ -99,6 +99,7 @@ public:
     void set_cluster(const core::ClusterCalibration& c) {
         cluster_ = c;
         has_cluster_ = true;
+        snap_dirty_ = true;
     }
 
     /// Did finish_epoch()/on_adv() change the fit since the last
@@ -109,6 +110,28 @@ public:
         epoch_changed_ = false;
         return c;
     }
+
+    /// Does the session still hold samples in an un-flushed batch window?
+    /// The shard uses this to keep visiting otherwise-idle clients until
+    /// their last open batch has closed and solved.
+    bool has_open_batch() const { return !batch_raw_.empty(); }
+
+    /// Snapshot dirty tracking (incremental snapshots, docs/SERVING.md):
+    /// `snapshot_dirty()` is true when any field of the session's snapshot
+    /// row changed since the last time a snapshot cleared it; the shard's
+    /// per-epoch dirty list dedupes entries with `dirty_listed()`.
+    bool snapshot_dirty() const { return snap_dirty_; }
+    bool dirty_listed() const { return dirty_listed_; }
+    void mark_dirty_listed() { dirty_listed_ = true; }
+    void clear_snapshot_dirty() {
+        snap_dirty_ = false;
+        dirty_listed_ = false;
+    }
+
+    /// Re-point the shard-stats sink after a shard migration
+    /// (TrackingService::resize_shards); counters already accumulated stay
+    /// with the old shard's totals, which the service retires.
+    void rebind_stats(IngestStats* stats) { stats_ = stats; }
 
 private:
     void flush_batch();
@@ -139,6 +162,9 @@ private:
 
     bool dirty_{false};
     bool epoch_changed_{false};
+    // A fresh session has a row to publish, so it is born snapshot-dirty.
+    bool snap_dirty_{true};
+    bool dirty_listed_{false};
     bool has_fit_{false};
     core::LocationFit fit_;
     std::size_t samples_used_{0};

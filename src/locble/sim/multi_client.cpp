@@ -63,11 +63,19 @@ MultiClientWorkload make_multi_client_workload(const MultiClientConfig& cfg,
         const WalkCapture capture = runner.run(sc.site, beacons, walk, rng);
         const motion::MotionEstimate motion = reckoner.track(capture.observer_imu);
 
-        for (const auto& p : motion.path)
+        // Idle-cohort truncation happens on the client's own clock, after
+        // the full capture ran, so an idle client's early events are
+        // exactly the active run's prefix (generation stays deterministic).
+        const bool idle = c < cfg.idle_clients;
+        for (const auto& p : motion.path) {
+            if (idle && p.t > cfg.idle_active_s) break;
             out.events.push_back(serve::pose_event(id, t0 + p.t, p.position));
+        }
         for (const auto& [beacon, rss] : capture.rss)
-            for (const auto& s : rss)
+            for (const auto& s : rss) {
+                if (idle && s.t > cfg.idle_active_s) continue;
                 out.events.push_back(serve::adv_event(id, t0 + s.t, beacon, s.value));
+            }
     }
 
     // Global interleave with a total order: by time, then client, then

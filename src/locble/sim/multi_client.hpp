@@ -26,6 +26,13 @@ struct MultiClientConfig {
     /// Ring radius of the beacon deployment around the scenario's default
     /// target placement.
     double beacon_ring_m{1.5};
+    /// The first `idle_clients` of the fleet fall silent `idle_active_s`
+    /// seconds into their own (staggered) timeline: events past that offset
+    /// are not generated. Models the mostly-idle fleets the incremental
+    /// snapshot path is built for (docs/SERVING.md) — the cohort's sessions
+    /// stay resident but stop dirtying.
+    int idle_clients{0};
+    double idle_active_s{10.0};
 };
 
 /// A generated workload: one interleaved, time-sorted event stream plus

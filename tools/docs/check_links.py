@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link and file reference in the
+repository's markdown must resolve.
+
+Checks, over README.md and docs/*.md (plus any extra paths given on the
+command line):
+
+  - inline markdown links [text](target): relative targets must exist
+    (anchors are stripped; http(s)/mailto links are not fetched);
+  - bare repo-path references in backticks like `docs/SERVING.md` or
+    `tools/docs/check_links.py` when they look like a path into a
+    top-level repo directory: the file or directory must exist.
+
+Exits nonzero listing every broken reference. Run from the repo root:
+
+    python3 tools/docs/check_links.py
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK_PATH_RE = re.compile(r"`([A-Za-z0-9_.~/-]+)`")
+
+# Backticked strings are only treated as repo paths when they start with one
+# of these top-level directories (or are a top-level markdown/config file).
+PATH_PREFIXES = (
+    "docs/", "src/", "tests/", "bench/", "tools/", "examples/",
+    ".github/",
+)
+CODE_SUFFIXES = (".md", ".py", ".yml", ".json", ".txt", ".cmake")
+
+
+def check_file(md_path: str, repo_root: str) -> list[str]:
+    errors = []
+    base = os.path.dirname(md_path)
+    text = open(md_path, encoding="utf-8").read()
+
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: broken link -> {target}")
+
+    for m in BACKTICK_PATH_RE.finditer(text):
+        ref = m.group(1)
+        looks_like_path = ref.startswith(PATH_PREFIXES) or (
+            "/" not in ref and ref.endswith(CODE_SUFFIXES) and ref.count(".") == 1
+        )
+        if not looks_like_path:
+            continue
+        # Globs and <placeholders> document patterns, not single files.
+        if any(ch in ref for ch in "*<>{}$"):
+            continue
+        resolved = os.path.normpath(os.path.join(repo_root, ref))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: missing path reference -> {ref}")
+
+    return errors
+
+
+def main() -> int:
+    repo_root = os.getcwd()
+    targets = sys.argv[1:] or (
+        ["README.md"] + sorted(glob.glob("docs/*.md")) + ["ROADMAP.md"]
+    )
+    all_errors = []
+    checked = 0
+    for path in targets:
+        if not os.path.exists(path):
+            all_errors.append(f"{path}: file not found")
+            continue
+        checked += 1
+        all_errors.extend(check_file(path, repo_root))
+
+    if all_errors:
+        for e in all_errors:
+            print(e, file=sys.stderr)
+        print(f"\n{len(all_errors)} broken reference(s) in {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"docs link check OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
