@@ -7,6 +7,15 @@
 // sides equally. The headline `overhead_ratio` scalar (min-on / min-off for
 // the full pipeline) backs the "<2% when enabled" claim; a results-identity
 // check backs "instrumentation never changes what the pipeline computes".
+//
+// The serve_epoch stage (ISSUE 7) replays a small multi-client fleet
+// through the TrackingService with the epoch flight recorder on, so its
+// on/off ratio prices the serve-path obs instrumentation (the staleness
+// and queue-residency quantile sketches) against the same budget. A
+// separate serve_recorder measurement times the identical pass with the
+// flight recorder + epoch telemetry enabled vs disabled — obs off on both
+// sides — so `serve_recorder.overhead_ratio` isolates what the default-on
+// flight recorder itself costs.
 
 #include <algorithm>
 #include <chrono>
@@ -22,7 +31,9 @@
 #include "locble/core/pipeline.hpp"
 #include "locble/dsp/anf.hpp"
 #include "locble/obs/obs.hpp"
+#include "locble/serve/service.hpp"
 #include "locble/sim/harness.hpp"
+#include "locble/sim/multi_client.hpp"
 
 using namespace locble;
 
@@ -144,6 +155,39 @@ int main(int argc, char** argv) {
     const auto trend = core::ClusteringCalibrator::trend_signal(fx.rss, times, 4, 5);
     const core::SegmentedDtwMatcher matcher;
 
+    // Serve-path fixture: a small fleet replayed in 4 s epoch slices (the
+    // serve bench's cadence). One pass = construct the service, ingest and
+    // run every epoch — small enough that time_stage's calibration keeps
+    // the per-rep cost bounded.
+    sim::MultiClientConfig scfg;
+    scfg.clients = 8;
+    scfg.beacons = 2;
+    const auto swl = sim::make_multi_client_workload(scfg, runner.master_seed());
+    std::vector<std::vector<serve::Event>> sbatches;
+    {
+        std::size_t i = 0;
+        for (double edge = 4.0; i < swl.events.size(); edge += 4.0) {
+            std::vector<serve::Event> b;
+            while (i < swl.events.size() && swl.events[i].t <= edge)
+                b.push_back(swl.events[i++]);
+            sbatches.push_back(std::move(b));
+        }
+    }
+    const auto serve_pass = [&](std::size_t recorder_epochs) {
+        serve::TrackingService::Config svc_cfg;
+        svc_cfg.shards = 1;
+        svc_cfg.shard.session.pipeline = coarse_cfg;
+        // The serve sessions run model-free (no EnvAware instance is
+        // shipped to the service); stage identity is not the point here.
+        svc_cfg.shard.session.pipeline.use_envaware = false;
+        svc_cfg.flight_recorder_epochs = recorder_epochs;
+        serve::TrackingService svc(svc_cfg);
+        for (const auto& b : sbatches) {
+            svc.submit(b);
+            svc.run_epoch();
+        }
+    };
+
     // Instrumentation must not perturb results: the same input must produce
     // the bit-identical fit with obs off and fully on.
     set_obs(false);
@@ -171,6 +215,7 @@ int main(int argc, char** argv) {
          [&] { (void)pipeline_coarse.locate(fx.rss, fx.motion_est); }},
         {"dartle_baseline", [&] { (void)ranger.estimate_distance(fx.rss); }},
         {"dtw_cluster_match", [&] { (void)matcher.match(trend, trend); }},
+        {"serve_epoch", [&] { serve_pass(64); }},
     };
 
     std::printf("%-20s %10s %12s %12s %8s\n", "stage", "iters", "off us/call",
@@ -186,10 +231,28 @@ int main(int argc, char** argv) {
         runner.report().add_scalar(key + ".overhead_ratio", t.ratio);
         if (key == "full_pipeline") pipeline_ratio = t.ratio;
     }
+    // Flight-recorder cost: the identical serve pass with the recorder +
+    // epoch telemetry on vs off, obs disabled on both sides, interleaved
+    // min-of-reps (same noise rejection as time_stage).
+    set_obs(false);
+    double rec_off = std::numeric_limits<double>::infinity();
+    double rec_on = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep) {
+        rec_off = std::min(rec_off, time_iters([&] { serve_pass(0); }, 1));
+        rec_on = std::min(rec_on, time_iters([&] { serve_pass(64); }, 1));
+    }
+    const double rec_ratio = rec_on / rec_off;
+    std::printf("%-20s %10d %12.2f %12.2f %8.4f  (recorder off/on, obs off)\n",
+                "serve_recorder", 1, rec_off * 1e6, rec_on * 1e6, rec_ratio);
+    runner.report().add_scalar("serve_recorder.off_us", rec_off * 1e6);
+    runner.report().add_scalar("serve_recorder.on_us", rec_on * 1e6);
+    runner.report().add_scalar("serve_recorder.overhead_ratio", rec_ratio);
+
     runner.report().add_scalar("overhead_ratio", pipeline_ratio);
     runner.report().add_scalar("overhead_budget_ratio", 1.02);
-    std::printf("\nfull-pipeline obs overhead: %+.2f%% (budget +2%%)\n\n",
-                (pipeline_ratio - 1.0) * 100.0);
+    std::printf("\nfull-pipeline obs overhead: %+.2f%% (budget +2%%)\n"
+                "flight recorder + epoch telemetry: %+.2f%%\n\n",
+                (pipeline_ratio - 1.0) * 100.0, (rec_ratio - 1.0) * 100.0);
 
     const int rc = runner.finish();
     if (rc != 0) return rc;

@@ -21,16 +21,34 @@
 // A final idle-fleet section measures full vs incremental snapshot cost on
 // a 64-client fleet where 56 clients have gone silent.
 //
+// The tail-latency telemetry section (ISSUE 7) replays a mostly-idle fleet
+// with the epoch flight recorder on and reports the service's own health
+// surface: event-time snapshot-staleness quantiles, rolling-window drop /
+// no-fix / eviction rates, and the ok/degraded/overloaded classification.
+// Every `tail.*` scalar is a pure function of event time and u64 counters,
+// so it is byte-identical whatever the shard count; scheduling-dependent
+// values (epoch wall-clock percentiles, the shard count itself) live under
+// `tail.nd.*` and are excluded from determinism comparisons. The section
+// also writes SERVE_status_shards{1,8}.json and SERVE_flight_recorder.json
+// next to the report so CI can diff the status "deterministic" object
+// across shard counts and archive the recorder dump. The headline pass's
+// shard count follows LOCBLE_SERVE_TAIL_SHARDS (default 1) — an env var,
+// like LOCBLE_THREADS, because it is a CI axis rather than a user knob.
+//
 // Headline CI gates: xlarge.speedup >= 2 and
-// xlarge.determinism_identical == 1 always; on runners with >= 4 cores
-// (the `cores` scalar) the overlapped sweep must additionally scale:
+// xlarge.determinism_identical == 1 always, tail.determinism_identical == 1
+// always; on runners with >= 4 cores (the `cores` scalar) the overlapped
+// sweep must additionally scale:
 // xlarge.overlap_events_per_sec_shards4 > overlap_events_per_sec_shards1.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -383,12 +401,129 @@ int main(int argc, char** argv) {
                        i_med > 0.0 ? f_med / i_med : 0.0);
     }
 
+    // Tail-latency telemetry: the same mostly-idle fleet shape as above,
+    // replayed with the flight recorder on. Event-time staleness is exactly
+    // what the health surface must flag here — the idle cohort's snapshots
+    // age while eviction is off — and every deterministic status field must
+    // come out byte-identical at 1 and 8 shards.
+    {
+        sim::MultiClientConfig tcfg;
+        tcfg.clients = 64;
+        tcfg.beacons = 8;
+        tcfg.idle_clients = 48;
+        tcfg.idle_active_s = 8.0;
+        const auto twl =
+            sim::make_multi_client_workload(tcfg, runner.sweep_seed(7));
+        const auto tbatches = chunk_by_epoch(twl.events);
+
+        struct TailRun {
+            serve::ServiceStatus status;
+            std::string status_json;
+            std::string recorder_json;
+            double wall_us{0.0};
+        };
+        auto tail_pass = [&](unsigned shards) {
+            auto cfg = serve_config(shards);
+            cfg.shard.idle_timeout_s = 1e9;  // idle cohort stays resident
+            cfg.flight_recorder_epochs = 256;  // cover the whole run
+            serve::TrackingService svc(cfg);
+            const double t0 = now_us();
+            for (const auto& b : tbatches) {
+                svc.submit(b);
+                svc.run_epoch();
+            }
+            TailRun r;
+            r.wall_us = now_us() - t0;
+            (void)svc.snapshot();  // back-fills the latest record's row count
+            r.status = svc.status();
+            r.status_json = serve::status_json(r.status);
+            r.recorder_json = svc.flight_recorder().to_json();
+            return r;
+        };
+        // The status JSON up to (excluding) the "nd" object: schema version
+        // plus the whole deterministic section.
+        const auto deterministic_part = [](const std::string& json) {
+            const std::size_t nd = json.find("\"nd\":");
+            return json.substr(0, nd == std::string::npos ? json.size() : nd);
+        };
+
+        unsigned tail_shards = 1;
+        if (const char* env = std::getenv("LOCBLE_SERVE_TAIL_SHARDS"))
+            tail_shards = static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (tail_shards == 0) tail_shards = 1;
+
+        const TailRun run1 = tail_pass(1);
+        const TailRun run8 = tail_pass(8);
+        const TailRun head = tail_shards == 1   ? run1
+                             : tail_shards == 8 ? run8
+                                                : tail_pass(tail_shards);
+        const bool tail_identical =
+            deterministic_part(run1.status_json) ==
+            deterministic_part(run8.status_json);
+        all_identical = all_identical && tail_identical;
+
+        const serve::ServiceStatus& st = head.status;
+        std::printf(
+            "tail telemetry (%u shard%s, %zu epochs): health %s, staleness "
+            "p50/p95/p99 %.1f/%.1f/%.1f s (max %.1f), drop %.4f, no-fix "
+            "%.4f; status deterministic across 1 vs 8 shards: %s\n\n",
+            tail_shards, tail_shards == 1 ? "" : "s", tbatches.size(),
+            serve::health_name(st.health), st.staleness_p50_s,
+            st.staleness_p95_s, st.staleness_p99_s, st.staleness_max_s,
+            st.drop_rate, st.no_fix_rate, tail_identical ? "yes" : "NO");
+
+        auto& rep = runner.report();
+        rep.add_scalar("tail.events", static_cast<double>(twl.events.size()));
+        rep.add_scalar("tail.epochs", static_cast<double>(st.epoch));
+        rep.add_scalar("tail.window_epochs",
+                       static_cast<double>(st.window_epochs));
+        rep.add_scalar("tail.sessions_live",
+                       static_cast<double>(st.sessions_live));
+        rep.add_scalar("tail.sessions_no_fit",
+                       static_cast<double>(st.sessions_no_fit));
+        rep.add_scalar("tail.staleness_p50_s", st.staleness_p50_s);
+        rep.add_scalar("tail.staleness_p95_s", st.staleness_p95_s);
+        rep.add_scalar("tail.staleness_p99_s", st.staleness_p99_s);
+        rep.add_scalar("tail.staleness_max_s", st.staleness_max_s);
+        rep.add_scalar("tail.drop_rate", st.drop_rate);
+        rep.add_scalar("tail.no_fix_rate", st.no_fix_rate);
+        rep.add_scalar("tail.eviction_rate", st.eviction_rate);
+        rep.add_text("tail.health", serve::health_name(st.health));
+        rep.add_scalar("tail.determinism_identical", tail_identical ? 1.0 : 0.0);
+        // nd group: wall clock + run configuration, excluded from the
+        // cross-shard-count byte comparison.
+        rep.add_scalar("tail.nd.shards", static_cast<double>(tail_shards));
+        rep.add_scalar("tail.nd.wall_us", head.wall_us);
+        rep.add_scalar("tail.nd.epoch_wall_p50_us", st.epoch_wall_p50_us);
+        rep.add_scalar("tail.nd.epoch_wall_p99_us", st.epoch_wall_p99_us);
+        rep.add_scalar("tail.nd.epoch_wall_max_us", st.epoch_wall_max_us);
+
+        if (opt.json) {
+            const std::string dir =
+                opt.out_dir.empty() || opt.out_dir == "." ? std::string()
+                                                          : opt.out_dir + "/";
+            const auto dump = [&](const std::string& name,
+                                  const std::string& body) {
+                const std::string path = dir + name;
+                std::ofstream file(path, std::ios::trunc);
+                if (!file)
+                    throw std::runtime_error("cannot write " + path);
+                file << body;
+                std::printf("report: %s\n", path.c_str());
+            };
+            dump("SERVE_status_shards1.json", run1.status_json + "\n");
+            dump("SERVE_status_shards8.json", run8.status_json + "\n");
+            dump("SERVE_flight_recorder.json", head.recorder_json + "\n");
+        }
+    }
+
     runner.report().add_text("largest_point", "xlarge");
     runner.report().add_scalar(
         "cores", static_cast<double>(std::thread::hardware_concurrency()));
-    std::printf("headline (CI gate): xlarge.speedup >= 2 (got %.2f) and every\n"
-                "point's phased and overlapped canonical snapshots identical "
-                "(%s);\non >= 4 cores the overlapped sweep must scale with "
+    std::printf("headline (CI gate): xlarge.speedup >= 2 (got %.2f); every\n"
+                "point's phased and overlapped canonical snapshots plus the\n"
+                "tail status identical across shard counts (%s);\n"
+                "on >= 4 cores the overlapped sweep must scale with "
                 "shards\n\n",
                 xlarge_speedup, all_identical ? "yes" : "NO");
     return runner.finish();

@@ -126,6 +126,9 @@ int Runner::finish() {
                 case obs::MetricKind::histogram:
                     report_.add_obs_histogram(m.name, m.buckets, m.bounds);
                     break;
+                case obs::MetricKind::quantile:
+                    report_.add_obs_quantile(m.name, m.buckets, m.upper_bound);
+                    break;
             }
         }
         if (!snap.empty())

@@ -41,7 +41,9 @@ public:
     bool fitted() const { return !weights_.empty(); }
     int num_classes() const { return static_cast<int>(weights_.size()); }
     /// Weight vector for class `c`, last element is the bias term.
-    const std::vector<double>& weights(int c) const { return weights_.at(c); }
+    const std::vector<double>& weights(int c) const {
+        return weights_.at(static_cast<std::size_t>(c));
+    }
 
 private:
     /// Train one binary separator for labels in {-1,+1}; returns the weight

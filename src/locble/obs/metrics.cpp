@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "locble/obs/quantile.hpp"
+
 namespace locble::obs {
 
 namespace {
@@ -109,6 +111,28 @@ Histogram Registry::histogram(const std::string& name, std::vector<double> bound
                      descs_.back().f64_base);
 }
 
+Quantile Registry::quantile(const std::string& name, double upper,
+                            std::uint32_t resolution, bool deterministic) {
+    if (resolution == 0)
+        throw std::invalid_argument("obs: quantile needs resolution > 0");
+    if (!(upper > 0.0))
+        throw std::invalid_argument("obs: quantile needs upper > 0");
+    const std::lock_guard lock(mutex_);
+    if (const Desc* d = find_locked(name)) {
+        if (d->kind != MetricKind::quantile)
+            throw std::logic_error("obs: '" + name + "' registered with another kind");
+        if (d->upper != upper || d->u64_cells != resolution + 1)
+            throw std::logic_error("obs: '" + name +
+                                   "' registered with another sketch configuration");
+        return Quantile(this, d->u64_base, d->upper, d->u64_cells - 1);
+    }
+    Desc d{name, MetricKind::quantile, deterministic, u64_cells_, resolution + 1,
+           0,    0,                    {},            upper};
+    u64_cells_ += resolution + 1;  // resolution bounded buckets + overflow
+    descs_.push_back(std::move(d));
+    return Quantile(this, descs_.back().u64_base, upper, resolution);
+}
+
 void Counter::add(std::uint64_t n) const {
     if (!reg_ || !reg_->enabled()) return;
     Registry::Shard& shard = reg_->local_shard();
@@ -141,6 +165,13 @@ void Histogram::record(double v) const {
             bucket = static_cast<std::uint32_t>(it - bounds_.begin());
     }
     shard.u64[bucket_base_ + bucket] += 1;
+}
+
+void Quantile::record(double v) const {
+    if (!reg_ || !reg_->enabled()) return;
+    Registry::Shard& shard = reg_->local_shard();
+    if (bucket_base_ + resolution_ >= shard.u64.size()) reg_->ensure_capacity(shard);
+    shard.u64[bucket_base_ + sketch_bucket(v, upper_, resolution_)] += 1;
 }
 
 std::vector<MetricSnapshot> Registry::snapshot() const {
@@ -179,6 +210,17 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
                 for (const std::uint64_t b : m.buckets) m.count += b;
                 break;
             }
+            case MetricKind::quantile: {
+                m.upper_bound = d.upper;
+                m.buckets.assign(d.u64_cells, 0);
+                for (const auto& s : shards_) {
+                    if (d.u64_base + d.u64_cells > s->u64.size()) continue;
+                    for (std::uint32_t i = 0; i < d.u64_cells; ++i)
+                        m.buckets[i] += s->u64[d.u64_base + i];
+                }
+                for (const std::uint64_t b : m.buckets) m.count += b;
+                break;
+            }
         }
         out.push_back(std::move(m));
     }
@@ -195,6 +237,10 @@ void Registry::reset() {
     }
 }
 
+double snapshot_quantile(const MetricSnapshot& m, double q) {
+    return sketch_quantile(m.buckets, m.upper_bound, q);
+}
+
 std::string format_summary(const std::vector<MetricSnapshot>& metrics) {
     std::string out;
     char line[256];
@@ -208,6 +254,14 @@ std::string format_summary(const std::vector<MetricSnapshot>& metrics) {
                 std::snprintf(line, sizeof line, "  %-36s max %.3g (%llu records)\n",
                               m.name.c_str(), m.value,
                               static_cast<unsigned long long>(m.count));
+                break;
+            case MetricKind::quantile:
+                std::snprintf(line, sizeof line,
+                              "  %-36s n=%llu p50=%.3g p95=%.3g p99=%.3g\n",
+                              m.name.c_str(),
+                              static_cast<unsigned long long>(m.count),
+                              snapshot_quantile(m, 0.50), snapshot_quantile(m, 0.95),
+                              snapshot_quantile(m, 0.99));
                 break;
             case MetricKind::histogram: {
                 const double mean =

@@ -13,8 +13,11 @@ namespace locble::obs {
 ///   - counter:   monotonically increasing u64, merge = sum (exact, so the
 ///                merged value is independent of thread count/scheduling);
 ///   - gauge_max: high-water mark double, merge = max (order-invariant);
-///   - histogram: fixed-bucket u64 counts, merge = per-bucket sum.
-enum class MetricKind { counter, gauge_max, histogram };
+///   - histogram: fixed-bucket u64 counts, merge = per-bucket sum;
+///   - quantile:  exact fixed-resolution quantile sketch (obs/quantile.hpp),
+///                merge = per-bucket sum, so p50/p95/p99 read from the
+///                merged sketch are byte-identical for any thread count.
+enum class MetricKind { counter, gauge_max, histogram, quantile };
 
 /// One merged metric as returned by Registry::snapshot().
 ///
@@ -31,12 +34,18 @@ struct MetricSnapshot {
     /// per-worker task counts). Non-deterministic metrics are shown in
     /// console summaries but never serialized into BENCH_*.json.
     bool deterministic{true};
-    std::uint64_t count{0};             ///< counter value / histogram sample count
+    std::uint64_t count{0};             ///< counter value / histogram|quantile sample count
     double value{0.0};                  ///< gauge_max value (0 when never set)
     double sum{0.0};                    ///< histogram sample sum (display only)
-    std::vector<std::uint64_t> buckets; ///< histogram counts; last = overflow
+    std::vector<std::uint64_t> buckets; ///< histogram/quantile counts; last = overflow
     std::vector<double> bounds;         ///< histogram inclusive upper edges
+    double upper_bound{0.0};            ///< quantile sketch domain bound
 };
+
+/// Nearest-rank quantile of a MetricKind::quantile snapshot — a pure
+/// function of the merged u64 buckets and the fixed sketch configuration,
+/// so it inherits the buckets' thread-count invariance. 0 when empty.
+double snapshot_quantile(const MetricSnapshot& m, double q);
 
 class Registry;
 
@@ -89,6 +98,25 @@ private:
     std::uint32_t sum_cell_{0};
 };
 
+class Quantile {
+public:
+    Quantile() = default;
+    /// Record into the sketch's uniform buckets (obs/quantile.hpp bucketing:
+    /// v <= 0 in bucket 0, v > upper and NaN in the overflow bucket).
+    void record(double v) const;
+
+private:
+    friend class Registry;
+    Quantile(Registry* reg, std::uint32_t bucket_base, double upper,
+             std::uint32_t resolution)
+        : reg_(reg), bucket_base_(bucket_base), upper_(upper),
+          resolution_(resolution) {}
+    Registry* reg_{nullptr};
+    std::uint32_t bucket_base_{0};
+    double upper_{0.0};          ///< private copy: bucketing without locking
+    std::uint32_t resolution_{0};
+};
+
 /// Sharded metrics registry.
 ///
 /// Each recording thread writes into its own shard (plain cells, owner
@@ -121,6 +149,10 @@ public:
     GaugeMax gauge_max(const std::string& name, bool deterministic = true);
     Histogram histogram(const std::string& name, std::vector<double> bounds,
                         bool deterministic = true);
+    /// Exact fixed-resolution quantile sketch over (0, upper]; re-registering
+    /// an existing name requires the same (upper, resolution).
+    Quantile quantile(const std::string& name, double upper,
+                      std::uint32_t resolution, bool deterministic = true);
 
     /// Merged view of every registered metric, sorted by name (name order
     /// is stable across runs even when racing threads register in different
@@ -135,6 +167,7 @@ private:
     friend class Counter;
     friend class GaugeMax;
     friend class Histogram;
+    friend class Quantile;
 
     struct Shard {
         std::vector<std::uint64_t> u64;
@@ -150,6 +183,7 @@ private:
         std::uint32_t f64_base;   ///< gauge value / histogram sum
         std::uint32_t f64_cells;
         std::vector<double> bounds;
+        double upper{0.0};        ///< quantile sketch domain bound
     };
 
     /// The calling thread's shard, created (and sized to the current cell

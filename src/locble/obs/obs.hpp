@@ -80,6 +80,34 @@
         }                                                                         \
     } while (0)
 
+/// Record into an exact fixed-resolution quantile sketch (deterministic:
+/// merge is per-bucket u64 sum, so p50/p95/p99 from the merged sketch are
+/// byte-identical for any thread count). `upper`/`resolution` fix the
+/// uniform bucketing at the first enabled pass and must match at every
+/// site sharing the name. Only for *event-time* values (staleness, queue
+/// residency); wall-clock quantiles are ND by nature and stay out of bench
+/// JSON per the PR-2 rules.
+#define LOCBLE_QUANTILE(name_literal, v, upper, resolution)                       \
+    do {                                                                          \
+        ::locble::obs::Registry& locble_obs_r = ::locble::obs::Registry::global();\
+        if (locble_obs_r.enabled()) {                                             \
+            static const ::locble::obs::Quantile locble_obs_h =                   \
+                locble_obs_r.quantile(name_literal, (upper), (resolution));       \
+            locble_obs_h.record(static_cast<double>(v));                          \
+        }                                                                         \
+    } while (0)
+
+/// Chrome-trace counter sample ("C" phase event) on the global tracer:
+/// Perfetto renders the series as a load graph alongside the spans (queue
+/// depth, live sessions). Traces are for humans — not part of the
+/// determinism contract.
+#define LOCBLE_TRACE_COUNTER(name_literal, v)                                     \
+    do {                                                                          \
+        ::locble::obs::Tracer& locble_obs_t = ::locble::obs::Tracer::global();    \
+        if (locble_obs_t.enabled())                                               \
+            locble_obs_t.counter(name_literal, static_cast<double>(v));           \
+    } while (0)
+
 /// Scheduling-dependent histogram (excluded from bench JSON), e.g. the
 /// per-worker task-count distribution.
 #define LOCBLE_HISTOGRAM_ND(name_literal, v, ...)                                 \
@@ -104,5 +132,7 @@
 #define LOCBLE_GAUGE_MAX_ND(name_literal, v) ((void)sizeof(v))
 #define LOCBLE_HISTOGRAM(name_literal, v, ...) ((void)sizeof(v))
 #define LOCBLE_HISTOGRAM_ND(name_literal, v, ...) ((void)sizeof(v))
+#define LOCBLE_QUANTILE(name_literal, v, upper, resolution) ((void)sizeof(v))
+#define LOCBLE_TRACE_COUNTER(name_literal, v) ((void)sizeof(v))
 
 #endif  // LOCBLE_OBS

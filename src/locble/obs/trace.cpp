@@ -71,7 +71,13 @@ Tracer::Buffer& Tracer::local_buffer() {
 void Tracer::record(const char* name, double ts_us, double dur_us) {
     if (!enabled()) return;
     Buffer& buffer = local_buffer();
-    buffer.events.push_back({name, ts_us, dur_us, buffer.tid});
+    buffer.events.push_back({name, ts_us, dur_us, buffer.tid, 'X', 0.0});
+}
+
+void Tracer::counter(const char* name, double value) {
+    if (!enabled()) return;
+    Buffer& buffer = local_buffer();
+    buffer.events.push_back({name, now_us(), 0.0, buffer.tid, 'C', value});
 }
 
 std::size_t Tracer::event_count() const {
@@ -100,10 +106,20 @@ std::string Tracer::to_json() const {
         if (i) out += ",";
         out += "\n  {\"name\":\"";
         out += e.name;
-        out += "\",\"cat\":\"locble\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+        out += "\",\"cat\":\"locble\",\"ph\":\"";
+        out += e.phase;
+        out += "\",\"pid\":0,\"tid\":";
         out += std::to_string(e.tid);
         out += ",\"ts\":" + format_us(e.ts_us);
-        out += ",\"dur\":" + format_us(e.dur_us);
+        if (e.phase == 'C') {
+            char val[40];
+            std::snprintf(val, sizeof val, "%g", e.value);
+            out += ",\"args\":{\"value\":";
+            out += val;
+            out += "}";
+        } else {
+            out += ",\"dur\":" + format_us(e.dur_us);
+        }
         out += "}";
     }
     out += "\n],\"displayTimeUnit\":\"ms\"}\n";

@@ -10,15 +10,19 @@
 
 namespace locble::obs {
 
-/// One completed span, in Chrome trace_event "X" (complete event) form.
-/// Timestamps are microseconds since the tracer was started — trial-
-/// relative, never wall-clock — so two traces of the same run line up
-/// event-for-event in Perfetto no matter when they were recorded.
+/// One recorded event: either a completed span (Chrome trace_event "X",
+/// complete event) or a counter sample ("C", rendered by Perfetto as a
+/// stepped load graph — queue depth, live sessions). Timestamps are
+/// microseconds since the tracer was started — trial-relative, never
+/// wall-clock — so two traces of the same run line up event-for-event in
+/// Perfetto no matter when they were recorded.
 struct TraceEvent {
     const char* name;  ///< must be a string literal (spans pass their name through)
     double ts_us;
-    double dur_us;
+    double dur_us;     ///< span duration; unused for counters
     std::uint32_t tid;
+    char phase{'X'};   ///< 'X' complete span, 'C' counter sample
+    double value{0.0}; ///< counter sample value; unused for spans
 };
 
 /// Span tracer with per-thread buffers.
@@ -54,6 +58,10 @@ public:
     double now_us() const;
 
     void record(const char* name, double ts_us, double dur_us);
+
+    /// Record a counter sample ("C" phase) at the current trace time — the
+    /// LOCBLE_TRACE_COUNTER macro's backend. No-op while disabled.
+    void counter(const char* name, double value);
 
     std::size_t event_count() const;
 

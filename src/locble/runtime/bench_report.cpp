@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "locble/common/cdf.hpp"
+#include "locble/obs/quantile.hpp"
 
 namespace locble::runtime {
 
@@ -83,6 +84,12 @@ void BenchReport::add_obs_histogram(const std::string& key,
     obs_.emplace_back(key, ObsValue(ObsHistogram{std::move(buckets), std::move(bounds)}));
 }
 
+void BenchReport::add_obs_quantile(const std::string& key,
+                                   std::vector<std::uint64_t> buckets,
+                                   double upper_bound) {
+    obs_.emplace_back(key, ObsValue(ObsQuantile{std::move(buckets), upper_bound}));
+}
+
 std::string BenchReport::to_json() const {
     std::string out = "{\n";
     out += "  \"schema_version\": " + std::to_string(kBenchReportSchemaVersion) + ",\n";
@@ -120,20 +127,37 @@ std::string BenchReport::to_json() const {
                 out += std::to_string(*c);
             } else if (const auto* g = std::get_if<double>(&value)) {
                 out += json_number(*g);
-            } else {
-                const auto& h = std::get<ObsHistogram>(value);
+            } else if (const auto* h = std::get_if<ObsHistogram>(&value)) {
                 std::uint64_t total = 0;
-                for (const std::uint64_t b : h.buckets) total += b;
+                for (const std::uint64_t b : h->buckets) total += b;
                 out += "{\"count\": " + std::to_string(total);
                 out += ", \"buckets\": [";
-                for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+                for (std::size_t b = 0; b < h->buckets.size(); ++b) {
                     if (b > 0) out += ", ";
-                    out += std::to_string(h.buckets[b]);
+                    out += std::to_string(h->buckets[b]);
                 }
                 out += "], \"bounds\": [";
-                for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+                for (std::size_t b = 0; b < h->bounds.size(); ++b) {
                     if (b > 0) out += ", ";
-                    out += json_number(h.bounds[b]);
+                    out += json_number(h->bounds[b]);
+                }
+                out += "]}";
+            } else {
+                const auto& q = std::get<ObsQuantile>(value);
+                std::uint64_t total = 0;
+                for (const std::uint64_t b : q.buckets) total += b;
+                out += "{\"count\": " + std::to_string(total);
+                out += ", \"upper_bound\": " + json_number(q.upper_bound);
+                out += ", \"p50\": " +
+                       json_number(obs::sketch_quantile(q.buckets, q.upper_bound, 0.50));
+                out += ", \"p95\": " +
+                       json_number(obs::sketch_quantile(q.buckets, q.upper_bound, 0.95));
+                out += ", \"p99\": " +
+                       json_number(obs::sketch_quantile(q.buckets, q.upper_bound, 0.99));
+                out += ", \"buckets\": [";
+                for (std::size_t b = 0; b < q.buckets.size(); ++b) {
+                    if (b > 0) out += ", ";
+                    out += std::to_string(q.buckets[b]);
                 }
                 out += "]}";
             }

@@ -53,6 +53,12 @@ public:
     void add_obs_gauge(const std::string& key, double value);
     void add_obs_histogram(const std::string& key, std::vector<std::uint64_t> buckets,
                            std::vector<double> bounds);
+    /// Quantile-sketch metric (locble::obs exact fixed-resolution sketch):
+    /// serialized as count, upper_bound, derived p50/p95/p99 — pure
+    /// functions of the u64 buckets, hence byte-identical across thread
+    /// counts — plus the raw buckets.
+    void add_obs_quantile(const std::string& key, std::vector<std::uint64_t> buckets,
+                          double upper_bound);
 
     std::string to_json() const;
 
@@ -71,7 +77,11 @@ private:
         std::vector<std::uint64_t> buckets;
         std::vector<double> bounds;
     };
-    using ObsValue = std::variant<std::uint64_t, double, ObsHistogram>;
+    struct ObsQuantile {
+        std::vector<std::uint64_t> buckets;
+        double upper_bound;
+    };
+    using ObsValue = std::variant<std::uint64_t, double, ObsHistogram, ObsQuantile>;
 
     std::string name_;
     int trials_{0};

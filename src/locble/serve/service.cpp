@@ -1,6 +1,8 @@
 #include "locble/serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
@@ -16,6 +18,40 @@ std::string fmt(double v) {
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
+}
+
+/// This epoch's increment of the merged stats: exact u64 subtraction of
+/// consecutive barrier views (both monotone, so never underflows).
+IngestStats stats_delta(const IngestStats& now, const IngestStats& prev) {
+    IngestStats d;
+    d.submitted = now.submitted - prev.submitted;
+    d.accepted = now.accepted - prev.accepted;
+    d.dropped = now.dropped - prev.dropped;
+    d.rejected = now.rejected - prev.rejected;
+    d.late = now.late - prev.late;
+    d.epochs = now.epochs - prev.epochs;
+    d.clients_created = now.clients_created - prev.clients_created;
+    d.clients_evicted = now.clients_evicted - prev.clients_evicted;
+    d.sessions_created = now.sessions_created - prev.sessions_created;
+    d.sessions_evicted = now.sessions_evicted - prev.sessions_evicted;
+    d.sessions_reset = now.sessions_reset - prev.sessions_reset;
+    d.batches_flushed = now.batches_flushed - prev.batches_flushed;
+    d.solves = now.solves - prev.solves;
+    d.cluster_runs = now.cluster_runs - prev.cluster_runs;
+    return d;
+}
+
+/// Nearest-rank percentile of an unsorted sample (sorted in place). Only
+/// used for the ND wall-clock fields — event-time quantiles go through the
+/// deterministic sketch.
+double nearest_rank(std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto n = static_cast<double>(v.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    if (rank == 0) rank = 1;
+    if (rank > v.size()) rank = v.size();
+    return v[rank - 1];
 }
 
 BeaconEstimate make_estimate(ClientId client, BeaconId beacon,
@@ -100,10 +136,58 @@ std::string canonical_text(const ServiceSnapshot& snap) {
     return out;
 }
 
+const char* health_name(ServiceHealth h) {
+    switch (h) {
+        case ServiceHealth::ok: return "ok";
+        case ServiceHealth::degraded: return "degraded";
+        case ServiceHealth::overloaded: return "overloaded";
+    }
+    return "ok";
+}
+
+std::string status_json(const ServiceStatus& s) {
+    std::string out;
+    out.reserve(768);
+    out += "{\"schema_version\":1,\"deterministic\":{";
+    out += "\"epoch\":" + std::to_string(s.epoch);
+    out += ",\"horizon\":" + fmt(s.horizon);
+    out += ",\"window_epochs\":" + std::to_string(s.window_epochs);
+    out += ",\"sessions_live\":" + std::to_string(s.sessions_live);
+    out += ",\"sessions_no_fit\":" + std::to_string(s.sessions_no_fit);
+    out += ",\"window\":{";
+    out += "\"submitted\":" + std::to_string(s.window_submitted);
+    out += ",\"dropped\":" + std::to_string(s.window_dropped);
+    out += ",\"rejected\":" + std::to_string(s.window_rejected);
+    out += ",\"clients_evicted\":" + std::to_string(s.window_clients_evicted);
+    out += "}";
+    out += ",\"drop_rate\":" + fmt(s.drop_rate);
+    out += ",\"no_fix_rate\":" + fmt(s.no_fix_rate);
+    out += ",\"eviction_rate\":" + fmt(s.eviction_rate);
+    out += ",\"staleness_s\":{";
+    out += "\"p50\":" + fmt(s.staleness_p50_s);
+    out += ",\"p95\":" + fmt(s.staleness_p95_s);
+    out += ",\"p99\":" + fmt(s.staleness_p99_s);
+    out += ",\"max\":" + fmt(s.staleness_max_s);
+    out += "}";
+    out += ",\"health\":\"";
+    out += health_name(s.health);
+    out += "\"},\"nd\":{";
+    out += "\"epoch_wall_p50_us\":" + fmt(s.epoch_wall_p50_us);
+    out += ",\"epoch_wall_p99_us\":" + fmt(s.epoch_wall_p99_us);
+    out += ",\"epoch_wall_max_us\":" + fmt(s.epoch_wall_max_us);
+    out += "}}\n";
+    return out;
+}
+
 TrackingService::TrackingService(const Config& cfg,
                                  std::optional<core::EnvAware> envaware)
     : cfg_(cfg), envaware_(std::move(envaware)) {
     const unsigned nshards = cfg_.shards == 0 ? 1u : cfg_.shards;
+    // Shard telemetry exists to feed the recorder; deriving the flag here
+    // (rather than exposing it) keeps the two from disagreeing — including
+    // across resize_shards(), which rebuilds shards from this same config.
+    cfg_.shard.telemetry = cfg_.flight_recorder_epochs > 0;
+    recorder_ = FlightRecorder(cfg_.flight_recorder_epochs);
     if (cfg_.shard.session.pipeline.use_envaware && !envaware_)
         throw std::invalid_argument(
             "TrackingService: session config enables EnvAware but no model "
@@ -155,9 +239,16 @@ std::uint64_t TrackingService::begin_epoch() {
     // The swap: from here on the driver may submit freely — new events land
     // in the fresh ingest buffers and belong to the next epoch.
     for (auto& s : shards_) s->begin_epoch(epoch_horizon_);
+    if (recorder_.enabled()) {
+        epoch_t0_ = std::chrono::steady_clock::now();
+        std::size_t queued = 0;
+        for (const auto& s : shards_) queued += s->inbox_events();
+        LOCBLE_TRACE_COUNTER("serve.queue_depth", queued);
+    }
     if (!pool_) {
         LOCBLE_SPAN("serve.epoch");
         for (auto& s : shards_) s->process_epoch();
+        finalize_epoch_record();
         return epoch_;
     }
     in_flight_ = true;
@@ -197,6 +288,30 @@ void TrackingService::end_epoch() {
     inflight_.clear();
     in_flight_ = false;
     if (first) std::rethrow_exception(first);
+    finalize_epoch_record();
+}
+
+void TrackingService::finalize_epoch_record() {
+    if (!recorder_.enabled()) return;
+    EpochRecord rec;
+    rec.epoch = epoch_;
+    rec.horizon = epoch_horizon_;
+    const IngestStats now = merged_stats(/*barrier_view=*/true);
+    rec.delta = stats_delta(now, last_record_stats_);
+    last_record_stats_ = now;
+    for (const auto& s : shards_) {
+        const Shard::EpochTelemetry& t = s->telemetry();
+        rec.shards.push_back({t.events_drained, t.clients_visited,
+                              t.sessions_live, t.sessions_no_fit, t.wall_us});
+        rec.sessions_live += t.sessions_live;
+        rec.sessions_no_fit += t.sessions_no_fit;
+        rec.staleness_s.merge(t.staleness_s);
+    }
+    rec.wall_epoch_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - epoch_t0_)
+                            .count();
+    LOCBLE_TRACE_COUNTER("serve.live_sessions", rec.sessions_live);
+    recorder_.push(std::move(rec));
 }
 
 std::uint64_t TrackingService::run_epoch() {
@@ -243,6 +358,8 @@ ServiceSnapshot TrackingService::snapshot(SnapshotMode mode) {
     }
     LOCBLE_COUNT("serve.snapshot.rows",
                  static_cast<std::uint64_t>(snap.estimates.size()));
+    recorder_.note_snapshot_rows(epoch_,
+                                 static_cast<std::uint64_t>(snap.estimates.size()));
     // Shards are visited in index order, but the global order must not
     // depend on the client -> shard hash: sort by (client, beacon).
     std::sort(snap.estimates.begin(), snap.estimates.end(),
@@ -257,6 +374,67 @@ IngestStats TrackingService::stats() const {
     if (in_flight_)
         throw std::logic_error("TrackingService::stats: epoch in flight");
     return merged_stats(/*barrier_view=*/false);
+}
+
+ServiceStatus TrackingService::status() const {
+    if (in_flight_)
+        throw std::logic_error("TrackingService::status: epoch in flight");
+    ServiceStatus st;
+    st.epoch = epoch_;
+    st.horizon = epoch_horizon_;
+    const std::vector<EpochRecord> recs = recorder_.records();
+    const std::size_t window = std::min(cfg_.status_window_epochs, recs.size());
+    st.window_epochs = window;
+    if (window == 0) return st;  // nothing recorded: all zero, health ok
+
+    obs::QuantileSketch staleness;
+    std::vector<double> walls;
+    walls.reserve(window);
+    for (std::size_t i = recs.size() - window; i < recs.size(); ++i) {
+        const EpochRecord& r = recs[i];
+        st.window_submitted += r.delta.submitted;
+        st.window_dropped += r.delta.dropped;
+        st.window_rejected += r.delta.rejected;
+        st.window_clients_evicted += r.delta.clients_evicted;
+        walls.push_back(r.wall_epoch_us);
+    }
+    // Point-in-time fields come from the newest record; staleness quantiles
+    // likewise describe the fleet *now* (the deterministic sketch merged
+    // across shards at the last barrier), not a blur over the window.
+    const EpochRecord& latest = recs.back();
+    st.sessions_live = latest.sessions_live;
+    st.sessions_no_fit = latest.sessions_no_fit;
+    staleness = latest.staleness_s;
+
+    st.drop_rate =
+        st.window_submitted > 0
+            ? static_cast<double>(st.window_dropped + st.window_rejected) /
+                  static_cast<double>(st.window_submitted)
+            : 0.0;
+    st.no_fix_rate = st.sessions_live > 0
+                         ? static_cast<double>(st.sessions_no_fit) /
+                               static_cast<double>(st.sessions_live)
+                         : 0.0;
+    st.eviction_rate = static_cast<double>(st.window_clients_evicted) /
+                       static_cast<double>(window);
+    st.staleness_p50_s = staleness.quantile(0.50);
+    st.staleness_p95_s = staleness.quantile(0.95);
+    st.staleness_p99_s = staleness.quantile(0.99);
+    st.staleness_max_s = staleness.max();
+
+    const StatusThresholds& th = cfg_.status;
+    if (st.drop_rate >= th.overloaded_drop_rate ||
+        st.staleness_p99_s >= th.overloaded_staleness_p99_s)
+        st.health = ServiceHealth::overloaded;
+    else if (st.drop_rate >= th.degraded_drop_rate ||
+             st.staleness_p99_s >= th.degraded_staleness_p99_s ||
+             st.no_fix_rate >= th.degraded_no_fix_rate)
+        st.health = ServiceHealth::degraded;
+
+    st.epoch_wall_p50_us = nearest_rank(walls, 0.50);
+    st.epoch_wall_p99_us = nearest_rank(walls, 0.99);
+    st.epoch_wall_max_us = walls.empty() ? 0.0 : walls.back();
+    return st;
 }
 
 IngestStats TrackingService::merged_stats(bool barrier_view) const {

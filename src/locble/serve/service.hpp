@@ -8,9 +8,12 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "locble/core/envaware.hpp"
 #include "locble/runtime/thread_pool.hpp"
 #include "locble/serve/event.hpp"
+#include "locble/serve/flight_recorder.hpp"
 #include "locble/serve/shard.hpp"
 #include "locble/serve/stats.hpp"
 
@@ -63,6 +66,71 @@ struct ServiceSnapshot {
 /// their shard/thread counts — the determinism suite diffs these strings.
 std::string canonical_text(const ServiceSnapshot& snap);
 
+/// Overload classification of the status surface.
+enum class ServiceHealth : std::uint8_t { ok, degraded, overloaded };
+
+/// Lowercase name ("ok" / "degraded" / "overloaded") for reports.
+const char* health_name(ServiceHealth h);
+
+/// Thresholds the ok/degraded/overloaded classification runs on, checked
+/// worst-first (any overloaded trigger wins over any degraded one). The
+/// defaults are documented in docs/SERVING.md; every rate is computed over
+/// the status rolling window.
+struct StatusThresholds {
+    /// (dropped + rejected) / submitted: above 1% is degraded, above 10%
+    /// the service is shedding so much load it counts as overloaded.
+    double degraded_drop_rate{0.01};
+    double overloaded_drop_rate{0.10};
+    /// Event-time staleness p99 across live sessions, in seconds: above
+    /// half the default idle timeout is degraded, above 1.5x it the fleet
+    /// is mostly waiting to be evicted — overloaded.
+    double degraded_staleness_p99_s{30.0};
+    double overloaded_staleness_p99_s{90.0};
+    /// Live sessions without a location fit / live sessions. High at
+    /// warm-up by nature, so only an extreme value (default 90%) degrades —
+    /// a service that cannot converge is unhealthy even with empty queues.
+    double degraded_no_fix_rate{0.90};
+};
+
+/// Rolling-window health report assembled from the flight recorder. Every
+/// field except the `epoch_wall_*` wall-clock percentiles derives from
+/// event-time u64/sketch data, so the deterministic half of status_json()
+/// is byte-identical for any shard/thread count.
+struct ServiceStatus {
+    std::uint64_t epoch{0};
+    double horizon{0.0};
+    /// Flight-recorder records the window actually covered (<= the
+    /// configured window; fewer right after start/clear).
+    std::uint64_t window_epochs{0};
+    std::uint64_t sessions_live{0};
+    std::uint64_t sessions_no_fit{0};
+    /// Window totals the rates derive from (exact u64 sums of per-epoch
+    /// deltas).
+    std::uint64_t window_submitted{0};
+    std::uint64_t window_dropped{0};
+    std::uint64_t window_rejected{0};
+    std::uint64_t window_clients_evicted{0};
+    double drop_rate{0.0};      ///< (dropped + rejected) / submitted; 0 when idle
+    double no_fix_rate{0.0};    ///< sessions_no_fit / sessions_live; 0 when empty
+    double eviction_rate{0.0};  ///< clients evicted per epoch over the window
+    double staleness_p50_s{0.0};
+    double staleness_p95_s{0.0};
+    double staleness_p99_s{0.0};
+    double staleness_max_s{0.0};
+    ServiceHealth health{ServiceHealth::ok};
+    // --- wall clock (ND): reported, never part of determinism checks ---
+    double epoch_wall_p50_us{0.0};
+    double epoch_wall_p99_us{0.0};
+    double epoch_wall_max_us{0.0};
+};
+
+/// Versioned JSON form of a status report, shaped for determinism tooling:
+/// {"schema_version":1,"deterministic":{...},"nd":{...}} — the
+/// "deterministic" object must be byte-identical across shard/thread
+/// counts (CI diffs it at 1 vs 8 shards); "nd" holds the wall-clock epoch
+/// percentiles. Doubles print %.17g (round-trip exact).
+std::string status_json(const ServiceStatus& status);
+
 /// Sharded multi-client tracking service with a pipelined epoch loop (the
 /// serve tentpole, reworked for ingest/epoch overlap in PR 6).
 ///
@@ -105,6 +173,15 @@ public:
         /// the epoch synchronously).
         unsigned threads{1};
         Shard::Config shard{};
+        /// Flight-recorder capacity in epochs; 0 disables recording *and*
+        /// the per-shard telemetry walk (shard.telemetry is derived from
+        /// this, not set directly). The recorder is service API of record,
+        /// like IngestStats: it works under LOCBLE_OBS=OFF.
+        std::size_t flight_recorder_epochs{64};
+        /// Epochs the status() rates and staleness quantiles roll over
+        /// (capped by what the recorder holds).
+        std::size_t status_window_epochs{16};
+        StatusThresholds status{};
     };
 
     /// `envaware` must be a trained model when the session config enables
@@ -150,6 +227,17 @@ public:
     /// flight.
     IngestStats stats() const;
 
+    /// The epoch flight recorder (empty and disabled when
+    /// Config::flight_recorder_epochs == 0). Driver thread, quiescent point
+    /// — same discipline as snapshot().
+    const FlightRecorder& flight_recorder() const { return recorder_; }
+
+    /// Rolling-window health report over the last status_window_epochs
+    /// recorded epochs (all-zero, health ok, when the recorder is disabled
+    /// or nothing has been recorded). Throws std::logic_error while an
+    /// epoch is in flight.
+    ServiceStatus status() const;
+
     /// Newest accepted event timestamp service-wide: the event-time clock
     /// that batch closing and idle eviction run on.
     double horizon() const { return horizon_; }
@@ -167,6 +255,10 @@ public:
 
 private:
     IngestStats merged_stats(bool barrier_view) const;
+    /// Assemble and push this epoch's flight record (called at the barrier:
+    /// inline at the end of begin_epoch() when there is no pool, otherwise
+    /// from end_epoch() after every worker joined).
+    void finalize_epoch_record();
 
     Config cfg_;
     std::optional<core::EnvAware> envaware_;
@@ -184,6 +276,12 @@ private:
     /// Stats of shards dissolved by resize_shards().
     IngestStats retired_ingest_;
     IngestStats retired_epoch_;
+    FlightRecorder recorder_;
+    /// Merged barrier stats when the previous record was finalized — the
+    /// baseline per-epoch deltas subtract from (monotone across
+    /// resize_shards thanks to the retired totals).
+    IngestStats last_record_stats_;
+    std::chrono::steady_clock::time_point epoch_t0_;  ///< ND wall timing only
 };
 
 }  // namespace locble::serve

@@ -1,6 +1,7 @@
 #include "locble/serve/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "locble/obs/obs.hpp"
 
@@ -66,11 +67,27 @@ void Shard::begin_epoch(double horizon) {
             ++it;
     }
     ingest_stats_at_swap_ = ingest_stats_;
+    inbox_events_ = 0;
+    for (const Delivery& d : inbox_) inbox_events_ += d.events.size();
 }
 
 void Shard::process_epoch() {
     LOCBLE_SPAN("serve.shard.epoch");
     const double horizon = epoch_horizon_;
+
+    // Telemetry is flight-recorder state, not obs: it stays on under
+    // LOCBLE_OBS=OFF (the recorder, like IngestStats, is service API of
+    // record) and off — clock reads included — when the recorder is
+    // disabled. The wall clock here is the steady clock, measured only;
+    // nothing event-time ever depends on it.
+    const bool telemetry = cfg_.telemetry;
+    std::chrono::steady_clock::time_point t0;
+    if (telemetry) {
+        telem_ = EpochTelemetry{};
+        telem_.staleness_s =
+            obs::QuantileSketch(cfg_.staleness_max_s, cfg_.staleness_resolution);
+        t0 = std::chrono::steady_clock::now();
+    }
 
     // Merge-walk the inbox (sorted by client id — built from the ordered
     // ingest map) against the resident clients. A resident client with no
@@ -90,6 +107,7 @@ void Shard::process_epoch() {
                 ++it;
                 continue;
             }
+            if (telemetry) ++telem_.clients_visited;
             process_client(id, it->second, nullptr, horizon);
             ++it;
             continue;
@@ -98,6 +116,10 @@ void Shard::process_epoch() {
         Delivery& del = inbox_[d++];
         auto s = resident ? it : clients_.try_emplace(id).first;
         if (resident) ++it;
+        if (telemetry) {
+            ++telem_.clients_visited;
+            telem_.events_drained += del.events.size();
+        }
         process_client(id, s->second, &del.events, horizon);
         if (del.evict) {
             ClientState& c = s->second;
@@ -110,6 +132,26 @@ void Shard::process_epoch() {
             clients_.erase(s);
         }
     }
+
+    if (telemetry) {
+        // Staleness of every live session at the barrier: horizon minus the
+        // last event folded into the session — pure event time, so the
+        // merged sketch (bucket-sum across shards) is byte-identical for
+        // any shard count. The obs quantile mirrors it with fixed default
+        // bounds so --metrics reports see the same tail.
+        for (auto& [id, c] : clients_) {
+            for (auto& [beacon, sess] : c.sessions) {
+                const double stale = std::max(0.0, horizon - sess.last_event_t());
+                telem_.staleness_s.record(stale);
+                if (!sess.has_fit()) ++telem_.sessions_no_fit;
+                LOCBLE_QUANTILE("serve.staleness_s", stale, 120.0, 240u);
+            }
+        }
+        telem_.sessions_live = live_sessions_;
+        telem_.wall_us = std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    }
 }
 
 void Shard::process_client(ClientId id, ClientState& c,
@@ -121,6 +163,10 @@ void Shard::process_client(ClientId id, ClientState& c,
         while (!events->empty()) {
             const Event e = events->front();
             events->pop_front();
+            // Queue residency: how far behind the epoch horizon the event
+            // is when drained — event time only, so the merged quantiles
+            // are shard-count-invariant.
+            LOCBLE_QUANTILE("serve.queue.residency_s", horizon - e.t, 30.0, 300u);
             if (e.kind == EventKind::pose) {
                 // Keep the path time-ordered; a late pose (counted at
                 // ingest) would corrupt interpolation, so it is ignored.
@@ -215,6 +261,8 @@ void Shard::migrate_into(std::vector<std::unique_ptr<Shard>>& dst,
     for (const auto& key : dirty_)
         dst[shard_of(key.first, n)]->dirty_.push_back(key);
     dirty_.clear();
+    telem_ = EpochTelemetry{};
+    inbox_events_ = 0;
     retired_ingest += ingest_stats_;
     retired_epoch += epoch_stats_;
     ingest_stats_ = IngestStats{};

@@ -8,6 +8,7 @@
 
 #include "locble/core/clustering.hpp"
 #include "locble/motion/dead_reckoning.hpp"
+#include "locble/obs/quantile.hpp"
 #include "locble/serve/event.hpp"
 #include "locble/serve/stats.hpp"
 #include "locble/serve/tracking_session.hpp"
@@ -56,6 +57,18 @@ public:
         /// changed).
         bool enable_clustering{false};
         core::ClusteringCalibrator::Config clustering{};
+        /// Collect per-epoch telemetry for the service flight recorder:
+        /// event counts, a session-staleness quantile sketch, and the
+        /// (wall-clock, ND) shard epoch duration. TrackingService sets this
+        /// from its flight_recorder_epochs; when false, process_epoch()
+        /// reads no clock and walks no sessions beyond its normal work.
+        bool telemetry{false};
+        /// Staleness sketch domain (0, max_s] split into `resolution`
+        /// uniform buckets; sessions staler than the bound saturate the
+        /// reported quantiles at it. Defaults give 0.5 s resolution out to
+        /// two idle-eviction timeouts.
+        double staleness_max_s{120.0};
+        std::uint32_t staleness_resolution{240};
     };
 
     /// `envaware` may be null when the session config does not use it; it
@@ -123,6 +136,28 @@ public:
     /// worker; quiescent point required).
     std::size_t live_sessions() const { return live_sessions_; }
 
+    /// Per-epoch telemetry for the service flight recorder, rebuilt by each
+    /// process_epoch() when Config::telemetry is set. Worker-side state:
+    /// read at quiescent points only (the service reads it at the barrier).
+    struct EpochTelemetry {
+        std::uint64_t events_drained{0};
+        std::uint64_t clients_visited{0};
+        std::uint64_t sessions_live{0};
+        std::uint64_t sessions_no_fit{0};
+        /// Staleness (horizon - last event fed to the session, seconds) of
+        /// every live session at epoch end — the deterministic,
+        /// event-time-only definition. The sketch's max() is the exact
+        /// per-shard maximum (merge by max, order-invariant).
+        obs::QuantileSketch staleness_s;
+        double wall_us{0.0};  ///< wall-clock process_epoch duration (ND)
+    };
+    const EpochTelemetry& telemetry() const { return telem_; }
+
+    /// Events handed to the worker by the last begin_epoch() swap. Driver
+    /// thread; valid from the swap until the next one (the service reads it
+    /// right after swapping to emit the queue-depth trace counter).
+    std::size_t inbox_events() const { return inbox_events_; }
+
     /// Move every client — ingest buffers, session state, dirty marks —
     /// into the shard of `dst` selected by shard_of(client, dst.size()),
     /// and fold this shard's accumulated stats into the retired totals.
@@ -164,12 +199,14 @@ private:
     std::vector<Delivery> inbox_;
     double epoch_horizon_{0.0};
     IngestStats ingest_stats_at_swap_;
+    std::size_t inbox_events_{0};
 
     // --- worker side (one worker thread per epoch) ---
     std::map<ClientId, ClientState> clients_;
     IngestStats epoch_stats_;
     std::vector<std::pair<ClientId, BeaconId>> dirty_;
     std::size_t live_sessions_{0};
+    EpochTelemetry telem_;
 };
 
 }  // namespace locble::serve

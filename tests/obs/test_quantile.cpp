@@ -1,0 +1,156 @@
+// Unit tests for the exact fixed-resolution quantile sketch (ISSUE 7):
+// the bucketing math, the merge-by-bucket-sum determinism contract, and
+// the registry Quantile handle + LOCBLE_QUANTILE macro plumbing.
+
+#include "locble/obs/quantile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "locble/obs/metrics.hpp"
+#include "locble/obs/obs.hpp"
+
+namespace locble::obs {
+namespace {
+
+TEST(QuantileSketchTest, BucketEdgesAreRightClosed) {
+    // upper 10, resolution 10: bucket i covers (i, i+1].
+    EXPECT_EQ(sketch_bucket(-1.0, 10.0, 10), 0u);
+    EXPECT_EQ(sketch_bucket(0.0, 10.0, 10), 0u);
+    EXPECT_EQ(sketch_bucket(0.5, 10.0, 10), 0u);
+    EXPECT_EQ(sketch_bucket(1.0, 10.0, 10), 0u);   // right edge inclusive
+    EXPECT_EQ(sketch_bucket(1.0001, 10.0, 10), 1u);
+    EXPECT_EQ(sketch_bucket(9.5, 10.0, 10), 9u);
+    EXPECT_EQ(sketch_bucket(10.0, 10.0, 10), 9u);  // == upper: last bounded
+    EXPECT_EQ(sketch_bucket(10.5, 10.0, 10), 10u);  // overflow bucket
+    EXPECT_EQ(sketch_bucket(std::numeric_limits<double>::quiet_NaN(), 10.0, 10),
+              10u);
+
+    EXPECT_DOUBLE_EQ(sketch_edge(0, 10.0, 10), 1.0);
+    EXPECT_DOUBLE_EQ(sketch_edge(9, 10.0, 10), 10.0);
+    EXPECT_DOUBLE_EQ(sketch_edge(10, 10.0, 10), 10.0);  // overflow saturates
+}
+
+TEST(QuantileSketchTest, NearestRankQuantiles) {
+    QuantileSketch s(10.0, 10);
+    for (int i = 1; i <= 100; ++i) s.record(i * 0.1);  // 0.1 .. 10.0
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);   // rank clamps to 1 -> edge(0)
+    EXPECT_DOUBLE_EQ(s.quantile(0.50), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.95), 10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);  // max is exact, not an edge
+}
+
+TEST(QuantileSketchTest, OverflowSaturatesAtUpperButMaxIsExact) {
+    QuantileSketch s(1.0, 4);
+    s.record(50.0);
+    s.record(0.1);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 1.0);  // reported edge saturates
+    EXPECT_DOUBLE_EQ(s.max(), 50.0);
+    EXPECT_EQ(s.buckets().back(), 1u);  // one sample in the overflow bucket
+}
+
+TEST(QuantileSketchTest, EmptyAndUnconfiguredAreInert) {
+    QuantileSketch empty(5.0, 5);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+    QuantileSketch unconfigured;
+    EXPECT_FALSE(unconfigured.configured());
+    unconfigured.record(3.0);  // no-op, no crash
+    EXPECT_EQ(unconfigured.count(), 0u);
+
+    // Merging into an unconfigured sketch adopts the source's config.
+    QuantileSketch src(5.0, 5);
+    src.record(2.0);
+    unconfigured.merge(src);
+    EXPECT_TRUE(unconfigured.configured());
+    EXPECT_EQ(unconfigured.count(), 1u);
+
+    EXPECT_THROW(QuantileSketch(5.0, 0), std::invalid_argument);
+    EXPECT_THROW(QuantileSketch(0.0, 5), std::invalid_argument);
+    QuantileSketch other(6.0, 5);
+    EXPECT_THROW(unconfigured.merge(other), std::logic_error);
+}
+
+TEST(QuantileSketchTest, MergeEqualsSingleSketchWhateverTheSplit) {
+    // The determinism contract: recording N samples through any partition
+    // of sketches and merging yields byte-identical buckets, hence
+    // identical quantiles.
+    std::vector<double> samples;
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(std::fmod(i * 0.7137, 12.0));  // some overflow 10
+
+    QuantileSketch whole(10.0, 40);
+    for (const double v : samples) whole.record(v);
+
+    for (const std::size_t parts : {2u, 3u, 8u}) {
+        std::vector<QuantileSketch> shard(parts, QuantileSketch(10.0, 40));
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            shard[i % parts].record(samples[i]);
+        QuantileSketch merged;
+        // Merge in reverse order too: bucket sums are order-invariant.
+        for (std::size_t p = parts; p-- > 0;) merged.merge(shard[p]);
+        EXPECT_EQ(merged.buckets(), whole.buckets());
+        EXPECT_EQ(merged.count(), whole.count());
+        EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+        for (const double q : {0.5, 0.95, 0.99})
+            EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q));
+    }
+}
+
+#if LOCBLE_OBS
+TEST(QuantileRegistryTest, MacroRecordsIntoSnapshotAcrossThreads) {
+    Registry& reg = Registry::global();
+    reg.reset();
+    reg.set_enabled(true);
+    const auto worker = [](int offset) {
+        for (int i = 0; i < 100; ++i)
+            LOCBLE_QUANTILE("test.q.latency", (offset + i) * 0.01, 4.0, 16u);
+    };
+    std::thread a(worker, 0), b(worker, 100);
+    a.join();
+    b.join();
+    reg.set_enabled(false);
+
+    bool found = false;
+    for (const auto& m : reg.snapshot()) {
+        if (m.name != "test.q.latency") continue;
+        found = true;
+        EXPECT_EQ(m.kind, MetricKind::quantile);
+        EXPECT_EQ(m.count, 200u);
+        EXPECT_DOUBLE_EQ(m.upper_bound, 4.0);
+        ASSERT_EQ(m.buckets.size(), 17u);
+        // Snapshot quantiles agree with a locally-built reference sketch.
+        QuantileSketch ref(4.0, 16);
+        for (int i = 0; i < 200; ++i) ref.record(i * 0.01);
+        for (const double q : {0.5, 0.95, 0.99})
+            EXPECT_DOUBLE_EQ(snapshot_quantile(m, q), ref.quantile(q));
+    }
+    EXPECT_TRUE(found);
+    reg.reset();
+}
+
+TEST(QuantileRegistryTest, ReRegistrationMustMatchConfiguration) {
+    Registry& reg = Registry::global();
+    reg.reset();
+    reg.set_enabled(true);
+    (void)reg.quantile("test.q.dup", 8.0, 32);
+    (void)reg.quantile("test.q.dup", 8.0, 32);  // identical: fine
+    EXPECT_THROW((void)reg.quantile("test.q.dup", 9.0, 32), std::logic_error);
+    EXPECT_THROW((void)reg.quantile("test.q.dup", 8.0, 16), std::logic_error);
+    EXPECT_THROW((void)reg.quantile("test.q.bad", 8.0, 0), std::invalid_argument);
+    EXPECT_THROW((void)reg.quantile("test.q.bad", 0.0, 4), std::invalid_argument);
+    reg.set_enabled(false);
+    reg.reset();
+}
+#endif
+
+}  // namespace
+}  // namespace locble::obs

@@ -141,6 +141,37 @@ TEST_F(TraceTest, WriteRoundTripsToDisk) {
     std::remove(path.c_str());
 }
 
+TEST_F(TraceTest, CounterEventsSerializeAsCounterPhase) {
+    Tracer::global().start();
+    Tracer::global().counter("queue.depth", 3.0);
+    { ScopedSpan span("test.span"); }
+    Tracer::global().counter("queue.depth", 7.5);
+    Tracer::global().stop();
+    ASSERT_EQ(Tracer::global().event_count(), 3u);
+    const std::string json = Tracer::global().to_json();
+    EXPECT_TRUE(balanced_json(json)) << json;
+    // Counter samples carry ph:"C" and an args.value payload — no "dur".
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 2u);
+    EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 1u);
+    EXPECT_NE(json.find("\"args\":{\"value\":3}"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"args\":{\"value\":7.5}"), std::string::npos) << json;
+    // The complete-event keeps its duration; counters never emit one.
+    EXPECT_EQ(count_occurrences(json, "\"dur\":"), 1u);
+}
+
+TEST_F(TraceTest, CounterIgnoredWhileDisabled) {
+    Tracer::global().counter("queue.depth", 1.0);
+    EXPECT_EQ(Tracer::global().event_count(), 0u);
+    Tracer::global().start();
+    LOCBLE_TRACE_COUNTER("queue.depth", 2.0);
+    Tracer::global().stop();
+#if LOCBLE_OBS
+    EXPECT_EQ(Tracer::global().event_count(), 1u);
+#else
+    EXPECT_EQ(Tracer::global().event_count(), 0u);
+#endif
+}
+
 TEST_F(TraceTest, SpanMacroCompilesAwayWhenDisabled) {
     Tracer::global().start();
     { LOCBLE_SPAN("test.macro.span"); }

@@ -185,11 +185,36 @@ TEST(LintTest, RawStringLiteralsAreStripped) {
                     .empty());
 }
 
+TEST(LintTest, FlagsFloatReductions) {
+    EXPECT_EQ(rules_hit("src/a.cpp", "std::atomic<double> sum{0.0};\n"),
+              std::vector<std::string>{"float-reduce"});
+    EXPECT_EQ(rules_hit("src/a.cpp", "std::atomic< float > acc;\n"),
+              std::vector<std::string>{"float-reduce"});
+    EXPECT_EQ(rules_hit("bench/b.cpp",
+                        "auto s = std::reduce(std::execution::par, v.begin(), "
+                        "v.end(), 0.0);\n"),
+              std::vector<std::string>{"float-reduce"});
+    EXPECT_EQ(rules_hit("src/a.cpp",
+                        "#pragma omp parallel for reduction(+:sum)\n"),
+              std::vector<std::string>{"float-reduce"});
+    // Integer atomics and serial reduce are the deterministic idiom.
+    EXPECT_TRUE(rules_hit("src/a.cpp", "std::atomic<std::uint64_t> n{0};\n")
+                    .empty());
+    EXPECT_TRUE(rules_hit("src/a.cpp",
+                          "auto s = std::reduce(v.begin(), v.end(), 0.0);\n")
+                    .empty());
+    // tests/ may build whatever accumulators they like.
+    EXPECT_TRUE(rules_hit("tests/core/test_foo.cpp",
+                          "std::atomic<double> sum{0.0};\n")
+                    .empty());
+}
+
 TEST(LintTest, RuleIdListIsStable) {
     const auto ids = rule_ids();
-    ASSERT_EQ(ids.size(), 6u);
+    ASSERT_EQ(ids.size(), 7u);
     EXPECT_EQ(ids[0], "rand");
     EXPECT_EQ(ids[5], "obs-guard");
+    EXPECT_EQ(ids[6], "float-reduce");
 }
 
 }  // namespace

@@ -184,7 +184,8 @@ bool starts_with(const std::string& s, const std::string& prefix) {
 }  // namespace
 
 std::vector<std::string> rule_ids() {
-    return {"rand", "wallclock", "unordered", "volatile", "raw-new", "obs-guard"};
+    return {"rand",    "wallclock", "unordered",   "volatile",
+            "raw-new", "obs-guard", "float-reduce"};
 }
 
 std::vector<Finding> lint_source(const std::string& path, const std::string& contents) {
@@ -245,6 +246,25 @@ std::vector<Finding> lint_source(const std::string& path, const std::string& con
             (line.find("Registry::global") != std::string::npos ||
              line.find("Tracer::global") != std::string::npos))
             report(n, "obs-guard");
+
+        if (!is_tests) {
+            // Scheduling-ordered floating-point accumulation: atomic
+            // float/double cells (RMW interleaving picks the sum order),
+            // parallel std::reduce/transform_reduce, OpenMP reductions.
+            const bool atomic_float =
+                has_word(line, "atomic") &&
+                (line.find("<double") != std::string::npos ||
+                 line.find("< double") != std::string::npos ||
+                 line.find("<float") != std::string::npos ||
+                 line.find("< float") != std::string::npos);
+            const bool par_reduce =
+                line.find("execution::") != std::string::npos &&
+                (has_call(line, "reduce") || has_call(line, "transform_reduce"));
+            const bool omp_reduce =
+                has_word(line, "omp") && line.find("reduction") != std::string::npos;
+            if (atomic_float || par_reduce || omp_reduce)
+                report(n, "float-reduce");
+        }
     }
     return findings;
 }

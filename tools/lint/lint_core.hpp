@@ -32,12 +32,19 @@ struct Finding {
 ///   obs-guard   direct obs::Registry/Tracer::global() use in src/ outside
 ///               src/locble/obs/ — instrumentation must go through the
 ///               LOCBLE_* macros so -DLOCBLE_OBS=OFF removes the call site.
+///   float-reduce  scheduling-ordered floating-point accumulation:
+///               std::atomic<double|float> cells, std::reduce /
+///               transform_reduce with an std::execution policy, and OpenMP
+///               reduction pragmas. Float addition is not associative, so
+///               any sum whose order follows thread scheduling breaks the
+///               byte-identical-across-thread-counts contract; merge u64
+///               counts (or per-shard values folded in index order) instead.
 ///
 /// Scope: src/ and bench/ get every rule. tests/ is scanned too, but only
 /// for the reproducibility rules (rand, wallclock) — hidden entropy or
 /// wall-clock reads make tests flaky, while the structural rules
-/// (unordered, volatile, raw-new, obs-guard) target library/bench code
-/// that tests legitimately need to exercise.
+/// (unordered, volatile, raw-new, obs-guard, float-reduce) target
+/// library/bench code that tests legitimately need to exercise.
 ///
 /// A line is exempt when it, or the line directly above it, carries a
 /// `// locble-lint: allow(rule)` (or `allow(rule1,rule2)`) comment.
